@@ -1,0 +1,60 @@
+//! Storage-substrate benchmarks: tuple codec and heap pages (Table V's
+//! byte layout in motion).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ongoing_datasets::synthetic::{generate, SyntheticConfig};
+use ongoing_engine::storage::codec::{decode_tuple, encode_tuple};
+use ongoing_engine::storage::HeapFile;
+use std::hint::black_box;
+
+fn codec(c: &mut Criterion) {
+    let rel = generate(&SyntheticConfig::dex(4_096, None, 42));
+    let encoded: Vec<_> = rel.tuples().iter().map(encode_tuple).collect();
+    let bytes: usize = encoded.iter().map(|b| b.len()).sum();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for t in rel.tuples() {
+                black_box(encode_tuple(black_box(t)));
+            }
+        })
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for e in &encoded {
+                black_box(decode_tuple(black_box(e)).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn heap(c: &mut Criterion) {
+    let rel = generate(&SyntheticConfig::dex(4_096, None, 42));
+    let mut g = c.benchmark_group("heap");
+    g.bench_function("insert_4k_tuples", |b| {
+        b.iter(|| {
+            let mut heap = HeapFile::new();
+            for t in rel.tuples() {
+                heap.insert(t).unwrap();
+            }
+            black_box(heap.len())
+        })
+    });
+    let mut heap = HeapFile::new();
+    for t in rel.tuples() {
+        heap.insert(t).unwrap();
+    }
+    g.bench_function("scan_4k_tuples", |b| {
+        b.iter(|| black_box(heap.scan().map(|t| t.unwrap().arity()).sum::<usize>()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = codec, heap
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Runs every `repro-*` binary in sequence (they must live in the same
+//! target directory, i.e. run `cargo run --release -p ongoing-bench --bin
+//! repro-all` after `cargo build --release -p ongoing-bench`).
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "repro-table1",
+    "repro-table2",
+    "repro-table3",
+    "repro-table4",
+    "repro-fig7",
+    "repro-forever",
+    "repro-fig8",
+    "repro-fig9",
+    "repro-fig10",
+    "repro-fig11",
+    "repro-fig12",
+    "repro-fig13",
+    "repro-table5",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("target dir");
+    let mut failed = Vec::new();
+    for bin in BINS {
+        println!("\n================= {bin} =================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(*bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} experiments reproduced.", BINS.len());
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Sec. III: the `Forever` rewrite returns incorrect results.
+//!
+//! "Which bugs might be resolved before patch 201 goes live?" at reference
+//! time 05/14, over the Fig. 1 data. The ongoing evaluation answers
+//! {bug 500}; replacing `now` with `Forever` answers {} — bug 500 is lost.
+
+use ongoing_core::allen;
+use ongoing_core::date::md;
+use ongoing_core::OngoingInterval;
+use ongoing_engine::baseline::forever;
+
+fn main() {
+    let bug500 = OngoingInterval::from_until_now(md(1, 25));
+    let patch201 = OngoingInterval::fixed(md(8, 15), md(8, 24));
+    let rt = md(5, 14);
+
+    let ongoing = allen::before(bug500, patch201);
+    let fbug = OngoingInterval::new(
+        forever::rewrite_point(bug500.ts()),
+        forever::rewrite_point(bug500.te()),
+    );
+    let with_forever = allen::before(fbug, patch201);
+
+    println!("query: might bug 500 (open [01/25, now)) be resolved before patch 201 ([08/15, 08/24))?");
+    println!("reference time: 05/14\n");
+    println!("ongoing evaluation : bug 500 before patch 201 = {}", ongoing.bind(rt));
+    println!(
+        "Forever evaluation : bug 500 before patch 201 = {}",
+        with_forever.bind(rt)
+    );
+    assert!(ongoing.bind(rt));
+    assert!(!with_forever.bind(rt));
+    println!("\nForever drops bug 500 from the answer — incorrect (Sec. III).");
+}

@@ -1,0 +1,98 @@
+//! Table I: properties of the time domains T, Tnow, Tf and Ω
+//! (fixed / ongoing / closed under min & max).
+//!
+//! The closure column is *computed*: Ω is probed across all point shapes;
+//! Tf's non-closure is exhibited by the `min(max(a, now), b)`
+//! counterexample; Tnow offers no uninstantiated min/max at all.
+
+use ongoing_bench::{header, row};
+use ongoing_core::time::tp;
+use ongoing_core::{ops, OngoingPoint};
+use ongoing_engine::baseline::torp::TfPoint;
+
+fn omega_closed() -> bool {
+    let shapes = |x: i64, y: i64| {
+        vec![
+            OngoingPoint::fixed(tp(x)),
+            OngoingPoint::now(),
+            OngoingPoint::growing(tp(x)),
+            OngoingPoint::limited(tp(y)),
+            OngoingPoint::new(tp(x.min(y)), tp(x.max(y))).unwrap(),
+        ]
+    };
+    for &(x, y) in &[(0, 5), (-3, 3), (7, 7)] {
+        for &p in &shapes(x, y) {
+            for &q in &shapes(y, x) {
+                // Closure: result constructible and pointwise sound.
+                let mn = ops::min(p, q);
+                let mx = ops::max(p, q);
+                for rt in -10..=10 {
+                    let rt = tp(rt);
+                    if mn.bind(rt) != p.bind(rt).min_f(q.bind(rt))
+                        || mx.bind(rt) != p.bind(rt).max_f(q.bind(rt))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn tf_closed() -> bool {
+    // min(max(3, now), 7) = 3+7 ∉ Tf.
+    TfPoint::MaxNow(tp(3)).min(TfPoint::Fixed(tp(7))).is_some()
+}
+
+fn main() {
+    println!("Table I: Properties of time domains.\n");
+    let w = [12, 7, 9, 8];
+    header(&["Time Domain", "Fixed", "Ongoing", "Closed"], &w);
+    let yes_no = |b: bool| if b { "yes" } else { "no" }.to_string();
+    row(
+        &[
+            "T".into(),
+            "yes".into(),
+            "no".into(),
+            "yes".into(), // minF/maxF of fixed points are fixed points
+        ],
+        &w,
+    );
+    row(
+        &[
+            "Tnow".into(),
+            "yes".into(),
+            "yes".into(),
+            // T ∪ {now} has no representation for min/max of now and a
+            // fixed point (that would need a limited/growing point).
+            "no".into(),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "Tf".into(),
+            "yes".into(),
+            "yes".into(),
+            yes_no(tf_closed()),
+        ],
+        &w,
+    );
+    row(
+        &[
+            "Ω".into(),
+            "yes".into(),
+            "yes".into(),
+            yes_no(omega_closed()),
+        ],
+        &w,
+    );
+    assert!(!tf_closed(), "Tf must not be closed");
+    assert!(omega_closed(), "Ω must be closed");
+    println!("\ncounterexample for Tf: min(max(3, now), 7) = 3+7 ∉ Tf");
+    println!(
+        "in Ω:                  min(max(3, now), 7) = {}",
+        ops::min(OngoingPoint::growing(tp(3)), OngoingPoint::fixed(tp(7)))
+    );
+}

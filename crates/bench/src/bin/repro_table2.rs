@@ -1,0 +1,79 @@
+//! Table II: the derived predicate/function equivalences, evaluated on the
+//! paper's worked examples. Every row is asserted against the expected
+//! ongoing boolean / interval from the paper.
+
+use ongoing_core::date::md;
+use ongoing_core::{allen, ops, IntervalSet, OngoingInterval, OngoingPoint, TimePoint};
+
+fn main() {
+    println!("Table II: equivalences for predicates and functions (paper examples).\n");
+    let inf = TimePoint::POS_INF;
+    let ninf = TimePoint::NEG_INF;
+    let now = OngoingPoint::now();
+    let fx = OngoingInterval::fixed;
+    let exp = OngoingInterval::from_until_now;
+
+    let check = |label: &str, got: IntervalSet, want: IntervalSet| {
+        assert_eq!(got, want, "{label}");
+        println!("{label:<55} St = {got}");
+    };
+
+    check(
+        "now <= 10/17",
+        ops::le(now, OngoingPoint::fixed(md(10, 17))).into_true_set(),
+        IntervalSet::range(ninf, md(10, 18)),
+    );
+    check(
+        "10/17 = now",
+        ops::eq(OngoingPoint::fixed(md(10, 17)), now).into_true_set(),
+        IntervalSet::range(md(10, 17), md(10, 18)),
+    );
+    check(
+        "10/17 != now",
+        ops::ne(OngoingPoint::fixed(md(10, 17)), now).into_true_set(),
+        IntervalSet::from_ranges([(ninf, md(10, 17)), (md(10, 18), inf)]),
+    );
+    check(
+        "[10/17, now) before [10/20, 10/25)",
+        allen::before(exp(md(10, 17)), fx(md(10, 20), md(10, 25))).into_true_set(),
+        IntervalSet::range(md(10, 18), md(10, 21)),
+    );
+    check(
+        "[10/17, now) meets [10/20, 10/25)",
+        allen::meets(exp(md(10, 17)), fx(md(10, 20), md(10, 25))).into_true_set(),
+        IntervalSet::range(md(10, 20), md(10, 21)),
+    );
+    check(
+        "[10/17, now) overlaps [10/14, 10/20)",
+        allen::overlaps(exp(md(10, 17)), fx(md(10, 14), md(10, 20))).into_true_set(),
+        IntervalSet::range(md(10, 18), inf),
+    );
+    check(
+        "[10/17, now) starts [10/17, 10/20)",
+        allen::starts(exp(md(10, 17)), fx(md(10, 17), md(10, 20))).into_true_set(),
+        IntervalSet::range(md(10, 18), inf),
+    );
+    check(
+        "[10/17, now) finishes [10/20, 10/25)",
+        allen::finishes(exp(md(10, 17)), fx(md(10, 20), md(10, 25))).into_true_set(),
+        IntervalSet::range(md(10, 25), md(10, 26)),
+    );
+    check(
+        "[10/20, 10/25) during [10/17, now)",
+        allen::during(fx(md(10, 20), md(10, 25)), exp(md(10, 17))).into_true_set(),
+        IntervalSet::range(md(10, 25), inf),
+    );
+    check(
+        "[10/17, now) equals [10/17, 10/20)",
+        allen::equals(exp(md(10, 17)), fx(md(10, 17), md(10, 20))).into_true_set(),
+        IntervalSet::range(md(10, 20), md(10, 21)),
+    );
+
+    // ∩: [10/17, now) ∩ [10/14, 10/20) = [10/17, +10/20).
+    let x = allen::intersection(exp(md(10, 17)), fx(md(10, 14), md(10, 20)));
+    assert_eq!(x.ts(), OngoingPoint::fixed(md(10, 17)));
+    assert_eq!(x.te(), OngoingPoint::limited(md(10, 20)));
+    println!("{:<55} = [10/17, +10/20)", "[10/17, now) ∩ [10/14, 10/20)");
+
+    println!("\nall Table II examples verified.");
+}

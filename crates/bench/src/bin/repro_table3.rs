@@ -1,0 +1,94 @@
+//! Table III: characteristics of the experiment data sets.
+//!
+//! Generates every data set at a laptop scale (multiply with `REPRO_SCALE`)
+//! and prints cardinality, number/percentage of ongoing tuples, interval
+//! shape and time span — next to the paper's full-scale figures.
+
+use ongoing_bench::{header, row, scaled};
+use ongoing_datasets::synthetic::{generate, stats, SyntheticConfig};
+use ongoing_datasets::{incumbent, mozilla, History};
+
+fn span_years(h: History) -> String {
+    format!("{:.0} years", h.days() as f64 / 365.25)
+}
+
+fn main() {
+    println!("Table III: characteristics of the experiment data sets");
+    println!("(scaled by REPRO_SCALE={}; paper figures in parentheses)\n", ongoing_bench::scale());
+
+    let m = mozilla::generate(&mozilla::MozillaConfig::scaled(scaled(4_000), 42));
+    let inc = incumbent::generate(&incumbent::IncumbentConfig::scaled(scaled(8_000), 43));
+    let dex = generate(&SyntheticConfig::dex(scaled(20_000), None, 44));
+    let dsh = generate(&SyntheticConfig::dsh(scaled(20_000), None, 45));
+    let dsc = generate(&SyntheticConfig::dsc(scaled(35_000), 46));
+
+    let w = [16, 12, 18, 14, 12];
+    header(
+        &["data set", "cardinality", "# ongoing", "intervals", "time span"],
+        &w,
+    );
+    let print = |name: &str,
+                     rel: &ongoing_relation::OngoingRelation,
+                     vt: usize,
+                     shape: &str,
+                     span: String| {
+        let s = stats(rel, vt);
+        row(
+            &[
+                name.to_string(),
+                s.n.to_string(),
+                format!("{} ({:.0}%)", s.ongoing, s.ongoing_pct()),
+                shape.to_string(),
+                span,
+            ],
+            &w,
+        );
+        s
+    };
+
+    let b = print("BugInfo B", &m.bug_info, 5, "[a, now)", span_years(History::mozilla()));
+    let a = print(
+        "BugAssignment A",
+        &m.bug_assignment,
+        2,
+        "[a, now)",
+        span_years(History::mozilla()),
+    );
+    let s = print(
+        "BugSeverity S",
+        &m.bug_severity,
+        2,
+        "[a, now)",
+        span_years(History::mozilla()),
+    );
+    let i = print(
+        "Incumbent",
+        &inc,
+        2,
+        "[a, now)",
+        span_years(History::incumbent()),
+    );
+    let de = print("Dex", &dex, 2, "[a, now)", span_years(History::synthetic()));
+    let dh = print("Dsh", &dsh, 2, "[now, b)", span_years(History::synthetic()));
+    let dc = print("Dsc", &dsc, 2, "[a, now)", span_years(History::synthetic()));
+
+    println!("\npaper (full scale): B 394,878 (15%) | A 582,668 (11%) | S 434,078 (14%)");
+    println!("                    Incumbent 83,852 (19%) | Dex 10M (15%) | Dsh 10M (15%) | Dsc 35M (20%)");
+
+    // Shape assertions: percentages within tolerance of Table III.
+    for (got, want, name) in [
+        (b.ongoing_pct(), 15.0, "B"),
+        (a.ongoing_pct(), 11.0, "A"),
+        (s.ongoing_pct(), 14.0, "S"),
+        (i.ongoing_pct(), 19.0, "Incumbent"),
+        (de.ongoing_pct(), 15.0, "Dex"),
+        (dh.ongoing_pct(), 15.0, "Dsh"),
+        (dc.ongoing_pct(), 20.0, "Dsc"),
+    ] {
+        assert!(
+            (got - want).abs() < 3.5,
+            "{name}: ongoing {got:.1}% deviates from the paper's {want}%"
+        );
+    }
+    println!("\nall ongoing percentages within tolerance of Table III.");
+}

@@ -1,0 +1,143 @@
+//! Table IV: maximum cardinality of `RT` (number of fixed ranges needed to
+//! represent a predicate result), per predicate and ongoing-interval mix.
+//!
+//! Computed by exhaustive enumeration over a small discrete domain.
+//! Columns describe the data a predicate runs over:
+//!
+//! * **expanding**  — fixed and expanding intervals (fixed start, ongoing
+//!   end: `[a, now)`, `[a, b+c)`),
+//! * **shrinking**  — fixed and shrinking intervals (ongoing start, fixed
+//!   end: `[now, b)`, `[a+b, c)`),
+//! * **expanding + shrinking** — both mixes joined against each other.
+//!
+//! The paper's result: every predicate needs a single range except
+//! `overlaps` over expanding + shrinking data, which needs two.
+
+use ongoing_bench::{header, row};
+use ongoing_core::allen::TemporalPredicate;
+use ongoing_core::time::tp;
+use ongoing_core::{OngoingInterval, OngoingPoint, TimePoint};
+
+const LO: i64 = -3;
+const HI: i64 = 4;
+
+fn fixed_points() -> Vec<OngoingPoint> {
+    (LO..=HI).map(|a| OngoingPoint::fixed(tp(a))).collect()
+}
+
+/// Ongoing points with every upper component: `now`-like, bounded `a+b`,
+/// growing `a+`, limited `+b`.
+fn ongoing_points() -> Vec<OngoingPoint> {
+    let mut out = vec![OngoingPoint::now()];
+    for a in LO..=HI {
+        out.push(OngoingPoint::growing(tp(a)));
+        out.push(OngoingPoint::limited(tp(a)));
+        for b in a + 1..=HI {
+            out.push(OngoingPoint::new(tp(a), tp(b)).unwrap());
+        }
+    }
+    out
+}
+
+fn fixed_intervals() -> Vec<OngoingInterval> {
+    let mut out = Vec::new();
+    for s in LO..=HI {
+        for e in s + 1..=HI + 2 {
+            out.push(OngoingInterval::fixed(tp(s), tp(e)));
+        }
+    }
+    out
+}
+
+/// Expanding: fixed start, ongoing end.
+fn expanding() -> Vec<OngoingInterval> {
+    let mut out = fixed_intervals();
+    for s in fixed_points() {
+        for e in ongoing_points() {
+            out.push(OngoingInterval::new(s, e));
+        }
+    }
+    out
+}
+
+/// Shrinking: ongoing start, fixed end.
+fn shrinking() -> Vec<OngoingInterval> {
+    let mut out = fixed_intervals();
+    for s in ongoing_points() {
+        for e in fixed_points() {
+            out.push(OngoingInterval::new(s, e));
+        }
+    }
+    out
+}
+
+fn max_card(pred: TemporalPredicate, ls: &[OngoingInterval], rs: &[OngoingInterval]) -> usize {
+    let mut m = 0;
+    for &l in ls {
+        for &r in rs {
+            m = m.max(pred.eval(l, r).true_set().cardinality());
+        }
+    }
+    m
+}
+
+fn main() {
+    println!("Table IV: predicates — maximum cardinality of RT.\n");
+    let exp = expanding();
+    let shr = shrinking();
+    println!(
+        "(exhaustive over {} expanding x {} shrinking intervals on a {}-day window)\n",
+        exp.len(),
+        shr.len(),
+        HI - LO + 3,
+    );
+
+    let w = [10, 11, 11, 22];
+    header(
+        &["predicate", "expanding", "shrinking", "expanding + shrinking"],
+        &w,
+    );
+    // Paper row order.
+    let order = [
+        TemporalPredicate::Before,
+        TemporalPredicate::Starts,
+        TemporalPredicate::During,
+        TemporalPredicate::Meets,
+        TemporalPredicate::Finishes,
+        TemporalPredicate::Equals,
+        TemporalPredicate::Overlaps,
+    ];
+    for pred in order {
+        let e = max_card(pred, &exp, &exp);
+        let s = max_card(pred, &shr, &shr);
+        let es = max_card(pred, &exp, &shr).max(max_card(pred, &shr, &exp));
+        row(
+            &[
+                pred.name().to_string(),
+                e.to_string(),
+                s.to_string(),
+                es.to_string(),
+            ],
+            &w,
+        );
+        let want_es = if pred == TemporalPredicate::Overlaps { 2 } else { 1 };
+        assert_eq!(e, 1, "{}: expanding column", pred.name());
+        assert_eq!(s, 1, "{}: shrinking column", pred.name());
+        assert_eq!(es, want_es, "{}: expanding + shrinking column", pred.name());
+    }
+    // Witness for the single 2 in the table.
+    let l = OngoingInterval::new(
+        OngoingPoint::fixed(tp(0)),
+        OngoingPoint::new(tp(1), tp(3)).unwrap(),
+    );
+    let r = OngoingInterval::new(
+        OngoingPoint::new(tp(0), tp(2)).unwrap(),
+        OngoingPoint::fixed(tp(4)),
+    );
+    let st = ongoing_core::allen::overlaps(l, r).into_true_set();
+    println!(
+        "\nwitness: {l} overlaps {r} = {st} — two ranges.\ntypical RT cardinality is one (Sec. IX-D)."
+    );
+    assert_eq!(st.cardinality(), 2);
+    let _ = TimePoint::POS_INF;
+}

@@ -1,0 +1,427 @@
+//! Predicates and functions on ongoing time intervals (Table II).
+//!
+//! Each predicate is expressed through the six core operations, following
+//! the equivalences of Table II. Because ongoing time intervals can be
+//! *partially empty*, every predicate conjoins explicit non-emptiness checks
+//! `ts < te` that are evaluated at each reference time — checking
+//! non-emptiness once globally is not sufficient (Example 2 of the paper).
+//!
+//! The [`fixed`] submodule provides the corresponding predicates over fixed
+//! intervals. They define the instantiated semantics the ongoing predicates
+//! must match (`∀rt: ∥pred(i, j)∥rt = predF(∥i∥rt, ∥j∥rt)`), are used by
+//! the Clifford/Torp baselines, and serve as the oracle in differential
+//! tests.
+
+use crate::boolean::OngoingBool;
+use crate::interval::OngoingInterval;
+use crate::ops;
+
+/// The temporal predicates of Table II, as a value — used by query plans
+/// and the benchmark harness to parameterize workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the predicate names themselves
+pub enum TemporalPredicate {
+    Before,
+    Meets,
+    Overlaps,
+    Starts,
+    Finishes,
+    During,
+    Equals,
+}
+
+impl TemporalPredicate {
+    /// Applies the predicate to two ongoing intervals.
+    pub fn eval(self, l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+        match self {
+            TemporalPredicate::Before => before(l, r),
+            TemporalPredicate::Meets => meets(l, r),
+            TemporalPredicate::Overlaps => overlaps(l, r),
+            TemporalPredicate::Starts => starts(l, r),
+            TemporalPredicate::Finishes => finishes(l, r),
+            TemporalPredicate::During => during(l, r),
+            TemporalPredicate::Equals => equals(l, r),
+        }
+    }
+
+    /// Applies the fixed counterpart to two instantiated intervals.
+    pub fn eval_fixed(
+        self,
+        l: (crate::time::TimePoint, crate::time::TimePoint),
+        r: (crate::time::TimePoint, crate::time::TimePoint),
+    ) -> bool {
+        match self {
+            TemporalPredicate::Before => fixed::before(l, r),
+            TemporalPredicate::Meets => fixed::meets(l, r),
+            TemporalPredicate::Overlaps => fixed::overlaps(l, r),
+            TemporalPredicate::Starts => fixed::starts(l, r),
+            TemporalPredicate::Finishes => fixed::finishes(l, r),
+            TemporalPredicate::During => fixed::during(l, r),
+            TemporalPredicate::Equals => fixed::equals(l, r),
+        }
+    }
+
+    /// All predicates, in Table II order.
+    pub const ALL: [TemporalPredicate; 7] = [
+        TemporalPredicate::Before,
+        TemporalPredicate::Meets,
+        TemporalPredicate::Overlaps,
+        TemporalPredicate::Starts,
+        TemporalPredicate::Finishes,
+        TemporalPredicate::During,
+        TemporalPredicate::Equals,
+    ];
+
+    /// Lower-case name as used in the paper ("before", "overlaps", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            TemporalPredicate::Before => "before",
+            TemporalPredicate::Meets => "meets",
+            TemporalPredicate::Overlaps => "overlaps",
+            TemporalPredicate::Starts => "starts",
+            TemporalPredicate::Finishes => "finishes",
+            TemporalPredicate::During => "during",
+            TemporalPredicate::Equals => "equals",
+        }
+    }
+}
+
+/// The per-reference-time non-emptiness check `ts < te` of both intervals.
+#[inline]
+fn both_nonempty(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    ops::lt(l.ts(), l.te()).and(&ops::lt(r.ts(), r.te()))
+}
+
+/// `[ts, te) before [˜ts, ˜te) ≡ te ≤ ˜ts ∧ ts < te ∧ ˜ts < ˜te`.
+pub fn before(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    ops::le(l.te(), r.ts()).and(&both_nonempty(l, r))
+}
+
+/// `[ts, te) meets [˜ts, ˜te) ≡ te = ˜ts ∧ ts < te ∧ ˜ts < ˜te`.
+pub fn meets(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    ops::eq(l.te(), r.ts()).and(&both_nonempty(l, r))
+}
+
+/// `[ts, te) overlaps [˜ts, ˜te) ≡ ts < ˜te ∧ ˜ts < te ∧ ts < te ∧ ˜ts < ˜te`.
+///
+/// This is the symmetric "share at least one time point" overlap used in the
+/// paper's experiments.
+pub fn overlaps(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    ops::lt(l.ts(), r.te())
+        .and(&ops::lt(r.ts(), l.te()))
+        .and(&both_nonempty(l, r))
+}
+
+/// `[ts, te) starts [˜ts, ˜te) ≡ ts = ˜ts ∧ ts < te ∧ ˜ts < ˜te`.
+pub fn starts(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    ops::eq(l.ts(), r.ts()).and(&both_nonempty(l, r))
+}
+
+/// `[ts, te) finishes [˜ts, ˜te) ≡ te = ˜te ∧ ts < te ∧ ˜ts < ˜te`.
+pub fn finishes(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    ops::eq(l.te(), r.te()).and(&both_nonempty(l, r))
+}
+
+/// `during` per Table II: containment of a non-empty interval, or an empty
+/// interval vacuously during a non-empty one:
+/// `(˜ts ≤ ts ∧ te ≤ ˜te ∧ ts < te ∧ ˜ts < ˜te) ∨ (te ≤ ts ∧ ˜ts < ˜te)`.
+pub fn during(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    let contained = ops::le(r.ts(), l.ts())
+        .and(&ops::le(l.te(), r.te()))
+        .and(&both_nonempty(l, r));
+    let vacuous = ops::le(l.te(), l.ts()).and(&ops::lt(r.ts(), r.te()));
+    contained.or(&vacuous)
+}
+
+/// `equals` per Table II: endpoint equality of non-empty intervals, or both
+/// empty:
+/// `(ts = ˜ts ∧ te = ˜te ∧ ts < te ∧ ˜ts < ˜te) ∨ (te ≤ ts ∧ ˜te ≤ ˜ts)`.
+pub fn equals(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    let same = ops::eq(l.ts(), r.ts())
+        .and(&ops::eq(l.te(), r.te()))
+        .and(&both_nonempty(l, r));
+    let both_empty = ops::le(l.te(), l.ts()).and(&ops::le(r.te(), r.ts()));
+    same.or(&both_empty)
+}
+
+/// `∩`: interval intersection (re-exported from
+/// [`OngoingInterval::intersect`] for symmetry with Table II).
+pub fn intersection(l: OngoingInterval, r: OngoingInterval) -> OngoingInterval {
+    l.intersect(r)
+}
+
+// ----------------------------------------------------------------------
+// Inverse predicates. Table II lists the canonical seven; their Allen
+// inverses are argument swaps and inherit the per-reference-time
+// non-emptiness semantics.
+// ----------------------------------------------------------------------
+
+/// `l after r ≡ r before l`.
+pub fn after(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    before(r, l)
+}
+
+/// `l met_by r ≡ r meets l`.
+pub fn met_by(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    meets(r, l)
+}
+
+/// `l overlapped_by r ≡ r overlaps l` (the symmetric overlap makes this an
+/// alias; kept for Allen-algebra completeness).
+pub fn overlapped_by(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    overlaps(r, l)
+}
+
+/// `l started_by r ≡ r starts l`.
+pub fn started_by(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    starts(r, l)
+}
+
+/// `l finished_by r ≡ r finishes l`.
+pub fn finished_by(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    finishes(r, l)
+}
+
+/// `l contains r ≡ r during l`.
+pub fn contains(l: OngoingInterval, r: OngoingInterval) -> OngoingBool {
+    during(r, l)
+}
+
+/// The same predicates over *fixed* intervals `(ts, te)` — the semantics
+/// that instantiation must reproduce at every reference time.
+#[allow(missing_docs)] // mirrors of the documented ongoing predicates
+pub mod fixed {
+    use crate::time::TimePoint;
+
+    type Iv = (TimePoint, TimePoint);
+
+    #[inline]
+    fn nonempty(i: Iv) -> bool {
+        i.0 < i.1
+    }
+
+    pub fn before(l: Iv, r: Iv) -> bool {
+        l.1 <= r.0 && nonempty(l) && nonempty(r)
+    }
+
+    pub fn meets(l: Iv, r: Iv) -> bool {
+        l.1 == r.0 && nonempty(l) && nonempty(r)
+    }
+
+    pub fn overlaps(l: Iv, r: Iv) -> bool {
+        l.0 < r.1 && r.0 < l.1 && nonempty(l) && nonempty(r)
+    }
+
+    pub fn starts(l: Iv, r: Iv) -> bool {
+        l.0 == r.0 && nonempty(l) && nonempty(r)
+    }
+
+    pub fn finishes(l: Iv, r: Iv) -> bool {
+        l.1 == r.1 && nonempty(l) && nonempty(r)
+    }
+
+    pub fn during(l: Iv, r: Iv) -> bool {
+        (r.0 <= l.0 && l.1 <= r.1 && nonempty(l) && nonempty(r))
+            || (!nonempty(l) && nonempty(r))
+    }
+
+    pub fn equals(l: Iv, r: Iv) -> bool {
+        (l.0 == r.0 && l.1 == r.1 && nonempty(l) && nonempty(r))
+            || (!nonempty(l) && !nonempty(r))
+    }
+
+    pub fn intersection(l: Iv, r: Iv) -> Iv {
+        (l.0.max_f(r.0), l.1.min_f(r.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::md;
+    use crate::point::OngoingPoint;
+    use crate::set::IntervalSet;
+    use crate::time::{tp, TimePoint};
+
+    fn expanding(a: i64) -> OngoingInterval {
+        OngoingInterval::from_until_now(tp(a))
+    }
+
+    fn fixed_iv(a: i64, b: i64) -> OngoingInterval {
+        OngoingInterval::fixed(tp(a), tp(b))
+    }
+
+    /// Differential check: the ongoing predicate instantiates to the fixed
+    /// predicate at every reference time of a window.
+    fn check(pred: TemporalPredicate, l: OngoingInterval, r: OngoingInterval) {
+        let ob = pred.eval(l, r);
+        for rt in -8i64..20 {
+            let rt = tp(rt);
+            assert_eq!(
+                ob.bind(rt),
+                pred.eval_fixed(l.bind(rt), r.bind(rt)),
+                "{} {} {} at rt={rt}",
+                l,
+                pred.name(),
+                r,
+            );
+        }
+    }
+
+    #[test]
+    fn all_predicates_pointwise_on_interval_mix() {
+        let samples = [
+            fixed_iv(0, 5),
+            fixed_iv(5, 9),
+            fixed_iv(9, 3), // always empty
+            expanding(2),
+            expanding(7),
+            OngoingInterval::from_now_until(tp(6)),
+            OngoingInterval::new(
+                OngoingPoint::new(tp(1), tp(4)).unwrap(),
+                OngoingPoint::new(tp(6), tp(11)).unwrap(),
+            ),
+            OngoingInterval::new(OngoingPoint::growing(tp(3)), OngoingPoint::fixed(tp(8))),
+            OngoingInterval::new(OngoingPoint::limited(tp(2)), OngoingPoint::fixed(tp(8))),
+        ];
+        for pred in TemporalPredicate::ALL {
+            for &l in &samples {
+                for &r in &samples {
+                    check(pred, l, r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_ii_before_example() {
+        // [10/17, now) before [10/20, 10/25) = b[{[10/18, 10/21)}, ...]
+        let b = before(
+            OngoingInterval::from_until_now(md(10, 17)),
+            OngoingInterval::fixed(md(10, 20), md(10, 25)),
+        );
+        assert_eq!(b.true_set(), &IntervalSet::range(md(10, 18), md(10, 21)));
+    }
+
+    #[test]
+    fn table_ii_meets_example() {
+        // [10/17, now) meets [10/20, 10/25) = b[{[10/20, 10/21)}, ...]
+        let b = meets(
+            OngoingInterval::from_until_now(md(10, 17)),
+            OngoingInterval::fixed(md(10, 20), md(10, 25)),
+        );
+        assert_eq!(b.true_set(), &IntervalSet::range(md(10, 20), md(10, 21)));
+    }
+
+    #[test]
+    fn table_ii_overlaps_example() {
+        // [10/17, now) overlaps [10/14, 10/20) = b[{[10/18, ∞)}, ...]
+        let b = overlaps(
+            OngoingInterval::from_until_now(md(10, 17)),
+            OngoingInterval::fixed(md(10, 14), md(10, 20)),
+        );
+        assert_eq!(
+            b.true_set(),
+            &IntervalSet::range(md(10, 18), TimePoint::POS_INF)
+        );
+    }
+
+    #[test]
+    fn table_ii_starts_example() {
+        // [10/17, now) starts [10/17, 10/20) = b[{[10/18, ∞)}, ...]
+        let b = starts(
+            OngoingInterval::from_until_now(md(10, 17)),
+            OngoingInterval::fixed(md(10, 17), md(10, 20)),
+        );
+        assert_eq!(
+            b.true_set(),
+            &IntervalSet::range(md(10, 18), TimePoint::POS_INF)
+        );
+    }
+
+    #[test]
+    fn table_ii_finishes_example() {
+        // [10/17, now) finishes [10/20, 10/25) = b[{[10/25, 10/26)}, ...]
+        let b = finishes(
+            OngoingInterval::from_until_now(md(10, 17)),
+            OngoingInterval::fixed(md(10, 20), md(10, 25)),
+        );
+        assert_eq!(b.true_set(), &IntervalSet::range(md(10, 25), md(10, 26)));
+    }
+
+    #[test]
+    fn table_ii_during_example() {
+        // [10/20, 10/25) during [10/17, now) = b[{[10/25, ∞)}, ...]
+        let b = during(
+            OngoingInterval::fixed(md(10, 20), md(10, 25)),
+            OngoingInterval::from_until_now(md(10, 17)),
+        );
+        assert_eq!(
+            b.true_set(),
+            &IntervalSet::range(md(10, 25), TimePoint::POS_INF)
+        );
+    }
+
+    #[test]
+    fn table_ii_equals_example() {
+        // [10/17, now) equals [10/17, 10/20) = b[{[10/20, 10/21)}, ...]
+        let b = equals(
+            OngoingInterval::from_until_now(md(10, 17)),
+            OngoingInterval::fixed(md(10, 17), md(10, 20)),
+        );
+        assert_eq!(b.true_set(), &IntervalSet::range(md(10, 20), md(10, 21)));
+    }
+
+    #[test]
+    fn example_2_nonempty_check_matters() {
+        // At rt 10/16, [10/17, now) is empty -> overlaps must be false even
+        // though the raw overlap condition would hold.
+        let l = OngoingInterval::from_until_now(md(10, 17));
+        let r = OngoingInterval::fixed(md(10, 14), md(10, 20));
+        let b = overlaps(l, r);
+        assert!(!b.bind(md(10, 16)));
+        assert!(b.bind(md(10, 18)));
+    }
+
+    #[test]
+    fn running_example_join_predicate() {
+        // Sec. II: b1.VT before p1.VT with b1.VT = [01/25, now) and
+        // p1.VT = [08/15, 08/24) is true exactly on [01/26, 08/16).
+        let b1 = OngoingInterval::from_until_now(md(1, 25));
+        let p1 = OngoingInterval::fixed(md(8, 15), md(8, 24));
+        let b = before(b1, p1);
+        assert_eq!(b.true_set(), &IntervalSet::range(md(1, 26), md(8, 16)));
+        // The paper's spot checks: true at 08/14 and 08/15, false at 08/16.
+        assert!(b.bind(md(8, 14)));
+        assert!(b.bind(md(8, 15)));
+        assert!(!b.bind(md(8, 16)));
+    }
+
+    #[test]
+    fn inverse_predicates_swap_arguments() {
+        let l = OngoingInterval::from_until_now(tp(2));
+        let r = fixed_iv(5, 9);
+        assert_eq!(after(l, r), before(r, l));
+        assert_eq!(met_by(l, r), meets(r, l));
+        assert_eq!(overlapped_by(l, r), overlaps(r, l));
+        assert_eq!(started_by(l, r), starts(r, l));
+        assert_eq!(finished_by(l, r), finishes(r, l));
+        assert_eq!(contains(l, r), during(r, l));
+        // Pointwise sanity for `after` (the most used inverse).
+        let b = after(fixed_iv(10, 12), fixed_iv(0, 5));
+        assert!(b.is_always_true());
+    }
+
+    #[test]
+    fn rt_cardinality_table_iv_spot_checks() {
+        // Table IV: for expanding/shrinking inputs every predicate needs at
+        // most one range; overlaps on expanding + shrinking needs two.
+        let exp = expanding(3);
+        let shr = OngoingInterval::from_now_until(tp(12));
+        for pred in TemporalPredicate::ALL {
+            assert!(pred.eval(exp, fixed_iv(5, 9)).true_set().cardinality() <= 1);
+            assert!(pred.eval(shr, fixed_iv(5, 9)).true_set().cardinality() <= 1);
+        }
+        assert!(overlaps(exp, shr).true_set().cardinality() <= 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Date and timestamp granularities for [`TimePoint`] ticks.
+//!
+//! The paper's PostgreSQL prototype supports ongoing time points at the two
+//! granularities PostgreSQL offers: dates (days) and timestamps
+//! (microseconds). [`TimePoint`] is granularity-agnostic; this module maps
+//! civil dates to day ticks (days since 1970-01-01, proleptic Gregorian) and
+//! wall-clock instants to microsecond ticks.
+//!
+//! The civil-date conversion uses Howard Hinnant's `days_from_civil` /
+//! `civil_from_days` algorithms, which are exact over the full supported
+//! range.
+
+use crate::time::TimePoint;
+use std::fmt;
+
+/// Microseconds per day; converts between the two supported granularities.
+pub const MICROS_PER_DAY: i64 = 86_400_000_000;
+
+/// A civil (year, month, day) date.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+#[allow(missing_docs)]
+pub struct Civil {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian calendar).
+pub fn days_from_civil(year: i32, month: u8, day: u8) -> i64 {
+    debug_assert!((1..=12).contains(&month), "month out of range: {month}");
+    debug_assert!((1..=31).contains(&day), "day out of range: {day}");
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(month);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + i64::from(day) - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for a days-since-1970-01-01 count (inverse of
+/// [`days_from_civil`]).
+pub fn civil_from_days(days: i64) -> Civil {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let month = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12]
+    Civil {
+        year: (y + i64::from(month <= 2)) as i32,
+        month,
+        day,
+    }
+}
+
+/// A [`TimePoint`] at day granularity from a civil date.
+pub fn date(year: i32, month: u8, day: u8) -> TimePoint {
+    TimePoint::new(days_from_civil(year, month, day))
+}
+
+/// The paper's `mm/dd` shorthand: a day-granularity time point in 2019
+/// ("time point 08/15 denotes August 15, 2019").
+pub fn md(month: u8, day: u8) -> TimePoint {
+    date(2019, month, day)
+}
+
+/// A [`TimePoint`] at microsecond granularity from a civil date at midnight.
+pub fn timestamp(year: i32, month: u8, day: u8) -> TimePoint {
+    TimePoint::new(days_from_civil(year, month, day) * MICROS_PER_DAY)
+}
+
+/// A microsecond-granularity point with an intra-day offset.
+pub fn timestamp_at(year: i32, month: u8, day: u8, micros_of_day: i64) -> TimePoint {
+    debug_assert!((0..MICROS_PER_DAY).contains(&micros_of_day));
+    TimePoint::new(days_from_civil(year, month, day) * MICROS_PER_DAY + micros_of_day)
+}
+
+/// Formats a day-granularity [`TimePoint`] as `yyyy/mm/dd` (limits print as
+/// `-inf` / `+inf`).
+pub struct AsDate(pub TimePoint);
+
+impl fmt::Display for AsDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.0.is_finite() {
+            return write!(f, "{}", self.0);
+        }
+        let c = civil_from_days(self.0.ticks());
+        write!(f, "{:04}/{:02}/{:02}", c.year, c.month, c.day)
+    }
+}
+
+/// Formats a day-granularity [`TimePoint`] in the paper's `mm/dd` shorthand
+/// (only sensible for points within 2019; other years fall back to
+/// `yyyy/mm/dd`).
+pub struct AsMd(pub TimePoint);
+
+impl fmt::Display for AsMd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.0.is_finite() {
+            return write!(f, "{}", self.0);
+        }
+        let c = civil_from_days(self.0.ticks());
+        if c.year == 2019 {
+            write!(f, "{:02}/{:02}", c.month, c.day)
+        } else {
+            write!(f, "{:04}/{:02}/{:02}", c.year, c.month, c.day)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(
+            civil_from_days(0),
+            Civil {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+        );
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // Spot checks against known day numbers.
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        assert_eq!(days_from_civil(2019, 8, 15), 18_123);
+        for days in [-1_000_000, -1, 0, 1, 365, 18_123, 2_000_000] {
+            let c = civil_from_days(days);
+            assert_eq!(days_from_civil(c.year, c.month, c.day), days);
+        }
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        // 2000 is a leap year (divisible by 400), 1900 is not.
+        assert_eq!(
+            days_from_civil(2000, 2, 29) + 1,
+            days_from_civil(2000, 3, 1)
+        );
+        assert_eq!(
+            days_from_civil(1900, 2, 28) + 1,
+            days_from_civil(1900, 3, 1)
+        );
+        // 2020 is a leap year.
+        assert_eq!(
+            days_from_civil(2020, 2, 29) + 1,
+            days_from_civil(2020, 3, 1)
+        );
+    }
+
+    #[test]
+    fn md_is_2019() {
+        assert_eq!(md(8, 15), date(2019, 8, 15));
+        assert_eq!(AsMd(md(8, 15)).to_string(), "08/15");
+        assert_eq!(AsDate(md(8, 15)).to_string(), "2019/08/15");
+    }
+
+    #[test]
+    fn ordering_matches_civil_ordering() {
+        assert!(md(1, 25) < md(3, 30));
+        assert!(md(8, 15) < md(8, 24));
+        assert!(date(2018, 12, 31) < date(2019, 1, 1));
+    }
+
+    #[test]
+    fn timestamps_scale_days_by_micros() {
+        assert_eq!(
+            timestamp(1970, 1, 2),
+            TimePoint::new(MICROS_PER_DAY)
+        );
+        assert_eq!(
+            timestamp_at(1970, 1, 1, 1_500_000),
+            TimePoint::new(1_500_000)
+        );
+    }
+
+    #[test]
+    fn limits_format_as_infinities() {
+        assert_eq!(AsDate(TimePoint::NEG_INF).to_string(), "-inf");
+        assert_eq!(AsMd(TimePoint::POS_INF).to_string(), "+inf");
+    }
+}

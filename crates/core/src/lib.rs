@@ -1,0 +1,71 @@
+//! # ongoing-core
+//!
+//! Core data types and operations for **ongoing databases** — a from-scratch
+//! Rust implementation of
+//!
+//! > Yvonne Mülle, Michael H. Böhlen. *Query Results over Ongoing Databases
+//! > that Remain Valid as Time Passes By.* ICDE 2020.
+//!
+//! The ongoing time point `now` changes its value as time passes by.
+//! State-of-the-art systems *instantiate* `now` to a chosen reference time,
+//! which invalidates query results the moment the clock ticks. This crate
+//! keeps ongoing time points **uninstantiated** and evaluates predicates and
+//! functions *at all possible reference times at once*, so results remain
+//! valid as time passes by.
+//!
+//! ## The type zoo
+//!
+//! | paper concept | type |
+//! |---------------|------|
+//! | fixed time domain `T` | [`TimePoint`] |
+//! | ongoing time domain `Ω`, points `a+b` | [`OngoingPoint`] |
+//! | ongoing time intervals `[ts, te)` | [`OngoingInterval`] |
+//! | ongoing booleans `b[St, Sf]` | [`OngoingBool`] |
+//! | reference-time sets / `RT` values | [`IntervalSet`] |
+//! | ongoing integers (Sec. X extension) | [`OngoingInt`] |
+//!
+//! ## Correctness criterion
+//!
+//! Every operation `f` in this crate satisfies the paper's soundness
+//! condition: for all reference times `rt`,
+//! `∥f(x, y)∥rt = fF(∥x∥rt, ∥y∥rt)` where `fF` is the corresponding
+//! operation on fixed values and `∥·∥rt` is the bind operator. The unit and
+//! property tests check this by differential testing against the fixed
+//! semantics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ongoing_core::{OngoingInterval, allen, date::md};
+//!
+//! // Bug 500 is open from 01/25 *until now*; patch 201 is live
+//! // [08/15, 08/24). When is the bug (still open and) before the patch?
+//! let bug = OngoingInterval::from_until_now(md(1, 25));
+//! let patch = OngoingInterval::fixed(md(8, 15), md(8, 24));
+//! let b = allen::before(bug, patch);
+//!
+//! // The answer is an ongoing boolean: true exactly on [01/26, 08/16) —
+//! // and it stays correct no matter when you ask.
+//! assert!(b.bind(md(8, 15)));
+//! assert!(!b.bind(md(8, 16)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allen;
+pub mod boolean;
+pub mod date;
+pub mod interval;
+pub mod ongoing_int;
+pub mod ops;
+pub mod point;
+pub mod set;
+pub mod time;
+
+pub use boolean::OngoingBool;
+pub use interval::{Emptiness, IntervalKind, OngoingInterval};
+pub use ongoing_int::OngoingInt;
+pub use point::{InvalidOngoingPoint, OngoingPoint, PointKind};
+pub use set::{IntervalSet, TimeRange};
+pub use time::TimePoint;

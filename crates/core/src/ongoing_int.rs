@@ -1,0 +1,711 @@
+//! Ongoing integers — integers whose value depends on the reference time.
+//!
+//! The paper's conclusions (Sec. X) name two extensions that need a numeric
+//! ongoing data type: a `duration` function for ongoing time intervals
+//! "whose result are ongoing integers", and aggregation over ongoing
+//! relations. [`OngoingInt`] provides that type.
+//!
+//! An ongoing integer is represented as a piecewise-affine function of the
+//! reference time: a sorted list of segments `[startᵢ, startᵢ₊₁)`, each
+//! carrying an affine value `coef · rt + offset`. Instantiating an ongoing
+//! interval's endpoints yields clamp functions with slopes in `{0, 1}`, so
+//! durations are piecewise affine with slopes in `{-1, 0, 1}`; aggregation
+//! over reference times yields step functions (slope 0 everywhere). The type
+//! is closed under addition, negation, `min`/`max`, and scaling — exactly
+//! the operations the duration and aggregation extensions need.
+
+use crate::interval::OngoingInterval;
+use crate::point::OngoingPoint;
+use crate::set::IntervalSet;
+use crate::time::TimePoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One affine piece: on `[start, next start)` the value is
+/// `coef · rt + offset`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+struct Segment {
+    start: TimePoint,
+    coef: i64,
+    offset: i64,
+}
+
+impl Segment {
+    #[inline]
+    fn eval(&self, rt: TimePoint) -> i64 {
+        let v = i128::from(self.offset) + i128::from(self.coef) * i128::from(rt.ticks());
+        v.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64
+    }
+
+    #[inline]
+    fn same_fn(&self, other: &Segment) -> bool {
+        self.coef == other.coef && self.offset == other.offset
+    }
+}
+
+/// An integer value that changes as time passes by, represented as a
+/// piecewise-affine function of the reference time.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OngoingInt {
+    /// Non-empty; `segs[0].start == -∞`; starts strictly ascending; adjacent
+    /// segments carry different affine functions (canonical form).
+    segs: Vec<Segment>,
+}
+
+impl OngoingInt {
+    /// The constant function `v`.
+    pub fn constant(v: i64) -> Self {
+        OngoingInt {
+            segs: vec![Segment {
+                start: TimePoint::NEG_INF,
+                coef: 0,
+                offset: v,
+            }],
+        }
+    }
+
+    /// The instantiation function of an ongoing point:
+    /// `rt ↦ ∥a+b∥rt = clamp(rt; a, b)` (in ticks).
+    ///
+    /// Infinite components saturate: `∥now∥rt = rt` is the identity
+    /// function, unbounded in both directions.
+    pub fn from_point(p: OngoingPoint) -> Self {
+        let (a, b) = (p.a(), p.b());
+        let mut segs = Vec::with_capacity(3);
+        if !a.is_neg_inf() {
+            segs.push(Segment {
+                start: TimePoint::NEG_INF,
+                coef: 0,
+                offset: a.ticks(),
+            });
+        }
+        if a < b {
+            // The identity piece [a, b).
+            segs.push(Segment {
+                start: if a.is_neg_inf() { TimePoint::NEG_INF } else { a },
+                coef: 1,
+                offset: 0,
+            });
+            if !b.is_pos_inf() {
+                segs.push(Segment {
+                    start: b,
+                    coef: 0,
+                    offset: b.ticks(),
+                });
+            }
+        }
+        if segs.is_empty() {
+            // a == b == ±∞: constant at the (saturated) limit.
+            return OngoingInt::constant(a.ticks());
+        }
+        let mut r = OngoingInt { segs };
+        r.canonicalize();
+        r
+    }
+
+    /// The indicator function of a reference-time set: `1` inside, `0`
+    /// outside. The building block of reference-time-resolved aggregation.
+    pub fn indicator(set: &IntervalSet) -> Self {
+        let mut segs = vec![Segment {
+            start: TimePoint::NEG_INF,
+            coef: 0,
+            offset: 0,
+        }];
+        for r in set.ranges() {
+            segs.push(Segment {
+                start: r.ts(),
+                coef: 0,
+                offset: 1,
+            });
+            if !r.te().is_pos_inf() {
+                segs.push(Segment {
+                    start: r.te(),
+                    coef: 0,
+                    offset: 0,
+                });
+            }
+        }
+        let mut r = OngoingInt { segs };
+        r.canonicalize();
+        r
+    }
+
+    /// The `duration` function of Sec. X: the number of time points in the
+    /// instantiation of an ongoing interval, as an ongoing integer —
+    /// `rt ↦ maxF(0, ∥te∥rt - ∥ts∥rt)`.
+    pub fn duration(interval: OngoingInterval) -> Self {
+        let start = Self::from_point(interval.ts());
+        let end = Self::from_point(interval.te());
+        end.sub(&start).max_with(&Self::constant(0))
+    }
+
+    /// The value at reference time `rt` (saturating at the `i64` limits).
+    pub fn bind(&self, rt: TimePoint) -> i64 {
+        let idx = match self
+            .segs
+            .binary_search_by(|s| s.start.cmp(&rt))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1, // segs[0].start == -∞ <= rt always
+        };
+        self.segs[idx].eval(rt)
+    }
+
+    /// Pointwise sum (saturating).
+    pub fn add(&self, other: &OngoingInt) -> OngoingInt {
+        let mut r = self.zip_with(other, |f, g| Segment {
+            start: TimePoint::NEG_INF, // overwritten by zip_with
+            coef: f.coef.saturating_add(g.coef),
+            offset: f.offset.saturating_add(g.offset),
+        });
+        r.canonicalize();
+        r
+    }
+
+    /// Pointwise negation.
+    pub fn neg(&self) -> OngoingInt {
+        OngoingInt {
+            segs: self
+                .segs
+                .iter()
+                .map(|s| Segment {
+                    start: s.start,
+                    coef: s.coef.saturating_neg(),
+                    offset: s.offset.saturating_neg(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, other: &OngoingInt) -> OngoingInt {
+        self.add(&other.neg())
+    }
+
+    /// Pointwise scaling by a constant.
+    pub fn scale(&self, k: i64) -> OngoingInt {
+        let mut r = OngoingInt {
+            segs: self
+                .segs
+                .iter()
+                .map(|s| Segment {
+                    start: s.start,
+                    coef: s.coef.saturating_mul(k),
+                    offset: s.offset.saturating_mul(k),
+                })
+                .collect(),
+        };
+        r.canonicalize();
+        r
+    }
+
+    /// Pointwise maximum. Within each merged segment two affine functions
+    /// cross at most once, so each segment splits into at most two pieces.
+    pub fn max_with(&self, other: &OngoingInt) -> OngoingInt {
+        self.combine_minmax(other, true)
+    }
+
+    /// Pointwise minimum.
+    pub fn min_with(&self, other: &OngoingInt) -> OngoingInt {
+        self.combine_minmax(other, false)
+    }
+
+    /// The set of reference times at which the value is strictly positive.
+    /// Useful to turn aggregates back into reference-time sets
+    /// (e.g. "times with at least one open bug").
+    pub fn positive_set(&self) -> IntervalSet {
+        self.cmp_zero_set(|v| v > 0)
+    }
+
+    /// The set of reference times at which the value is zero.
+    pub fn zero_set(&self) -> IntervalSet {
+        self.cmp_zero_set(|v| v == 0)
+    }
+
+    /// Number of affine pieces (canonical form).
+    pub fn piece_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Is the value independent of the reference time?
+    pub fn is_constant(&self) -> bool {
+        self.segs.len() == 1 && self.segs[0].coef == 0
+    }
+
+    /// The canonical pieces as `(start, coef, offset)` triples —
+    /// `value(rt) = coef · rt + offset` on `[start, next start)`.
+    pub fn pieces(&self) -> impl Iterator<Item = (TimePoint, i64, i64)> + '_ {
+        self.segs.iter().map(|s| (s.start, s.coef, s.offset))
+    }
+
+    /// Rebuilds an ongoing integer from `(start, coef, offset)` pieces.
+    /// The first piece must start at `-∞`; starts must be strictly
+    /// ascending.
+    pub fn from_pieces<I>(pieces: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = (TimePoint, i64, i64)>,
+    {
+        let segs: Vec<Segment> = pieces
+            .into_iter()
+            .map(|(start, coef, offset)| Segment {
+                start,
+                coef,
+                offset,
+            })
+            .collect();
+        if segs.first().map(|s| s.start) != Some(TimePoint::NEG_INF) {
+            return None;
+        }
+        if segs.windows(2).any(|w| w[0].start >= w[1].start) {
+            return None;
+        }
+        let mut v = OngoingInt { segs };
+        v.canonicalize();
+        Some(v)
+    }
+
+    /// The set of reference times where `self == other`.
+    pub fn eq_set(&self, other: &OngoingInt) -> IntervalSet {
+        self.sub(other).zero_set()
+    }
+
+    /// The set of reference times where `self < other`.
+    pub fn lt_set(&self, other: &OngoingInt) -> IntervalSet {
+        other.sub(self).positive_set()
+    }
+
+    fn cmp_zero_set(&self, keep: impl Fn(i64) -> bool) -> IntervalSet {
+        let mut ranges: Vec<(TimePoint, TimePoint)> = Vec::new();
+        for (i, s) in self.segs.iter().enumerate() {
+            let end = self
+                .segs
+                .get(i + 1)
+                .map_or(TimePoint::POS_INF, |n| n.start);
+            if s.coef == 0 {
+                if keep(s.offset) {
+                    ranges.push((s.start, end));
+                }
+            } else {
+                // Affine piece: walk the (at most two) sign regions around
+                // the root of coef·rt + offset relative to the predicate.
+                // We split at the root and test one representative point in
+                // each half.
+                let root = -(i128::from(s.offset)) / i128::from(s.coef);
+                let mut cuts = vec![s.start];
+                for delta in [-1i128, 0, 1, 2] {
+                    let c = root + delta;
+                    if c > i128::from(s.start.ticks()) && c < i128::from(end.ticks()) {
+                        cuts.push(TimePoint::new(c as i64));
+                    }
+                }
+                cuts.push(end);
+                cuts.dedup();
+                for w in cuts.windows(2) {
+                    let (lo, hi) = (w[0], w[1]);
+                    if lo >= hi {
+                        continue;
+                    }
+                    // Representative: lo when finite, else just below hi.
+                    let rep = if lo.is_neg_inf() { hi.pred().pred() } else { lo };
+                    if keep(s.eval(rep)) {
+                        ranges.push((lo, hi));
+                    }
+                }
+            }
+        }
+        IntervalSet::from_ranges(ranges)
+    }
+
+    /// Applies `f` segment-pair-wise over the merged breakpoints of the two
+    /// inputs. `f` receives the active segment of each input; the returned
+    /// segment's `start` is fixed up by the caller.
+    fn zip_with(
+        &self,
+        other: &OngoingInt,
+        f: impl Fn(&Segment, &Segment) -> Segment,
+    ) -> OngoingInt {
+        let mut segs = Vec::with_capacity(self.segs.len() + other.segs.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut start = TimePoint::NEG_INF;
+        loop {
+            let s = &self.segs[i];
+            let t = &other.segs[j];
+            let mut seg = f(s, t);
+            seg.start = start;
+            segs.push(seg);
+            // Advance to the next merged breakpoint.
+            let next_i = self.segs.get(i + 1).map(|s| s.start);
+            let next_j = other.segs.get(j + 1).map(|s| s.start);
+            match (next_i, next_j) {
+                (None, None) => break,
+                (Some(a), None) => {
+                    start = a;
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    start = b;
+                    j += 1;
+                }
+                (Some(a), Some(b)) => {
+                    start = a.min_f(b);
+                    if a <= start {
+                        i += 1;
+                    }
+                    if b <= start {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        OngoingInt { segs }
+    }
+
+    fn combine_minmax(&self, other: &OngoingInt, want_max: bool) -> OngoingInt {
+        // First merge breakpoints, then split each merged segment at the
+        // crossing of its two affine functions.
+        let mut segs: Vec<Segment> = Vec::new();
+        let merged = self.zip_with(other, |_, _| Segment {
+            start: TimePoint::NEG_INF,
+            coef: 0,
+            offset: 0,
+        });
+        for (k, probe) in merged.segs.iter().enumerate() {
+            let seg_start = probe.start;
+            let seg_end = merged
+                .segs
+                .get(k + 1)
+                .map_or(TimePoint::POS_INF, |n| n.start);
+            let f = self.segment_at(seg_start);
+            let g = other.segment_at(seg_start);
+            let pick = |better_f: bool| if better_f == want_max { f } else { g };
+            if f.coef == g.coef {
+                let better_f = f.offset >= g.offset;
+                let chosen = pick(better_f);
+                segs.push(Segment {
+                    start: seg_start,
+                    ..*chosen
+                });
+                continue;
+            }
+            // f - g = (dc)·rt + dofs; f >= g iff (dc)·rt >= -dofs.
+            let dc = i128::from(f.coef) - i128::from(g.coef);
+            let dofs = i128::from(f.offset) - i128::from(g.offset);
+            // Threshold: smallest rt with f >= g (dc > 0) or largest rt
+            // with f >= g (dc < 0).
+            if dc > 0 {
+                // f >= g iff rt >= ceil(-dofs / dc).
+                let thr = (-dofs).div_euclid(dc) + i128::from((-dofs).rem_euclid(dc) != 0);
+                let thr = clamp_tick(thr);
+                // Below thr: g bigger; from thr on: f bigger-or-equal.
+                push_split(&mut segs, seg_start, seg_end, thr, pick(false), pick(true));
+            } else {
+                // dc < 0: f >= g iff rt <= floor(-dofs / dc)  — division by
+                // a negative number; rewrite: (-dc)·rt <= dofs.
+                let ndc = -dc;
+                let thr = dofs.div_euclid(ndc); // floor
+                let thr = clamp_tick(thr + 1); // first rt where g wins
+                push_split(&mut segs, seg_start, seg_end, thr, pick(true), pick(false));
+            }
+        }
+        let mut r = OngoingInt { segs };
+        r.canonicalize();
+        r
+    }
+
+    fn segment_at(&self, rt: TimePoint) -> &Segment {
+        let idx = match self.segs.binary_search_by(|s| s.start.cmp(&rt)) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        &self.segs[idx]
+    }
+
+    fn canonicalize(&mut self) {
+        debug_assert!(!self.segs.is_empty());
+        debug_assert!(self.segs[0].start == TimePoint::NEG_INF);
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segs.len());
+        for s in self.segs.drain(..) {
+            match out.last() {
+                Some(last) if last.same_fn(&s) => {}
+                Some(last) if last.start == s.start => {
+                    *out.last_mut().unwrap() = s;
+                }
+                _ => out.push(s),
+            }
+        }
+        self.segs = out;
+    }
+}
+
+#[inline]
+fn clamp_tick(v: i128) -> TimePoint {
+    TimePoint::new(v.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64)
+}
+
+/// Pushes `lo_seg` on `[start, thr)` and `hi_seg` on `[thr, end)` (either
+/// side may be empty after clamping).
+fn push_split(
+    segs: &mut Vec<Segment>,
+    start: TimePoint,
+    end: TimePoint,
+    thr: TimePoint,
+    lo_seg: &Segment,
+    hi_seg: &Segment,
+) {
+    if thr > start {
+        segs.push(Segment {
+            start,
+            ..*lo_seg
+        });
+    }
+    let hi_start = thr.max_f(start);
+    if hi_start < end {
+        segs.push(Segment {
+            start: hi_start,
+            ..*hi_seg
+        });
+    }
+}
+
+/// Sums the indicator functions of many reference-time sets — the
+/// reference-time-resolved `COUNT` aggregate.
+pub fn count_over<'a, I>(sets: I) -> OngoingInt
+where
+    I: IntoIterator<Item = &'a IntervalSet>,
+{
+    sets.into_iter()
+        .fold(OngoingInt::constant(0), |acc, s| {
+            acc.add(&OngoingInt::indicator(s))
+        })
+}
+
+impl fmt::Debug for OngoingInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for OngoingInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "int[")?;
+        for (i, s) in self.segs.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            match s.coef {
+                0 => write!(f, "{} ↦ {}", s.start, s.offset)?,
+                1 if s.offset == 0 => write!(f, "{} ↦ rt", s.start)?,
+                c => write!(f, "{} ↦ {c}·rt{:+}", s.start, s.offset)?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::tp;
+
+    fn op(a: i64, b: i64) -> OngoingPoint {
+        OngoingPoint::new(tp(a), tp(b)).unwrap()
+    }
+
+    #[test]
+    fn constant_evaluates_everywhere() {
+        let c = OngoingInt::constant(42);
+        for rt in [-100i64, 0, 100] {
+            assert_eq!(c.bind(tp(rt)), 42);
+        }
+        assert_eq!(c.piece_count(), 1);
+    }
+
+    #[test]
+    fn from_point_matches_bind() {
+        let pts = [
+            op(3, 7),
+            OngoingPoint::fixed(tp(5)),
+            OngoingPoint::now(),
+            OngoingPoint::growing(tp(2)),
+            OngoingPoint::limited(tp(4)),
+        ];
+        for p in pts {
+            let f = OngoingInt::from_point(p);
+            for rt in -10i64..12 {
+                assert_eq!(f.bind(tp(rt)), p.bind(tp(rt)).ticks(), "p={p} rt={rt}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_sub_are_pointwise() {
+        let f = OngoingInt::from_point(op(0, 5));
+        let g = OngoingInt::from_point(op(3, 9));
+        let sum = f.add(&g);
+        let diff = f.sub(&g);
+        for rt in -5i64..15 {
+            let rt = tp(rt);
+            assert_eq!(sum.bind(rt), f.bind(rt) + g.bind(rt));
+            assert_eq!(diff.bind(rt), f.bind(rt) - g.bind(rt));
+        }
+    }
+
+    #[test]
+    fn max_min_are_pointwise() {
+        let f = OngoingInt::from_point(op(0, 8));
+        let g = OngoingInt::constant(4);
+        let mx = f.max_with(&g);
+        let mn = f.min_with(&g);
+        for rt in -5i64..15 {
+            let rt = tp(rt);
+            assert_eq!(mx.bind(rt), f.bind(rt).max(4), "rt={rt}");
+            assert_eq!(mn.bind(rt), f.bind(rt).min(4), "rt={rt}");
+        }
+    }
+
+    #[test]
+    fn max_of_crossing_ramps() {
+        // f = rt, g = -rt: max is |rt|, min is -|rt|.
+        let f = OngoingInt::from_point(OngoingPoint::now());
+        let g = f.neg();
+        let mx = f.max_with(&g);
+        let mn = f.min_with(&g);
+        for rt in -10i64..11 {
+            assert_eq!(mx.bind(tp(rt)), rt.abs());
+            assert_eq!(mn.bind(tp(rt)), -rt.abs());
+        }
+    }
+
+    #[test]
+    fn duration_of_expanding_interval() {
+        // [3, now): duration 0 before rt 3, then rt - 3.
+        let i = OngoingInterval::from_until_now(tp(3));
+        let d = OngoingInt::duration(i);
+        assert_eq!(d.bind(tp(0)), 0);
+        assert_eq!(d.bind(tp(3)), 0);
+        assert_eq!(d.bind(tp(5)), 2);
+        assert_eq!(d.bind(tp(100)), 97);
+    }
+
+    #[test]
+    fn duration_matches_fixed_semantics_pointwise() {
+        let intervals = [
+            OngoingInterval::fixed(tp(2), tp(9)),
+            OngoingInterval::from_until_now(tp(3)),
+            OngoingInterval::from_now_until(tp(6)),
+            OngoingInterval::new(op(1, 4), op(5, 8)),
+            OngoingInterval::new(op(5, 8), op(1, 4)), // always empty
+        ];
+        for i in intervals {
+            let d = OngoingInt::duration(i);
+            for rt in -5i64..15 {
+                let rt = tp(rt);
+                let (s, e) = i.bind(rt);
+                let expect = s.distance_to(e).max(0);
+                assert_eq!(d.bind(rt), expect, "i={i} rt={rt}");
+            }
+        }
+    }
+
+    #[test]
+    fn indicator_is_membership() {
+        let s = IntervalSet::from_ranges([(tp(0), tp(3)), (tp(7), tp(9))]);
+        let f = OngoingInt::indicator(&s);
+        for rt in -2i64..12 {
+            assert_eq!(f.bind(tp(rt)), i64::from(s.contains(tp(rt))));
+        }
+    }
+
+    #[test]
+    fn count_over_sums_indicators() {
+        let sets = [
+            IntervalSet::range(tp(0), tp(10)),
+            IntervalSet::range(tp(5), tp(15)),
+            IntervalSet::range(tp(8), tp(9)),
+        ];
+        let c = count_over(sets.iter());
+        for rt in -2i64..18 {
+            let expect = sets.iter().filter(|s| s.contains(tp(rt))).count() as i64;
+            assert_eq!(c.bind(tp(rt)), expect, "rt={rt}");
+        }
+        // Peak of 3 at rt = 8.
+        assert_eq!(c.bind(tp(8)), 3);
+    }
+
+    #[test]
+    fn positive_and_zero_sets() {
+        let c = count_over(
+            [
+                IntervalSet::range(tp(0), tp(5)),
+                IntervalSet::range(tp(10), tp(12)),
+            ]
+            .iter(),
+        );
+        let pos = c.positive_set();
+        assert_eq!(
+            pos,
+            IntervalSet::from_ranges([(tp(0), tp(5)), (tp(10), tp(12))])
+        );
+        assert_eq!(pos.complement(), c.zero_set());
+    }
+
+    #[test]
+    fn positive_set_of_ramp() {
+        // duration of [3, now) is positive exactly after rt 3.
+        let d = OngoingInt::duration(OngoingInterval::from_until_now(tp(3)));
+        let pos = d.positive_set();
+        assert!(!pos.contains(tp(3)));
+        assert!(pos.contains(tp(4)));
+        assert!(pos.contains(tp(1000)));
+        assert!(!pos.contains(tp(-5)));
+    }
+
+    #[test]
+    fn canonical_form_merges_equal_pieces() {
+        let f = OngoingInt::constant(1).add(&OngoingInt::constant(2));
+        assert_eq!(f.piece_count(), 1);
+        assert_eq!(f.bind(tp(0)), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let d = OngoingInt::duration(OngoingInterval::from_until_now(tp(3)));
+        let s = d.to_string();
+        assert!(s.starts_with("int["), "{s}");
+    }
+
+    #[test]
+    fn pieces_round_trip() {
+        let d = OngoingInt::duration(OngoingInterval::from_until_now(tp(3)));
+        let back = OngoingInt::from_pieces(d.pieces()).unwrap();
+        assert_eq!(back, d);
+        // Bad inputs rejected.
+        assert!(OngoingInt::from_pieces([(tp(0), 0, 1)]).is_none());
+        assert!(OngoingInt::from_pieces([
+            (TimePoint::NEG_INF, 0, 1),
+            (tp(5), 1, 0),
+            (tp(5), 0, 2),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn eq_and_lt_sets_are_pointwise() {
+        let f = OngoingInt::from_point(op(0, 8));
+        let g = OngoingInt::constant(4);
+        let eq = f.eq_set(&g);
+        let lt = f.lt_set(&g);
+        for rt in -5i64..15 {
+            let rt = tp(rt);
+            assert_eq!(eq.contains(rt), f.bind(rt) == g.bind(rt), "eq rt={rt}");
+            assert_eq!(lt.contains(rt), f.bind(rt) < g.bind(rt), "lt rt={rt}");
+        }
+    }
+
+    #[test]
+    fn is_constant_detection() {
+        assert!(OngoingInt::constant(5).is_constant());
+        assert!(!OngoingInt::from_point(OngoingPoint::now()).is_constant());
+        assert!(!OngoingInt::indicator(&IntervalSet::range(tp(0), tp(5))).is_constant());
+    }
+}

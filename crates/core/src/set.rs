@@ -1,0 +1,492 @@
+//! Canonical sets of fixed time intervals.
+//!
+//! The paper represents both a tuple's reference time `RT` and the `St` set
+//! of an ongoing boolean as "a list of fixed time intervals" that are
+//! *maximal, non-overlapping, and sorted in ascending order* (Sec. VIII).
+//! [`IntervalSet`] is that representation. The canonical form makes equality
+//! structural and lets the logical connectives run as single-pass sweep-line
+//! algorithms (Algorithm 1 of the paper, implemented in
+//! [`IntervalSet::intersect`] / [`IntervalSet::union`]).
+
+use crate::time::TimePoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-empty, closed-open fixed time interval `[ts, te)` with `ts < te`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    ts: TimePoint,
+    te: TimePoint,
+}
+
+impl TimeRange {
+    /// Creates `[ts, te)`; returns `None` when the interval would be empty.
+    #[inline]
+    pub fn new(ts: TimePoint, te: TimePoint) -> Option<Self> {
+        if ts < te {
+            Some(TimeRange { ts, te })
+        } else {
+            None
+        }
+    }
+
+    /// The inclusive start point.
+    #[inline]
+    pub fn ts(self) -> TimePoint {
+        self.ts
+    }
+
+    /// The exclusive end point.
+    #[inline]
+    pub fn te(self) -> TimePoint {
+        self.te
+    }
+
+    /// Does `[ts, te)` contain `t`?
+    #[inline]
+    pub fn contains(self, t: TimePoint) -> bool {
+        self.ts <= t && t < self.te
+    }
+
+    /// Number of time points in the range; saturates at `i64::MAX` when a
+    /// domain limit is involved.
+    pub fn duration(self) -> i64 {
+        self.ts.distance_to(self.te)
+    }
+}
+
+impl fmt::Debug for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.ts, self.te)
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.ts, self.te)
+    }
+}
+
+/// A canonical set of fixed time points, stored as maximal, non-overlapping
+/// time ranges in ascending order.
+///
+/// This is the value type of the reference-time attribute `RT` and the
+/// carrier of ongoing booleans ([`crate::OngoingBool`]). The empty set is
+/// `{}` (a deleted tuple / `false`); the full set is `{(-∞, ∞)}` (a base
+/// tuple's trivial reference time / `true`).
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct IntervalSet {
+    ranges: Vec<TimeRange>,
+}
+
+impl IntervalSet {
+    /// The empty set `{}`.
+    #[inline]
+    pub fn empty() -> Self {
+        IntervalSet { ranges: Vec::new() }
+    }
+
+    /// The full set `{(-∞, ∞)}` containing every reference time.
+    #[inline]
+    pub fn full() -> Self {
+        IntervalSet {
+            ranges: vec![TimeRange {
+                ts: TimePoint::NEG_INF,
+                te: TimePoint::POS_INF,
+            }],
+        }
+    }
+
+    /// The set containing the single interval `[ts, te)`; empty if `ts >= te`.
+    pub fn range(ts: TimePoint, te: TimePoint) -> Self {
+        match TimeRange::new(ts, te) {
+            Some(r) => IntervalSet { ranges: vec![r] },
+            None => IntervalSet::empty(),
+        }
+    }
+
+    /// The singleton set `{t}` = `[t, succ(t))`.
+    pub fn point(t: TimePoint) -> Self {
+        IntervalSet::range(t, t.succ())
+    }
+
+    /// Builds a canonical set from arbitrary `(ts, te)` pairs: empty pairs
+    /// are dropped, the rest are sorted and overlapping or adjacent ranges
+    /// are merged so the result is maximal.
+    pub fn from_ranges<I>(ranges: I) -> Self
+    where
+        I: IntoIterator<Item = (TimePoint, TimePoint)>,
+    {
+        let mut rs: Vec<TimeRange> = ranges
+            .into_iter()
+            .filter_map(|(ts, te)| TimeRange::new(ts, te))
+            .collect();
+        rs.sort_unstable();
+        let mut out: Vec<TimeRange> = Vec::with_capacity(rs.len());
+        for r in rs {
+            match out.last_mut() {
+                // Merge overlap and adjacency: [1,3) and [3,5) are one
+                // maximal range [1,5).
+                Some(last) if r.ts <= last.te => {
+                    if r.te > last.te {
+                        last.te = r.te;
+                    }
+                }
+                _ => out.push(r),
+            }
+        }
+        IntervalSet { ranges: out }
+    }
+
+    /// The canonical ranges, ascending, non-overlapping, maximal.
+    #[inline]
+    pub fn ranges(&self) -> &[TimeRange] {
+        &self.ranges
+    }
+
+    /// Number of ranges needed to represent the set — the "cardinality of
+    /// RT" that Table IV and Table V of the paper analyze.
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Is this the empty set?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Is this the full set `{(-∞, ∞)}`?
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.ranges.len() == 1
+            && self.ranges[0].ts == TimePoint::NEG_INF
+            && self.ranges[0].te == TimePoint::POS_INF
+    }
+
+    /// Does the set contain reference time `rt`? Binary search over the
+    /// canonical ranges.
+    pub fn contains(&self, rt: TimePoint) -> bool {
+        match self.ranges.binary_search_by(|r| r.ts.cmp(&rt)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.ranges[i - 1].contains(rt),
+        }
+    }
+
+    /// The earliest contained time point, if any.
+    pub fn first_point(&self) -> Option<TimePoint> {
+        self.ranges.first().map(|r| r.ts)
+    }
+
+    /// The exclusive upper bound of the latest range, if any.
+    pub fn last_bound(&self) -> Option<TimePoint> {
+        self.ranges.last().map(|r| r.te)
+    }
+
+    /// Total number of contained time points; saturates at `i64::MAX` when a
+    /// domain limit is involved.
+    pub fn total_duration(&self) -> i64 {
+        let mut acc: i64 = 0;
+        for r in &self.ranges {
+            acc = acc.saturating_add(r.duration());
+        }
+        acc
+    }
+
+    /// Set intersection — the logical conjunction of ongoing booleans
+    /// (Algorithm 1 of the paper).
+    ///
+    /// A single sweep over both canonical inputs: no sorting is needed, each
+    /// input range is visited at most once, and the output is canonical by
+    /// construction.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let (b1, b2) = (&self.ranges, &other.ranges);
+        let mut out = Vec::with_capacity(b1.len().min(b2.len()));
+        let (mut i1, mut i2) = (0usize, 0usize);
+        while i1 < b1.len() && i2 < b2.len() {
+            let (r1, r2) = (b1[i1], b2[i2]);
+            if r1.te <= r2.ts {
+                i1 += 1;
+            } else if r2.te <= r1.ts {
+                i2 += 1;
+            } else {
+                // Append the intersection of r1 and r2.
+                let ts = r1.ts.max_f(r2.ts);
+                let te = r1.te.min_f(r2.te);
+                out.push(TimeRange { ts, te });
+                if r1.te < r2.te {
+                    i1 += 1;
+                } else {
+                    i2 += 1;
+                }
+            }
+        }
+        // Intersections of canonical inputs cannot touch, so `out` is
+        // already maximal, disjoint and ascending.
+        IntervalSet { ranges: out }
+    }
+
+    /// Set union — the logical disjunction of ongoing booleans. Sweep-line
+    /// merge of the two canonical inputs; each range is visited once.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let (b1, b2) = (&self.ranges, &other.ranges);
+        let mut out: Vec<TimeRange> = Vec::with_capacity(b1.len() + b2.len());
+        let (mut i1, mut i2) = (0usize, 0usize);
+        let push = |out: &mut Vec<TimeRange>, r: TimeRange| match out.last_mut() {
+            Some(last) if r.ts <= last.te => {
+                if r.te > last.te {
+                    last.te = r.te;
+                }
+            }
+            _ => out.push(r),
+        };
+        while i1 < b1.len() || i2 < b2.len() {
+            let take_first = match (b1.get(i1), b2.get(i2)) {
+                (Some(r1), Some(r2)) => r1.ts <= r2.ts,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_first {
+                push(&mut out, b1[i1]);
+                i1 += 1;
+            } else {
+                push(&mut out, b2[i2]);
+                i2 += 1;
+            }
+        }
+        IntervalSet { ranges: out }
+    }
+
+    /// Set complement — the logical negation `¬b[St, Sf] = b[Sf, St]`.
+    pub fn complement(&self) -> IntervalSet {
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        let mut cursor = TimePoint::NEG_INF;
+        for r in &self.ranges {
+            if cursor < r.ts {
+                out.push(TimeRange {
+                    ts: cursor,
+                    te: r.ts,
+                });
+            }
+            cursor = r.te;
+        }
+        if cursor < TimePoint::POS_INF {
+            out.push(TimeRange {
+                ts: cursor,
+                te: TimePoint::POS_INF,
+            });
+        }
+        IntervalSet { ranges: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        self.intersect(&other.complement())
+    }
+
+    /// Checks the representation invariant: ranges non-empty, ascending,
+    /// disjoint and maximal (no two ranges touch).
+    pub fn is_canonical(&self) -> bool {
+        self.ranges.iter().all(|r| r.ts < r.te)
+            && self
+                .ranges
+                .windows(2)
+                .all(|w| w[0].te < w[1].ts)
+    }
+
+    /// Iterates over the contained time points inside `[lo, hi)` — used by
+    /// differential tests that compare instantiations at every reference
+    /// time of a window.
+    pub fn points_in(
+        &self,
+        lo: TimePoint,
+        hi: TimePoint,
+    ) -> impl Iterator<Item = TimePoint> + '_ {
+        self.ranges
+            .iter()
+            .flat_map(move |r| {
+                let s = r.ts.max_f(lo);
+                let e = r.te.min_f(hi);
+                (s.ticks()..e.ticks().max(s.ticks())).map(TimePoint::new)
+            })
+    }
+}
+
+impl FromIterator<(TimePoint, TimePoint)> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = (TimePoint, TimePoint)>>(iter: I) -> Self {
+        IntervalSet::from_ranges(iter)
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::tp;
+
+    fn set(ranges: &[(i64, i64)]) -> IntervalSet {
+        IntervalSet::from_ranges(ranges.iter().map(|&(a, b)| (tp(a), tp(b))))
+    }
+
+    #[test]
+    fn construction_drops_empty_and_merges_adjacent() {
+        let s = set(&[(5, 5), (3, 1), (0, 2), (2, 4), (10, 12)]);
+        assert_eq!(s, set(&[(0, 4), (10, 12)]));
+        assert!(s.is_canonical());
+        assert_eq!(s.cardinality(), 2);
+    }
+
+    #[test]
+    fn construction_merges_overlap() {
+        let s = set(&[(0, 5), (3, 8), (8, 9)]);
+        assert_eq!(s, set(&[(0, 9)]));
+        assert_eq!(s.cardinality(), 1);
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert!(IntervalSet::empty().is_empty());
+        assert!(IntervalSet::full().is_full());
+        assert!(!IntervalSet::full().is_empty());
+        assert!(IntervalSet::full().contains(tp(123)));
+        assert!(!IntervalSet::empty().contains(tp(123)));
+    }
+
+    #[test]
+    fn contains_uses_half_open_semantics() {
+        let s = set(&[(0, 3), (10, 20)]);
+        assert!(s.contains(tp(0)));
+        assert!(s.contains(tp(2)));
+        assert!(!s.contains(tp(3)));
+        assert!(!s.contains(tp(9)));
+        assert!(s.contains(tp(10)));
+        assert!(s.contains(tp(19)));
+        assert!(!s.contains(tp(20)));
+    }
+
+    #[test]
+    fn intersect_matches_paper_algorithm_example() {
+        // Example 3 of the paper:
+        // {(-inf, 08/16)} ∧ {[01/26, inf)} = {[01/26, 08/16)}
+        let d0816 = crate::date::md(8, 16);
+        let d0126 = crate::date::md(1, 26);
+        let a = IntervalSet::range(TimePoint::NEG_INF, d0816);
+        let b = IntervalSet::range(d0126, TimePoint::POS_INF);
+        assert_eq!(a.intersect(&b), IntervalSet::range(d0126, d0816));
+    }
+
+    #[test]
+    fn intersect_skips_disjoint_ranges() {
+        let a = set(&[(0, 5), (10, 15), (20, 25)]);
+        let b = set(&[(5, 10), (15, 20)]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn intersect_partial_overlaps() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.intersect(&b), set(&[(5, 10), (20, 25)]));
+    }
+
+    #[test]
+    fn union_merges_touching_ranges() {
+        let a = set(&[(0, 5), (10, 15)]);
+        let b = set(&[(5, 10)]);
+        assert_eq!(a.union(&b), set(&[(0, 15)]));
+    }
+
+    #[test]
+    fn union_keeps_disjoint_ranges() {
+        let a = set(&[(0, 2)]);
+        let b = set(&[(4, 6)]);
+        assert_eq!(a.union(&b), set(&[(0, 2), (4, 6)]));
+    }
+
+    #[test]
+    fn complement_roundtrips() {
+        let s = set(&[(0, 5), (10, 15)]);
+        let c = s.complement();
+        assert!(c.contains(tp(-1)));
+        assert!(!c.contains(tp(0)));
+        assert!(c.contains(tp(5)));
+        assert!(c.contains(tp(9)));
+        assert!(!c.contains(tp(12)));
+        assert!(c.contains(tp(15)));
+        assert_eq!(c.complement(), s);
+        assert_eq!(IntervalSet::full().complement(), IntervalSet::empty());
+        assert_eq!(IntervalSet::empty().complement(), IntervalSet::full());
+    }
+
+    #[test]
+    fn difference_removes_overlap() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(3, 5)]);
+        assert_eq!(a.difference(&b), set(&[(0, 3), (5, 10)]));
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        let a = set(&[(0, 6), (12, 20)]);
+        let b = set(&[(4, 15)]);
+        assert_eq!(
+            a.intersect(&b).complement(),
+            a.complement().union(&b.complement())
+        );
+        assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersect(&b.complement())
+        );
+    }
+
+    #[test]
+    fn total_duration_counts_points() {
+        assert_eq!(set(&[(0, 5), (10, 12)]).total_duration(), 7);
+        assert_eq!(IntervalSet::full().total_duration(), i64::MAX);
+        assert_eq!(IntervalSet::empty().total_duration(), 0);
+    }
+
+    #[test]
+    fn points_in_enumerates_window() {
+        let s = set(&[(0, 3), (8, 10)]);
+        let pts: Vec<i64> = s.points_in(tp(1), tp(9)).map(|p| p.ticks()).collect();
+        assert_eq!(pts, vec![1, 2, 8]);
+    }
+
+    #[test]
+    fn point_constructor_is_singleton() {
+        let s = IntervalSet::point(tp(7));
+        assert!(s.contains(tp(7)));
+        assert!(!s.contains(tp(6)));
+        assert!(!s.contains(tp(8)));
+        assert_eq!(s.total_duration(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(IntervalSet::full().to_string(), "{[-inf, +inf)}");
+        assert_eq!(set(&[(1, 3), (5, 9)]).to_string(), "{[1, 3), [5, 9)}");
+        assert_eq!(IntervalSet::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Time-history helpers shared by all generators.
+
+use ongoing_core::date::date;
+use ongoing_core::TimePoint;
+
+/// A contiguous span of day-granularity history `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct History {
+    /// First day of the history.
+    pub start: TimePoint,
+    /// One past the last day.
+    pub end: TimePoint,
+}
+
+impl History {
+    /// A history between two civil dates.
+    pub fn new(start: (i32, u8, u8), end: (i32, u8, u8)) -> Self {
+        History {
+            start: date(start.0, start.1, start.2),
+            end: date(end.0, end.1, end.2),
+        }
+    }
+
+    /// The MozillaBugs history: 20 years, 1994/09 – 2014/01 (Fig. 7 /
+    /// Fig. 13 axes).
+    pub fn mozilla() -> Self {
+        History::new((1994, 9, 1), (2014, 1, 1))
+    }
+
+    /// The Incumbent history: 16 years, 1981/07 – 1997/10 (Fig. 7).
+    pub fn incumbent() -> Self {
+        History::new((1981, 7, 1), (1997, 10, 1))
+    }
+
+    /// The synthetic Dex/Dsh/Dsc history: 10 years.
+    pub fn synthetic() -> Self {
+        History::new((2009, 1, 1), (2019, 1, 1))
+    }
+
+    /// Length in days.
+    pub fn days(&self) -> i64 {
+        self.start.distance_to(self.end)
+    }
+
+    /// Splits the history into `of` equal segments and returns segment `i`
+    /// (0-based) — the "ongoing segments" of the Fig. 9 experiment.
+    pub fn segment(&self, i: usize, of: usize) -> History {
+        assert!(of > 0 && i < of, "segment {i} of {of}");
+        let len = self.days() / of as i64;
+        let s = self.start.ticks() + len * i as i64;
+        let e = if i + 1 == of {
+            self.end.ticks()
+        } else {
+            s + len
+        };
+        History {
+            start: TimePoint::new(s),
+            end: TimePoint::new(e),
+        }
+    }
+
+    /// The window spanning the last `frac` of the history — the paper's
+    /// selection interval spans the last 10 %.
+    pub fn last_fraction(&self, frac: f64) -> History {
+        let len = (self.days() as f64 * frac).round() as i64;
+        History {
+            start: TimePoint::new(self.end.ticks() - len),
+            end: self.end,
+        }
+    }
+
+    /// Grows the history backward to `factor` times its length, keeping the
+    /// end fixed — how the paper scales the real-world data sets ("we grow
+    /// the size of the real-world data sets by growing the history
+    /// backward").
+    pub fn grown_backward(&self, factor: f64) -> History {
+        let len = (self.days() as f64 * factor).round() as i64;
+        History {
+            start: TimePoint::new(self.end.ticks() - len),
+            end: self.end,
+        }
+    }
+
+    /// Does the history contain `t`?
+    pub fn contains(&self, t: TimePoint) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Midpoint of the history.
+    pub fn midpoint(&self) -> TimePoint {
+        TimePoint::new(self.start.ticks() + self.days() / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_match_paper() {
+        let m = History::mozilla();
+        assert!((m.days() as f64 / 365.25 - 19.3).abs() < 1.0, "≈20 years");
+        let i = History::incumbent();
+        assert!((i.days() as f64 / 365.25 - 16.25).abs() < 1.0, "≈16 years");
+        let s = History::synthetic();
+        assert!((s.days() as f64 / 365.25 - 10.0).abs() < 0.1, "10 years");
+    }
+
+    #[test]
+    fn segments_partition_history() {
+        let h = History::synthetic();
+        let mut covered = 0;
+        for i in 0..5 {
+            let s = h.segment(i, 5);
+            covered += s.days();
+            assert!(s.start >= h.start && s.end <= h.end);
+            if i > 0 {
+                assert_eq!(h.segment(i - 1, 5).end, s.start);
+            }
+        }
+        assert_eq!(covered, h.days());
+    }
+
+    #[test]
+    fn last_fraction_is_at_the_end() {
+        let h = History::synthetic();
+        let w = h.last_fraction(0.1);
+        assert_eq!(w.end, h.end);
+        assert!((w.days() as f64 / h.days() as f64 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn grown_backward_keeps_end() {
+        let h = History::mozilla();
+        let g = h.grown_backward(0.5);
+        assert_eq!(g.end, h.end);
+        assert_eq!(g.days(), (h.days() as f64 * 0.5).round() as i64);
+        let g2 = h.grown_backward(1.0);
+        assert_eq!(g2, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment")]
+    fn segment_bounds_checked() {
+        History::synthetic().segment(5, 5);
+    }
+}

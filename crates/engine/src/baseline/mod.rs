@@ -1,0 +1,6 @@
+//! The state-of-the-art approaches the paper's evaluation compares against
+//! (Sec. III, Sec. IX).
+
+pub mod clifford;
+pub mod forever;
+pub mod torp;

@@ -1,0 +1,179 @@
+//! The database catalog: named base ongoing relations.
+//!
+//! This is the substrate role PostgreSQL plays in the paper's prototype:
+//! somewhere to register base relations, look them up during planning, and
+//! scan them during execution. Tables are shared behind a lock so plans can
+//! be executed concurrently (e.g. a bench harness instantiating a
+//! materialized view from several threads).
+
+use crate::error::{EngineError, Result};
+use crate::exec::index::IntervalIndex;
+use ongoing_relation::{OngoingRelation, Schema};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A registered table.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    data: OngoingRelation,
+    /// Lazily built interval indexes, keyed by interval column.
+    indexes: Mutex<HashMap<usize, Arc<IntervalIndex>>>,
+}
+
+impl Table {
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stored relation.
+    pub fn data(&self) -> &OngoingRelation {
+        &self.data
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.data.schema()
+    }
+
+    /// Returns (building and caching on first use) the envelope interval
+    /// index over the interval attribute at `col`. Tuple positions in the
+    /// relation serve as index payload ids.
+    pub fn interval_index(&self, col: usize) -> Result<Arc<IntervalIndex>> {
+        if let Some(idx) = self.indexes.lock().get(&col) {
+            return Ok(Arc::clone(idx));
+        }
+        let attr = self.data.schema().attr(col)?;
+        if !matches!(
+            attr.ty,
+            ongoing_relation::ValueType::OngoingInterval | ongoing_relation::ValueType::Span
+        ) {
+            return Err(EngineError::Plan(format!(
+                "attribute `{}` is not an interval column",
+                attr.name
+            )));
+        }
+        let entries = self.data.tuples().iter().enumerate().filter_map(|(i, t)| {
+            t.value(col).as_interval().map(|iv| (iv, i))
+        });
+        let built = Arc::new(IntervalIndex::build(entries));
+        self.indexes.lock().insert(col, Arc::clone(&built));
+        Ok(built)
+    }
+}
+
+/// An in-memory database of ongoing relations.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers a base relation under `name`.
+    pub fn create_table(&self, name: &str, data: OngoingRelation) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(EngineError::DuplicateTable(name.to_string()));
+        }
+        tables.insert(
+            name.to_string(),
+            Arc::new(Table {
+                name: name.to_string(),
+                data,
+                indexes: Mutex::new(HashMap::new()),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Replaces (or creates) a table.
+    pub fn put_table(&self, name: &str, data: OngoingRelation) {
+        let mut tables = self.tables.write();
+        tables.insert(
+            name.to_string(),
+            Arc::new(Table {
+                name: name.to_string(),
+                data,
+                indexes: Mutex::new(HashMap::new()),
+            }),
+        );
+    }
+
+    /// Drops a table; errors if it does not exist.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let mut tables = self.tables.write();
+        tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Looks a table up.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// The registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ongoing_relation::{Schema, Value};
+
+    fn rel() -> OngoingRelation {
+        let mut r = OngoingRelation::new(Schema::builder().int("X").build());
+        r.insert(vec![Value::Int(1)]).unwrap();
+        r
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let db = Database::new();
+        db.create_table("t", rel()).unwrap();
+        assert_eq!(db.table("t").unwrap().data().len(), 1);
+        assert_eq!(db.table_names(), vec!["t".to_string()]);
+        db.drop_table("t").unwrap();
+        assert!(matches!(db.table("t"), Err(EngineError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let db = Database::new();
+        db.create_table("t", rel()).unwrap();
+        assert!(matches!(
+            db.create_table("t", rel()),
+            Err(EngineError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn put_table_replaces() {
+        let db = Database::new();
+        db.create_table("t", rel()).unwrap();
+        let mut bigger = rel();
+        bigger.insert(vec![Value::Int(2)]).unwrap();
+        db.put_table("t", bigger);
+        assert_eq!(db.table("t").unwrap().data().len(), 2);
+    }
+
+    #[test]
+    fn drop_missing_fails() {
+        let db = Database::new();
+        assert!(db.drop_table("nope").is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Engine-wide error type.
+
+use ongoing_relation::{EvalError, SchemaError};
+use std::fmt;
+
+/// Errors raised by the catalog, planner, executors and storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Schema resolution or compatibility failure.
+    Schema(SchemaError),
+    /// Expression evaluation failure.
+    Eval(EvalError),
+    /// Planner rejected the query.
+    Plan(String),
+    /// Storage-layer failure (encode/decode, page overflow).
+    Storage(String),
+    /// The named materialized view does not exist.
+    UnknownView(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
+            EngineError::DuplicateTable(n) => write!(f, "table `{n}` already exists"),
+            EngineError::Schema(e) => write!(f, "{e}"),
+            EngineError::Eval(e) => write!(f, "{e}"),
+            EngineError::Plan(m) => write!(f, "plan error: {m}"),
+            EngineError::Storage(m) => write!(f, "storage error: {m}"),
+            EngineError::UnknownView(n) => write!(f, "unknown materialized view `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SchemaError> for EngineError {
+    fn from(e: SchemaError) -> Self {
+        EngineError::Schema(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,188 @@
+//! A static interval index over ongoing time intervals.
+//!
+//! The paper's conclusions (Sec. X) name index access methods for ongoing
+//! time points, "based on the approaches for indexing fixed time intervals",
+//! as future work. This module provides one: every ongoing interval
+//! `[ts, te)` is indexed by its **instantiation envelope**
+//! `[ts.a, te.b)` — the union of all its instantiations. For the temporal
+//! predicates whose truth implies that the two instantiations share a time
+//! point (`overlaps`, `starts`, `finishes`), envelope overlap is a necessary
+//! condition, so an envelope query yields a sound candidate set and the
+//! exact ongoing predicate is evaluated per candidate.
+//!
+//! (`during` and `equals` have vacuous-emptiness branches and `before`/
+//! `meets` do not imply a shared time point, so the envelope filter is *not*
+//! sound for them — the planner never uses the index there.)
+//!
+//! The structure is an implicit augmented interval tree: entries sorted by
+//! envelope start, organized as a balanced midpoint BST with each node
+//! carrying the maximum envelope end of its subtree for pruning.
+
+use ongoing_core::{OngoingInterval, TimePoint};
+
+/// One indexed entry: an envelope plus the caller's payload id.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    start: TimePoint,
+    end: TimePoint,
+    id: usize,
+}
+
+/// Static envelope index over ongoing intervals.
+#[derive(Debug)]
+pub struct IntervalIndex {
+    entries: Vec<Entry>,
+    /// `max_end[i]`: maximum envelope end within the midpoint-BST subtree
+    /// spanning the slice rooted at `i`.
+    max_end: Vec<TimePoint>,
+}
+
+impl IntervalIndex {
+    /// Builds an index over `(envelope, id)` pairs from ongoing intervals.
+    /// Intervals with an empty envelope (always-empty instantiations) are
+    /// skipped — no sound predicate can match them through the index.
+    pub fn build<I>(intervals: I) -> Self
+    where
+        I: IntoIterator<Item = (OngoingInterval, usize)>,
+    {
+        let mut entries: Vec<Entry> = intervals
+            .into_iter()
+            .filter_map(|(iv, id)| {
+                let start = iv.ts().a();
+                let end = iv.te().b();
+                (start < end).then_some(Entry { start, end, id })
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.start, e.end));
+        let mut max_end = vec![TimePoint::NEG_INF; entries.len()];
+        build_max_end(&entries, &mut max_end, 0, entries.len());
+        IntervalIndex { entries, max_end }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Collects the ids of all entries whose envelope overlaps `[qs, qe)`.
+    pub fn query(&self, qs: TimePoint, qe: TimePoint) -> Vec<usize> {
+        let mut out = Vec::new();
+        if qs < qe {
+            self.query_rec(0, self.entries.len(), qs, qe, &mut out);
+        }
+        out
+    }
+
+    fn query_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        qs: TimePoint,
+        qe: TimePoint,
+        out: &mut Vec<usize>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        // Prune: nothing in this subtree ends after qs.
+        if self.max_end[mid] <= qs {
+            return;
+        }
+        self.query_rec(lo, mid, qs, qe, out);
+        let e = self.entries[mid];
+        if e.start < qe {
+            if e.end > qs {
+                out.push(e.id);
+            }
+            self.query_rec(mid + 1, hi, qs, qe, out);
+        }
+        // If e.start >= qe, every entry to the right starts even later —
+        // the right subtree cannot match.
+    }
+}
+
+fn build_max_end(entries: &[Entry], max_end: &mut [TimePoint], lo: usize, hi: usize) {
+    if lo >= hi {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    build_max_end(entries, max_end, lo, mid);
+    build_max_end(entries, max_end, mid + 1, hi);
+    let mut m = entries[mid].end;
+    if lo < mid {
+        m = m.max_f(max_end[lo + (mid - lo) / 2]);
+    }
+    if mid + 1 < hi {
+        m = m.max_f(max_end[mid + 1 + (hi - mid - 1) / 2]);
+    }
+    max_end[mid] = m;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ongoing_core::time::tp;
+
+    fn naive(entries: &[(i64, i64)], qs: i64, qe: i64) -> Vec<usize> {
+        if qs >= qe {
+            return Vec::new();
+        }
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &(s, e))| s < e && tp(s) < tp(qe) && tp(e) > tp(qs))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn build(entries: &[(i64, i64)]) -> IntervalIndex {
+        IntervalIndex::build(entries.iter().enumerate().map(|(i, &(s, e))| {
+            (OngoingInterval::fixed(tp(s), tp(e)), i)
+        }))
+    }
+
+    #[test]
+    fn matches_naive_on_dense_case() {
+        let entries: Vec<(i64, i64)> = (0..50)
+            .map(|i| (i % 13, i % 13 + 1 + (i * 7) % 11))
+            .collect();
+        let idx = build(&entries);
+        for qs in -2i64..16 {
+            for qe in qs..18 {
+                let mut got = idx.query(tp(qs), tp(qe));
+                got.sort_unstable();
+                assert_eq!(got, naive(&entries, qs, qe), "q=[{qs},{qe})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let idx = build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.query(tp(0), tp(10)).is_empty());
+        let idx = build(&[(0, 5)]);
+        assert!(idx.query(tp(3), tp(3)).is_empty(), "empty query range");
+    }
+
+    #[test]
+    fn ongoing_envelopes_are_used() {
+        // [3, now): envelope [3, +inf) — overlaps any query ending after 3.
+        let idx = IntervalIndex::build([(OngoingInterval::from_until_now(tp(3)), 7usize)]);
+        assert_eq!(idx.query(tp(100), tp(200)), vec![7]);
+        assert!(idx.query(tp(0), tp(3)).is_empty());
+        assert_eq!(idx.query(tp(0), tp(4)), vec![7]);
+    }
+
+    #[test]
+    fn always_empty_intervals_are_skipped() {
+        let idx = IntervalIndex::build([(OngoingInterval::fixed(tp(9), tp(3)), 0usize)]);
+        assert!(idx.is_empty());
+    }
+}

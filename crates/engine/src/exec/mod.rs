@@ -1,0 +1,5 @@
+//! Execution helpers: interval index.
+
+pub mod index;
+
+pub use index::IntervalIndex;

@@ -1,0 +1,82 @@
+//! # ongoing-engine
+//!
+//! The relational engine substrate for ongoing databases — the role the
+//! PostgreSQL 9.4 kernel plays in the paper's prototype (Sec. VIII):
+//!
+//! * a [`catalog`] of base ongoing relations,
+//! * a byte-accurate [`storage`] layer (tuple codec, slotted heap pages,
+//!   and the Table V layout model),
+//! * logical [`plan`]s with an optimizer implementing the paper's
+//!   fixed/ongoing predicate split, selection push-down and join algorithm
+//!   choice,
+//! * physical executors running in two modes — **ongoing** (results remain
+//!   valid as time passes by) and **instantiated at `rt`** (the Clifford
+//!   baseline),
+//! * the state-of-the-art [`baseline`]s the evaluation compares against,
+//! * [`matview`] materialized ongoing views with cheap instantiation, and
+//! * the [`queries`] of the paper's evaluation section.
+//!
+//! ```
+//! use ongoing_engine::{Database, QueryBuilder, PlannerConfig};
+//! use ongoing_engine::plan::optimizer::compile;
+//! use ongoing_core::{date::md, OngoingInterval};
+//! use ongoing_relation::{Expr, OngoingRelation, Schema, Value};
+//!
+//! let db = Database::new();
+//! let schema = Schema::builder().int("BID").str("C").interval("VT").build();
+//! let mut bugs = OngoingRelation::new(schema);
+//! bugs.insert(vec![
+//!     Value::Int(500),
+//!     Value::str("Spam filter"),
+//!     Value::Interval(OngoingInterval::from_until_now(md(1, 25))),
+//! ]).unwrap();
+//! db.create_table("B", bugs).unwrap();
+//!
+//! let plan = QueryBuilder::scan(&db, "B").unwrap()
+//!     .filter(|s| Ok(Expr::col(s, "C")?.eq(Expr::lit("Spam filter"))))
+//!     .unwrap()
+//!     .build();
+//! let physical = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+//!
+//! // Ongoing execution: valid at every reference time.
+//! let ongoing = physical.execute().unwrap();
+//! assert_eq!(ongoing.len(), 1);
+//!
+//! // Instantiated execution (Clifford baseline): valid only at `rt`.
+//! let snapshot = physical.execute_at(md(8, 15)).unwrap();
+//! assert_eq!(snapshot.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod matview;
+pub mod modify;
+pub mod plan;
+pub mod queries;
+pub mod sql;
+pub mod storage;
+
+pub use catalog::{Database, Table};
+pub use error::{EngineError, Result};
+pub use plan::{JoinStrategy, LogicalPlan, PhysicalPlan, PlannerConfig, QueryBuilder};
+
+use ongoing_core::TimePoint;
+use ongoing_relation::{FixedRelation, OngoingRelation};
+
+/// Compiles and executes a logical plan in ongoing mode with the default
+/// planner configuration.
+pub fn execute(db: &Database, plan: &LogicalPlan) -> Result<OngoingRelation> {
+    plan::optimizer::compile(db, plan, &PlannerConfig::default())?.execute()
+}
+
+/// Compiles and executes a logical plan with the Clifford baseline:
+/// ongoing attributes are instantiated at `rt` when scanned; the result is
+/// valid only at `rt`.
+pub fn execute_at(db: &Database, plan: &LogicalPlan, rt: TimePoint) -> Result<FixedRelation> {
+    plan::optimizer::compile(db, plan, &PlannerConfig::default())?.execute_at(rt)
+}

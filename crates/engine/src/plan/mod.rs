@@ -1,0 +1,9 @@
+//! Logical plans, the optimizer, and physical execution.
+
+pub mod logical;
+pub mod optimizer;
+pub mod physical;
+
+pub use logical::{LogicalPlan, QueryBuilder};
+pub use optimizer::{compile, rewrite, JoinStrategy, PlannerConfig};
+pub use physical::PhysicalPlan;

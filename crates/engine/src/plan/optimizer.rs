@@ -1,0 +1,384 @@
+//! Query optimization (Sec. VIII "Query Optimization").
+//!
+//! The paper's observation is that the standard relational rewrite rules
+//! carry over unchanged to ongoing relations (e.g.
+//! `σ_{θ1∧θ2}(R) ≡ σ_{θ1}(σ_{θ2}(R))`), so classic techniques — selection
+//! push-down, join algorithm choice — apply after splitting conjunctive
+//! predicates into a part over fixed attributes and a part referencing
+//! ongoing attributes. The fixed part is evaluated as a plain boolean (and
+//! can drive hash joins); the ongoing part restricts the result tuples'
+//! reference time.
+//!
+//! [`rewrite`] performs the logical rewrites; [`compile`] picks physical
+//! operators under a [`PlannerConfig`]. Every knob exists so the ablation
+//! benches can measure the value of each technique.
+
+use crate::catalog::Database;
+use crate::error::Result;
+use crate::plan::logical::LogicalPlan;
+use crate::plan::physical::{indexable_selection, sweepable_columns, PhysicalPlan};
+use ongoing_relation::{Expr, Schema, ValueType};
+
+/// Join algorithm selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Hash join when fixed equality keys exist, else envelope sweep join
+    /// when a sweepable temporal conjunct exists, else nested loops.
+    #[default]
+    Auto,
+    /// Always nested loops (the ablation baseline).
+    NestedLoop,
+    /// Prefer the envelope sweep join whenever possible (the paper's
+    /// optimizer picks a merge join for the ongoing approach in the
+    /// Fig. 11 complex-join experiment).
+    Sweep,
+    /// Prefer hash joins; fall back to nested loops.
+    Hash,
+}
+
+/// Planner knobs. Defaults reproduce the paper's configuration; individual
+/// flags are switched off by the ablation benches.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Push single-side conjuncts below joins.
+    pub pushdown: bool,
+    /// Split conjunctive predicates into fixed and ongoing parts
+    /// (Sec. VIII). When off, whole predicates are evaluated as ongoing
+    /// booleans.
+    pub split_predicates: bool,
+    /// Join algorithm policy.
+    pub join_strategy: JoinStrategy,
+    /// Use the envelope interval index for selections over base tables.
+    pub use_interval_index: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            pushdown: true,
+            split_predicates: true,
+            join_strategy: JoinStrategy::Auto,
+            use_interval_index: false,
+        }
+    }
+}
+
+/// Conjunction of a list of predicates (`None` when empty).
+fn and_all(mut preds: Vec<Expr>) -> Option<Expr> {
+    let first = preds.drain(..).reduce(Expr::and);
+    first
+}
+
+/// Logical rewrites: merge selections into joins, turn selected products
+/// into joins, push single-side conjuncts below joins, and fuse stacked
+/// selections.
+pub fn rewrite(plan: LogicalPlan, pushdown: bool) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Select { input, pred } => {
+            let input = rewrite(*input, pushdown);
+            if !pushdown {
+                return LogicalPlan::Select {
+                    input: Box::new(input),
+                    pred,
+                };
+            }
+            match input {
+                LogicalPlan::Join { left, right, pred: jp } => rewrite_join(
+                    *left,
+                    *right,
+                    {
+                        let mut cs = jp.conjuncts();
+                        cs.extend(pred.conjuncts());
+                        cs
+                    },
+                    pushdown,
+                ),
+                LogicalPlan::Product { left, right } => {
+                    rewrite_join(*left, *right, pred.conjuncts(), pushdown)
+                }
+                LogicalPlan::Select { input: inner, pred: p2 } => LogicalPlan::Select {
+                    input: inner,
+                    pred: p2.and(pred),
+                },
+                other => LogicalPlan::Select {
+                    input: Box::new(other),
+                    pred,
+                },
+            }
+        }
+        LogicalPlan::Join { left, right, pred } => {
+            let left = rewrite(*left, pushdown);
+            let right = rewrite(*right, pushdown);
+            if pushdown {
+                rewrite_join(left, right, pred.conjuncts(), pushdown)
+            } else {
+                LogicalPlan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    pred,
+                }
+            }
+        }
+        LogicalPlan::Product { left, right } => LogicalPlan::Product {
+            left: Box::new(rewrite(*left, pushdown)),
+            right: Box::new(rewrite(*right, pushdown)),
+        },
+        LogicalPlan::Project { input, items, schema } => LogicalPlan::Project {
+            input: Box::new(rewrite(*input, pushdown)),
+            items,
+            schema,
+        },
+        LogicalPlan::Union { left, right } => LogicalPlan::Union {
+            left: Box::new(rewrite(*left, pushdown)),
+            right: Box::new(rewrite(*right, pushdown)),
+        },
+        LogicalPlan::Difference { left, right } => LogicalPlan::Difference {
+            left: Box::new(rewrite(*left, pushdown)),
+            right: Box::new(rewrite(*right, pushdown)),
+        },
+        LogicalPlan::Aggregate { input, group_cols, aggs, schema } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite(*input, pushdown)),
+            group_cols,
+            aggs,
+            schema,
+        },
+        leaf @ LogicalPlan::Scan { .. } => leaf,
+    }
+}
+
+/// Distributes join conjuncts: single-side ones become selections below the
+/// join, the rest stay as the join predicate.
+fn rewrite_join(
+    left: LogicalPlan,
+    right: LogicalPlan,
+    conjuncts: Vec<Expr>,
+    pushdown: bool,
+) -> LogicalPlan {
+    let la = left.schema().len();
+    let mut left_preds = Vec::new();
+    let mut right_preds = Vec::new();
+    let mut join_preds = Vec::new();
+    for c in conjuncts {
+        let cols = c.columns();
+        if !cols.is_empty() && cols.iter().all(|&i| i < la) {
+            left_preds.push(c);
+        } else if !cols.is_empty() && cols.iter().all(|&i| i >= la) {
+            right_preds.push(c.map_columns(&|i| i - la));
+        } else {
+            join_preds.push(c);
+        }
+    }
+    let left = match and_all(left_preds) {
+        Some(p) => rewrite(
+            LogicalPlan::Select {
+                input: Box::new(left),
+                pred: p,
+            },
+            pushdown,
+        ),
+        None => left,
+    };
+    let right = match and_all(right_preds) {
+        Some(p) => rewrite(
+            LogicalPlan::Select {
+                input: Box::new(right),
+                pred: p,
+            },
+            pushdown,
+        ),
+        None => right,
+    };
+    match and_all(join_preds) {
+        Some(pred) => LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            pred,
+        },
+        None => LogicalPlan::Product {
+            left: Box::new(left),
+            right: Box::new(right),
+        },
+    }
+}
+
+/// Splits an optional predicate into (fixed, ongoing) conjuncts per the
+/// planner configuration.
+fn split_pred(pred: Option<Expr>, schema: &Schema, split: bool) -> (Option<Expr>, Option<Expr>) {
+    match pred {
+        None => (None, None),
+        Some(p) if split => p.split_fixed_ongoing(schema),
+        Some(p) => (None, Some(p)),
+    }
+}
+
+/// Compiles a logical plan into a physical plan.
+pub fn compile(db: &Database, plan: &LogicalPlan, cfg: &PlannerConfig) -> Result<PhysicalPlan> {
+    let rewritten = rewrite(plan.clone(), cfg.pushdown);
+    compile_node(db, rewritten, cfg)
+}
+
+fn compile_node(db: &Database, plan: LogicalPlan, cfg: &PlannerConfig) -> Result<PhysicalPlan> {
+    match plan {
+        LogicalPlan::Scan { table, schema } => Ok(PhysicalPlan::SeqScan {
+            table: db.table(&table)?,
+            schema,
+        }),
+        LogicalPlan::Select { input, pred } => {
+            let schema = input.schema();
+            // Index-scan opportunity: selection directly over a base scan
+            // with an indexable temporal conjunct.
+            if cfg.use_interval_index {
+                if let LogicalPlan::Scan { ref table, schema: ref scan_schema } = *input {
+                    let hit = pred
+                        .clone()
+                        .conjuncts()
+                        .iter()
+                        .find_map(indexable_selection);
+                    if let Some((col, range)) = hit {
+                        let (fixed, ongoing) =
+                            split_pred(Some(pred), &schema, cfg.split_predicates);
+                        return Ok(PhysicalPlan::IndexScan {
+                            table: db.table(table)?,
+                            schema: scan_schema.clone(),
+                            col,
+                            range,
+                            fixed,
+                            ongoing,
+                        });
+                    }
+                }
+            }
+            let (fixed, ongoing) = split_pred(Some(pred), &schema, cfg.split_predicates);
+            Ok(PhysicalPlan::Filter {
+                input: Box::new(compile_node(db, *input, cfg)?),
+                fixed,
+                ongoing,
+            })
+        }
+        LogicalPlan::Project { input, items, schema } => Ok(PhysicalPlan::Project {
+            input: Box::new(compile_node(db, *input, cfg)?),
+            items,
+            schema,
+        }),
+        LogicalPlan::Join { left, right, pred } => {
+            let schema = left.schema().product(&right.schema());
+            let la = left.schema().len();
+            let conjuncts = pred.conjuncts();
+            compile_join(db, *left, *right, conjuncts, &schema, la, cfg)
+        }
+        LogicalPlan::Product { left, right } => {
+            let l = compile_node(db, *left, cfg)?;
+            let r = compile_node(db, *right, cfg)?;
+            Ok(PhysicalPlan::NestedLoopJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                fixed: None,
+                ongoing: None,
+            })
+        }
+        LogicalPlan::Union { left, right } => Ok(PhysicalPlan::Union {
+            left: Box::new(compile_node(db, *left, cfg)?),
+            right: Box::new(compile_node(db, *right, cfg)?),
+        }),
+        LogicalPlan::Difference { left, right } => Ok(PhysicalPlan::Difference {
+            left: Box::new(compile_node(db, *left, cfg)?),
+            right: Box::new(compile_node(db, *right, cfg)?),
+        }),
+        LogicalPlan::Aggregate { input, group_cols, aggs, schema } => {
+            Ok(PhysicalPlan::Aggregate {
+                input: Box::new(compile_node(db, *input, cfg)?),
+                group_cols,
+                aggs,
+                schema,
+            })
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_join(
+    db: &Database,
+    left: LogicalPlan,
+    right: LogicalPlan,
+    conjuncts: Vec<Expr>,
+    schema: &Schema,
+    split_at: usize,
+    cfg: &PlannerConfig,
+) -> Result<PhysicalPlan> {
+    let l = compile_node(db, left, cfg)?;
+    let r = compile_node(db, right, cfg)?;
+
+    let fixed_type = |i: usize| -> bool {
+        schema
+            .attr(i)
+            .map(|a| !a.ty.is_ongoing())
+            .unwrap_or(false)
+    };
+
+    // Hash keys: fixed-attribute equality conjuncts across the split.
+    let want_hash = matches!(cfg.join_strategy, JoinStrategy::Auto | JoinStrategy::Hash);
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    if want_hash {
+        for c in &conjuncts {
+            match c.as_equi_key(split_at) {
+                Some((i, j)) if fixed_type(i) && fixed_type(split_at + j) => {
+                    keys.push((i, j));
+                }
+                _ => residual.push(c.clone()),
+            }
+        }
+    } else {
+        residual = conjuncts.clone();
+    }
+
+    if want_hash && !keys.is_empty() {
+        let (fixed, ongoing) = split_pred(and_all(residual), schema, cfg.split_predicates);
+        return Ok(PhysicalPlan::HashJoin {
+            left: Box::new(l),
+            right: Box::new(r),
+            keys,
+            fixed,
+            ongoing,
+        });
+    }
+
+    // Sweep join: a sweep-sound temporal conjunct over two interval columns.
+    let want_sweep = matches!(cfg.join_strategy, JoinStrategy::Auto | JoinStrategy::Sweep);
+    if want_sweep {
+        let interval_type = |i: usize| -> bool {
+            schema
+                .attr(i)
+                .map(|a| {
+                    matches!(a.ty, ValueType::OngoingInterval | ValueType::Span)
+                })
+                .unwrap_or(false)
+        };
+        let sweep = conjuncts
+            .iter()
+            .find_map(|c| sweepable_columns(c, split_at))
+            .filter(|&(i, j)| interval_type(i) && interval_type(split_at + j));
+        if let Some((l_col, r_col)) = sweep {
+            // The envelope pass is a pre-filter; the complete predicate
+            // stays as residual.
+            let (fixed, ongoing) =
+                split_pred(and_all(conjuncts), schema, cfg.split_predicates);
+            return Ok(PhysicalPlan::SweepJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                l_col,
+                r_col,
+                fixed,
+                ongoing,
+            });
+        }
+    }
+
+    let (fixed, ongoing) = split_pred(and_all(conjuncts), schema, cfg.split_predicates);
+    Ok(PhysicalPlan::NestedLoopJoin {
+        left: Box::new(l),
+        right: Box::new(r),
+        fixed,
+        ongoing,
+    })
+}

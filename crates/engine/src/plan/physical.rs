@@ -1,0 +1,747 @@
+//! Physical plans and their two execution modes.
+//!
+//! A [`PhysicalPlan`] executes either
+//!
+//! * **ongoing** ([`PhysicalPlan::execute`]): the paper's approach — ongoing
+//!   attributes stay uninstantiated, predicates evaluate to ongoing
+//!   booleans, every operator restricts the result tuples' reference time
+//!   (Theorem 2); or
+//! * **instantiated** ([`PhysicalPlan::execute_at`]): the Clifford et al.
+//!   baseline — ongoing attributes are bound at a chosen reference time the
+//!   moment they are scanned, all predicates run on fixed values with the
+//!   fixed-interval fast path, and no reference-time bookkeeping happens at
+//!   all. The result is only valid at that reference time.
+//!
+//! Running both modes through the same operator tree is what makes the
+//! paper's runtime comparisons (Sec. IX) meaningful: both sides pay for the
+//! same scans, joins and projections; the ongoing mode additionally pays for
+//! interval-set arithmetic, the baseline instead pays once per re-evaluation.
+
+use crate::catalog::Table;
+use crate::error::{EngineError, Result};
+use ongoing_core::allen::TemporalPredicate;
+use ongoing_core::{IntervalSet, TimePoint};
+use ongoing_relation::algebra::{self, ProjItem};
+use ongoing_relation::{Expr, FixedRelation, OngoingRelation, Schema, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A physical operator tree.
+#[derive(Debug)]
+pub enum PhysicalPlan {
+    /// Sequential scan of a base table.
+    SeqScan {
+        /// The resolved table.
+        table: Arc<Table>,
+        /// Output schema (possibly re-qualified names).
+        schema: Schema,
+    },
+    /// Envelope-index pre-filtered scan: candidates from an
+    /// [`IntervalIndex`](crate::exec::IntervalIndex) query, exact predicate as residual.
+    IndexScan {
+        /// The resolved table.
+        table: Arc<Table>,
+        /// Output schema.
+        schema: Schema,
+        /// Interval column the index is built over.
+        col: usize,
+        /// Envelope query range.
+        range: (TimePoint, TimePoint),
+        /// Exact predicate re-checked per candidate (fixed part).
+        fixed: Option<Expr>,
+        /// Exact predicate re-checked per candidate (ongoing part).
+        ongoing: Option<Expr>,
+    },
+    /// Filter with the paper's fixed/ongoing predicate split.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Conjunct over fixed attributes (plain boolean gate).
+        fixed: Option<Expr>,
+        /// Conjunct over ongoing attributes (restricts `RT`).
+        ongoing: Option<Expr>,
+    },
+    /// Projection.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output columns.
+        items: Vec<ProjItem>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Tuple-at-a-time nested-loop join.
+    NestedLoopJoin {
+        /// Left (outer) input.
+        left: Box<PhysicalPlan>,
+        /// Right (inner) input.
+        right: Box<PhysicalPlan>,
+        /// Fixed-attribute conjunct.
+        fixed: Option<Expr>,
+        /// Ongoing-attribute conjunct.
+        ongoing: Option<Expr>,
+    },
+    /// Hash join on fixed-attribute equality keys, with residual conjuncts.
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<PhysicalPlan>,
+        /// Right (build) input.
+        right: Box<PhysicalPlan>,
+        /// `(left column, right column)` equality key pairs.
+        keys: Vec<(usize, usize)>,
+        /// Fixed residual conjunct.
+        fixed: Option<Expr>,
+        /// Ongoing residual conjunct.
+        ongoing: Option<Expr>,
+    },
+    /// Sort-merge interval join: a forward-scan plane sweep over the
+    /// instantiation envelopes of two interval columns, with the exact
+    /// predicate as residual.
+    SweepJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Left interval column.
+        l_col: usize,
+        /// Right interval column (right-local index).
+        r_col: usize,
+        /// Fixed residual conjunct (includes the driving temporal conjunct
+        /// when inputs are fixed).
+        fixed: Option<Expr>,
+        /// Ongoing residual conjunct.
+        ongoing: Option<Expr>,
+    },
+    /// Union (coalescing set union).
+    Union {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Difference (Theorem 2 semantics).
+    Difference {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Grouped aggregation into ongoing integers.
+    Aggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Group-by columns.
+        group_cols: Vec<usize>,
+        /// Aggregate functions.
+        aggs: Vec<ongoing_relation::aggregate::AggFn>,
+        /// Output schema.
+        schema: Schema,
+    },
+}
+
+impl PhysicalPlan {
+    /// The output schema.
+    pub fn schema(&self) -> Schema {
+        match self {
+            PhysicalPlan::SeqScan { schema, .. }
+            | PhysicalPlan::IndexScan { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::Aggregate { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. } => input.schema(),
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::SweepJoin { left, right, .. } => {
+                left.schema().product(&right.schema())
+            }
+            PhysicalPlan::Union { left, .. } | PhysicalPlan::Difference { left, .. } => {
+                left.schema()
+            }
+        }
+    }
+
+    /// EXPLAIN-style rendering (one operator per line).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let preds = |fixed: &Option<Expr>, ongoing: &Option<Expr>| {
+            let mut s = String::new();
+            if let Some(f) = fixed {
+                s.push_str(&format!(" fixed: {f}"));
+            }
+            if let Some(o) = ongoing {
+                s.push_str(&format!(" ongoing: {o}"));
+            }
+            s
+        };
+        match self {
+            PhysicalPlan::SeqScan { table, .. } => {
+                out.push_str(&format!("{pad}SeqScan {}\n", table.name()));
+            }
+            PhysicalPlan::IndexScan { table, col, range, fixed, ongoing, .. } => {
+                out.push_str(&format!(
+                    "{pad}IndexScan {} col #{col} env [{}, {}){}\n",
+                    table.name(),
+                    range.0,
+                    range.1,
+                    preds(fixed, ongoing)
+                ));
+            }
+            PhysicalPlan::Filter { input, fixed, ongoing } => {
+                out.push_str(&format!("{pad}Filter{}\n", preds(fixed, ongoing)));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Project { input, items, .. } => {
+                out.push_str(&format!("{pad}Project [{} cols]\n", items.len()));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, fixed, ongoing } => {
+                out.push_str(&format!("{pad}NestedLoopJoin{}\n", preds(fixed, ongoing)));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::HashJoin { left, right, keys, fixed, ongoing } => {
+                out.push_str(&format!(
+                    "{pad}HashJoin on {keys:?}{}\n",
+                    preds(fixed, ongoing)
+                ));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::SweepJoin { left, right, l_col, r_col, fixed, ongoing } => {
+                out.push_str(&format!(
+                    "{pad}SweepJoin envelopes #{l_col} x #{r_col}{}\n",
+                    preds(fixed, ongoing)
+                ));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Union { left, right } => {
+                out.push_str(&format!("{pad}Union\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Difference { left, right } => {
+                out.push_str(&format!("{pad}Difference\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Aggregate { input, group_cols, aggs, .. } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate group by {group_cols:?} [{} aggs]\n",
+                    aggs.len()
+                ));
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ongoing execution (the paper's approach).
+    // ------------------------------------------------------------------
+
+    /// Executes in ongoing mode: the result is an ongoing relation that
+    /// remains valid as time passes by.
+    pub fn execute(&self) -> Result<OngoingRelation> {
+        match self {
+            PhysicalPlan::SeqScan { table, schema } => Ok(table
+                .data()
+                .clone()
+                .with_schema(schema.clone())
+                .expect("scan schema is a rename of the table schema")),
+            PhysicalPlan::IndexScan { table, schema, col, range, fixed, ongoing } => {
+                let idx = table.interval_index(*col)?;
+                let data = table.data();
+                let mut out = OngoingRelation::new(schema.clone());
+                for id in idx.query(range.0, range.1) {
+                    let t = &data.tuples()[id];
+                    push_filtered(&mut out, t, fixed.as_ref(), ongoing.as_ref())?;
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Filter { input, fixed, ongoing } => {
+                let rel = input.execute()?;
+                let mut out = OngoingRelation::new(rel.schema().clone());
+                for t in rel.tuples() {
+                    push_filtered(&mut out, t, fixed.as_ref(), ongoing.as_ref())?;
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Project { input, items, schema } => {
+                let rel = input.execute()?;
+                let projected = algebra::project(&rel, items)?;
+                projected
+                    .with_schema(schema.clone())
+                    .map_err(EngineError::Schema)
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, fixed, ongoing } => {
+                let l = left.execute()?;
+                let r = right.execute()?;
+                let mut out = OngoingRelation::new(l.schema().product(r.schema()));
+                for lt in l.tuples() {
+                    for rt_ in r.tuples() {
+                        join_pair(&mut out, lt, rt_, fixed.as_ref(), ongoing.as_ref())?;
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::HashJoin { left, right, keys, fixed, ongoing } => {
+                let l = left.execute()?;
+                let r = right.execute()?;
+                let mut out = OngoingRelation::new(l.schema().product(r.schema()));
+                // Build on the right side.
+                let mut table: HashMap<Vec<Value>, Vec<&Tuple>> =
+                    HashMap::with_capacity(r.len());
+                for rt_ in r.tuples() {
+                    let key: Vec<Value> =
+                        keys.iter().map(|&(_, j)| rt_.value(j).clone()).collect();
+                    table.entry(key).or_default().push(rt_);
+                }
+                for lt in l.tuples() {
+                    let key: Vec<Value> =
+                        keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
+                    if let Some(matches) = table.get(&key) {
+                        for rt_ in matches {
+                            join_pair(&mut out, lt, rt_, fixed.as_ref(), ongoing.as_ref())?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::SweepJoin { left, right, l_col, r_col, fixed, ongoing } => {
+                let l = left.execute()?;
+                let r = right.execute()?;
+                let mut out = OngoingRelation::new(l.schema().product(r.schema()));
+                let le = envelopes(l.tuples(), *l_col)?;
+                let re = envelopes(r.tuples(), *r_col)?;
+                sweep_pairs(&le, &re, |li, ri| {
+                    join_pair(
+                        &mut out,
+                        &l.tuples()[li],
+                        &r.tuples()[ri],
+                        fixed.as_ref(),
+                        ongoing.as_ref(),
+                    )
+                })?;
+                Ok(out)
+            }
+            PhysicalPlan::Union { left, right } => {
+                let l = left.execute()?;
+                let r = right.execute()?;
+                algebra::union(&l, &r).map_err(EngineError::Schema)
+            }
+            PhysicalPlan::Difference { left, right } => {
+                let l = left.execute()?;
+                let r = right.execute()?;
+                algebra::difference(&l, &r).map_err(EngineError::Schema)
+            }
+            PhysicalPlan::Aggregate { input, group_cols, aggs, schema } => {
+                let rel = input.execute()?;
+                let names: Vec<String> = schema
+                    .attrs()
+                    .iter()
+                    .skip(group_cols.len())
+                    .map(|a| a.name.clone())
+                    .collect();
+                let agg = ongoing_relation::aggregate::aggregate_relation(
+                    &rel, group_cols, aggs, &names,
+                )
+                .map_err(EngineError::Schema)?;
+                agg.with_schema(schema.clone()).map_err(EngineError::Schema)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instantiated execution (Clifford et al. baseline).
+    // ------------------------------------------------------------------
+
+    /// Executes in instantiated mode at reference time `rt`: ongoing
+    /// attributes are bound during the scan, everything downstream runs on
+    /// fixed values. The result is valid only at `rt`.
+    pub fn execute_at(&self, rt: TimePoint) -> Result<FixedRelation> {
+        Ok(FixedRelation::from_rows(self.rows_at(rt)?))
+    }
+
+    /// Instantiated execution returning the raw row bag (deduplicated by
+    /// [`FixedRelation`] in `execute_at`).
+    pub fn rows_at(&self, rt: TimePoint) -> Result<Vec<Vec<Value>>> {
+        match self {
+            PhysicalPlan::SeqScan { table, .. } => {
+                Ok(table.data().tuples().iter().filter_map(|t| t.bind(rt)).collect())
+            }
+            PhysicalPlan::IndexScan { table, col, range, fixed, ongoing, .. } => {
+                let idx = table.interval_index(*col)?;
+                let data = table.data();
+                let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
+                let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
+                let mut out = Vec::new();
+                for id in idx.query(range.0, range.1) {
+                    if let Some(row) = data.tuples()[id].bind(rt) {
+                        if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())? {
+                            out.push(row);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Filter { input, fixed, ongoing } => {
+                let rows = input.rows_at(rt)?;
+                // Instantiate ongoing literals in the predicates (the bind
+                // operator applies to the query, not only the data).
+                let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
+                let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
+                let mut out = Vec::with_capacity(rows.len() / 2);
+                for row in rows {
+                    if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())? {
+                        out.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Project { input, items, .. } => {
+                let rows = input.rows_at(rt)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            ProjItem::Col(i) => vals.push(row[*i].clone()),
+                            ProjItem::Named { expr, .. } => {
+                                // Bind computed values so e.g. an interval
+                                // intersection instantiates to a fixed span.
+                                vals.push(expr.eval_scalar(&row)?.bind(rt));
+                            }
+                        }
+                    }
+                    out.push(vals);
+                }
+                Ok(out)
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, fixed, ongoing } => {
+                let l = left.rows_at(rt)?;
+                let r = right.rows_at(rt)?;
+                let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
+                let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
+                let mut out = Vec::new();
+                for lr in &l {
+                    for rr in &r {
+                        join_rows(&mut out, lr, rr, fixed.as_ref(), ongoing.as_ref())?;
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::HashJoin { left, right, keys, fixed, ongoing } => {
+                let l = left.rows_at(rt)?;
+                let r = right.rows_at(rt)?;
+                let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> =
+                    HashMap::with_capacity(r.len());
+                for rr in &r {
+                    let key: Vec<Value> = keys.iter().map(|&(_, j)| rr[j].clone()).collect();
+                    table.entry(key).or_default().push(rr);
+                }
+                let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
+                let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
+                let mut out = Vec::new();
+                for lr in &l {
+                    let key: Vec<Value> = keys.iter().map(|&(i, _)| lr[i].clone()).collect();
+                    if let Some(matches) = table.get(&key) {
+                        for rr in matches {
+                            join_rows(&mut out, lr, rr, fixed.as_ref(), ongoing.as_ref())?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::SweepJoin { left, right, l_col, r_col, fixed, ongoing } => {
+                let l = left.rows_at(rt)?;
+                let r = right.rows_at(rt)?;
+                let le = row_envelopes(&l, *l_col)?;
+                let re = row_envelopes(&r, *r_col)?;
+                let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
+                let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
+                let mut out = Vec::new();
+                sweep_pairs(&le, &re, |li, ri| {
+                    join_rows(&mut out, &l[li], &r[ri], fixed.as_ref(), ongoing.as_ref())
+                })?;
+                Ok(out)
+            }
+            PhysicalPlan::Union { left, right } => {
+                let mut l = left.rows_at(rt)?;
+                l.extend(right.rows_at(rt)?);
+                Ok(l)
+            }
+            PhysicalPlan::Difference { left, right } => {
+                let l = left.rows_at(rt)?;
+                let r = FixedRelation::from_rows(right.rows_at(rt)?);
+                Ok(l.into_iter().filter(|row| !r.contains(row)).collect())
+            }
+            PhysicalPlan::Aggregate { input, group_cols, aggs, .. } => {
+                // Fixed grouped aggregation over the instantiated rows —
+                // the semantics the ongoing operator must instantiate to.
+                use ongoing_relation::aggregate::AggFn;
+                let rows = FixedRelation::from_rows(input.rows_at(rt)?);
+                let mut order: Vec<Vec<Value>> = Vec::new();
+                let mut groups: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
+                for row in rows.rows() {
+                    let key: Vec<Value> =
+                        group_cols.iter().map(|&c| row[c].clone()).collect();
+                    match groups.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().push(row)
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            order.push(e.key().clone());
+                            e.insert(vec![row]);
+                        }
+                    }
+                }
+                let mut out = Vec::with_capacity(order.len());
+                for key in order {
+                    let members = &groups[&key];
+                    let mut vals = key;
+                    for a in aggs {
+                        let v = match a {
+                            AggFn::CountStar => members.len() as i64,
+                            AggFn::SumInt(col) => members
+                                .iter()
+                                .map(|r| r[*col].as_int().unwrap_or(0))
+                                .sum(),
+                        };
+                        vals.push(Value::Int(v));
+                    }
+                    out.push(vals);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared helpers.
+// ----------------------------------------------------------------------
+
+/// Ongoing-mode filter application: fixed conjunct gates, ongoing conjunct
+/// restricts `RT`.
+fn push_filtered(
+    out: &mut OngoingRelation,
+    t: &Tuple,
+    fixed: Option<&Expr>,
+    ongoing: Option<&Expr>,
+) -> Result<()> {
+    if let Some(f) = fixed {
+        if !f.eval_bool(t.values())? {
+            return Ok(());
+        }
+    }
+    match ongoing {
+        Some(o) => {
+            let theta = o.eval_predicate(t.values())?;
+            let rt = t.rt().intersect(theta.true_set());
+            if !rt.is_empty() {
+                out.push(t.restricted(rt));
+            }
+        }
+        None => out.push(t.clone()),
+    }
+    Ok(())
+}
+
+/// Ongoing-mode join pair: concat (intersecting `RT`s), gate on the fixed
+/// conjunct, restrict by the ongoing conjunct.
+fn join_pair(
+    out: &mut OngoingRelation,
+    lt: &Tuple,
+    rt_: &Tuple,
+    fixed: Option<&Expr>,
+    ongoing: Option<&Expr>,
+) -> Result<()> {
+    let t = lt.concat(rt_);
+    if t.rt().is_empty() {
+        return Ok(());
+    }
+    if let Some(f) = fixed {
+        if !f.eval_bool(t.values())? {
+            return Ok(());
+        }
+    }
+    match ongoing {
+        Some(o) => {
+            let theta = o.eval_predicate(t.values())?;
+            let rt = t.rt().intersect(theta.true_set());
+            if !rt.is_empty() {
+                out.push(t.restricted(rt));
+            }
+        }
+        None => out.push(t),
+    }
+    Ok(())
+}
+
+/// Instantiated-mode predicate gate (all values fixed at this point).
+fn pass_fixed(row: &[Value], pred: Option<&Expr>) -> Result<bool> {
+    match pred {
+        Some(p) => Ok(p.eval_bool(row)?),
+        None => Ok(true),
+    }
+}
+
+/// Instantiated-mode join pair.
+fn join_rows(
+    out: &mut Vec<Vec<Value>>,
+    l: &[Value],
+    r: &[Value],
+    fixed: Option<&Expr>,
+    ongoing: Option<&Expr>,
+) -> Result<()> {
+    let mut row = Vec::with_capacity(l.len() + r.len());
+    row.extend_from_slice(l);
+    row.extend_from_slice(r);
+    if pass_fixed(&row, fixed)? && pass_fixed(&row, ongoing)? {
+        out.push(row);
+    }
+    Ok(())
+}
+
+/// `(envelope start, envelope end, position)` for a tuple list, skipping
+/// always-empty intervals (no predicate with a non-empty check can match
+/// them).
+fn envelopes(tuples: &[Tuple], col: usize) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
+    let mut out = Vec::with_capacity(tuples.len());
+    for (i, t) in tuples.iter().enumerate() {
+        let iv = t.value(col).as_interval().ok_or_else(|| {
+            EngineError::Plan(format!("sweep join column #{col} is not an interval"))
+        })?;
+        let (s, e) = (iv.ts().a(), iv.te().b());
+        if s < e {
+            out.push((s, e, i));
+        }
+    }
+    out.sort_unstable_by_key(|&(s, e, _)| (s, e));
+    Ok(out)
+}
+
+/// Envelopes over instantiated rows (the bound span *is* the envelope).
+fn row_envelopes(
+    rows: &[Vec<Value>],
+    col: usize,
+) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let iv = row[col].as_interval().ok_or_else(|| {
+            EngineError::Plan(format!("sweep join column #{col} is not an interval"))
+        })?;
+        let (s, e) = (iv.ts().a(), iv.te().b());
+        if s < e {
+            out.push((s, e, i));
+        }
+    }
+    out.sort_unstable_by_key(|&(s, e, _)| (s, e));
+    Ok(out)
+}
+
+/// Forward-scan plane sweep (Bouros & Mamoulis style) enumerating all pairs
+/// with overlapping envelopes, in O(sorted inputs + output).
+fn sweep_pairs<E>(
+    l: &[(TimePoint, TimePoint, usize)],
+    r: &[(TimePoint, TimePoint, usize)],
+    mut emit: impl FnMut(usize, usize) -> std::result::Result<(), E>,
+) -> std::result::Result<(), E> {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        if l[i].0 <= r[j].0 {
+            // Scan forward on the right while it starts before l[i] ends.
+            let (ls, le, li) = l[i];
+            let mut k = j;
+            while k < r.len() && r[k].0 < le {
+                if r[k].1 > ls {
+                    emit(li, r[k].2)?;
+                }
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let (rs, re, ri) = r[j];
+            let mut k = i;
+            while k < l.len() && l[k].0 < re {
+                if l[k].1 > rs {
+                    emit(l[k].2, ri)?;
+                }
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the left/right interval columns of a temporal conjunct suitable
+/// for a sweep join: `Temporal(pred, Col(i), Col(j))` with `i` left of the
+/// split and `j` right of it (or mirrored). Only predicates whose truth at a
+/// reference time implies a shared instantiation time point are sweepable.
+pub fn sweepable_columns(conjunct: &Expr, split: usize) -> Option<(usize, usize)> {
+    let sweep_sound = |p: TemporalPredicate| {
+        matches!(
+            p,
+            TemporalPredicate::Overlaps | TemporalPredicate::Starts | TemporalPredicate::Finishes
+        )
+    };
+    if let Expr::Temporal(p, l, r) = conjunct {
+        if !sweep_sound(*p) {
+            return None;
+        }
+        if let (Expr::Col(i), Expr::Col(j)) = (l.as_ref(), r.as_ref()) {
+            let (i, j) = (*i, *j);
+            if i < split && j >= split {
+                return Some((i, j - split));
+            }
+            if j < split && i >= split {
+                return Some((j, i - split));
+            }
+        }
+    }
+    None
+}
+
+/// Extracts an index-scan opportunity from a selection conjunct:
+/// `Col(i) overlaps <fixed interval literal>` (either operand order).
+/// Returns the column and the envelope query range.
+pub fn indexable_selection(conjunct: &Expr) -> Option<(usize, (TimePoint, TimePoint))> {
+    if let Expr::Temporal(p, l, r) = conjunct {
+        if !matches!(
+            p,
+            TemporalPredicate::Overlaps | TemporalPredicate::Starts | TemporalPredicate::Finishes
+        ) {
+            return None;
+        }
+        let lit_env = |e: &Expr| -> Option<(TimePoint, TimePoint)> {
+            if let Expr::Const(v) = e {
+                v.as_interval().map(|iv| (iv.ts().a(), iv.te().b()))
+            } else {
+                None
+            }
+        };
+        match (l.as_ref(), r.as_ref()) {
+            (Expr::Col(i), lit) => lit_env(lit).map(|env| (*i, env)),
+            (lit, Expr::Col(i)) => lit_env(lit).map(|env| (*i, env)),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// The set of reference times a relation's tuples cover — used by tests and
+/// the harness to pick representative instantiation points.
+pub fn reference_span(rel: &OngoingRelation) -> IntervalSet {
+    let mut acc = IntervalSet::empty();
+    for t in rel.tuples() {
+        acc = acc.union(t.rt());
+    }
+    acc
+}

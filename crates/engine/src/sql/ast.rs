@@ -1,0 +1,78 @@
+//! Abstract syntax tree for OngoingQL.
+
+use ongoing_core::allen::TemporalPredicate;
+use ongoing_relation::{CmpOp, Value};
+
+/// An unresolved expression (names instead of column indices).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference `name` or `alias.name`.
+    Col(Option<String>, String),
+    /// A literal value.
+    Lit(Value),
+    /// Scalar comparison.
+    Cmp(CmpOp, Box<AstExpr>, Box<AstExpr>),
+    /// Temporal predicate (Table II keyword).
+    Temporal(TemporalPredicate, Box<AstExpr>, Box<AstExpr>),
+    /// Conjunction.
+    And(Box<AstExpr>, Box<AstExpr>),
+    /// Disjunction.
+    Or(Box<AstExpr>, Box<AstExpr>),
+    /// Negation.
+    Not(Box<AstExpr>),
+    /// `INTERSECTION(a, b)` — scalar interval intersection `∩`.
+    Intersection(Box<AstExpr>, Box<AstExpr>),
+    /// `START(interval)`.
+    Start(Box<AstExpr>),
+    /// `END(interval)`.
+    End(Box<AstExpr>),
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: AstExpr,
+    /// Optional `AS` name.
+    pub alias: Option<String>,
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub table: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other parts of the query use to refer to this table.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection; `None` is `SELECT *`.
+    pub items: Option<Vec<SelectItem>>,
+    /// The first `FROM` table.
+    pub from: TableRef,
+    /// `JOIN ... ON ...` clauses, in order.
+    pub joins: Vec<(TableRef, AstExpr)>,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<AstExpr>,
+}
+
+/// A full query: selects combined with set operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A single select.
+    Select(SelectStmt),
+    /// `UNION` of two queries.
+    Union(Box<Query>, Box<Query>),
+    /// `EXCEPT` (difference) of two queries.
+    Except(Box<Query>, Box<Query>),
+}

@@ -1,0 +1,349 @@
+//! OngoingQL — a small SQL-like query language for ongoing databases.
+//!
+//! The paper's prototype extends PostgreSQL, so its queries are SQL with
+//! ongoing data types. This module provides the equivalent front end for
+//! the Rust engine: a lexer, a recursive-descent parser and a planner that
+//! lowers parsed queries onto [`LogicalPlan`]s. The running example of
+//! Sec. II reads:
+//!
+//! ```text
+//! SELECT B.BID, B.VT, P.PID, L.Name, INTERSECTION(B.VT, L.VT) AS Resp
+//! FROM B JOIN P ON B.C = P.C AND B.VT BEFORE P.VT
+//!        JOIN L ON B.C = L.C AND B.VT OVERLAPS L.VT
+//! WHERE B.C = 'Spam filter'
+//! ```
+//!
+//! Literals: integers, `'strings'`, `TRUE`/`FALSE`, `DATE 'YYYY-MM-DD'`,
+//! `NOW`, and `PERIOD(point, point)` interval constants. The Table II
+//! predicates are infix keywords (`BEFORE`, `MEETS`, `OVERLAPS`, `STARTS`,
+//! `FINISHES`, `DURING`, `EQUALS`); `INTERSECTION(a, b)`, `START(iv)` and
+//! `END(iv)` are scalar functions.
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+use crate::catalog::Database;
+use crate::error::{EngineError, Result};
+use crate::plan::{LogicalPlan, QueryBuilder};
+use ast::{AstExpr, Query, SelectStmt};
+use ongoing_relation::algebra::ProjItem;
+use ongoing_relation::{Expr, Schema};
+
+/// Parses and plans an OngoingQL query against a database.
+///
+/// Use [`crate::execute`] / [`crate::execute_at`] (or compile with a custom
+/// [`crate::PlannerConfig`]) to run the returned plan.
+pub fn plan_query(db: &Database, sql: &str) -> Result<LogicalPlan> {
+    let query = parser::parse(sql).map_err(|e| EngineError::Plan(e.to_string()))?;
+    plan(db, &query)
+}
+
+/// Parses, plans and executes in ongoing mode — the one-liner entry point.
+pub fn query(db: &Database, sql: &str) -> Result<ongoing_relation::OngoingRelation> {
+    let plan = plan_query(db, sql)?;
+    crate::execute(db, &plan)
+}
+
+fn plan(db: &Database, q: &Query) -> Result<LogicalPlan> {
+    match q {
+        Query::Select(s) => plan_select(db, s),
+        Query::Union(l, r) => {
+            let left = plan(db, l)?;
+            let right = plan(db, r)?;
+            check_compatible(&left, &right, "UNION")?;
+            Ok(LogicalPlan::Union {
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        }
+        Query::Except(l, r) => {
+            let left = plan(db, l)?;
+            let right = plan(db, r)?;
+            check_compatible(&left, &right, "EXCEPT")?;
+            Ok(LogicalPlan::Difference {
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        }
+    }
+}
+
+fn check_compatible(l: &LogicalPlan, r: &LogicalPlan, op: &str) -> Result<()> {
+    if !l.schema().compatible_with(&r.schema()) {
+        return Err(EngineError::Plan(format!(
+            "{op} requires type-compatible inputs ({} vs {})",
+            l.schema(),
+            r.schema()
+        )));
+    }
+    Ok(())
+}
+
+fn plan_select(db: &Database, s: &SelectStmt) -> Result<LogicalPlan> {
+    // Single table without alias keeps plain names; anything else gets
+    // qualified bindings so self-joins resolve unambiguously.
+    let qualify = !s.joins.is_empty() || s.from.alias.is_some();
+    let mut builder = if qualify {
+        QueryBuilder::scan_as(db, &s.from.table, s.from.binding())?
+    } else {
+        QueryBuilder::scan(db, &s.from.table)?
+    };
+    for (t, on) in &s.joins {
+        let right = QueryBuilder::scan_as(db, &t.table, t.binding())?;
+        let on = on.clone();
+        builder = builder.join(right, move |schema| {
+            resolve(&on, schema).map_err(|e| match e {
+                EngineError::Schema(se) => se,
+                other => ongoing_relation::SchemaError::Mismatch(other.to_string()),
+            })
+        })?;
+    }
+    if let Some(w) = &s.where_clause {
+        let w = w.clone();
+        builder = builder.filter(move |schema| {
+            resolve(&w, schema).map_err(|e| match e {
+                EngineError::Schema(se) => se,
+                other => ongoing_relation::SchemaError::Mismatch(other.to_string()),
+            })
+        })?;
+    }
+    if let Some(items) = &s.items {
+        let schema = builder.schema().clone();
+        let mut proj = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let expr = resolve(&item.expr, &schema)?;
+            match (&expr, &item.alias) {
+                (Expr::Col(idx), None) => proj.push(ProjItem::Col(*idx)),
+                (_, alias) => {
+                    let name = alias.clone().unwrap_or_else(|| match &item.expr {
+                        AstExpr::Col(_, n) => n.clone(),
+                        _ => format!("col{}", i + 1),
+                    });
+                    proj.push(ProjItem::named(expr, name));
+                }
+            }
+        }
+        builder = builder.project(proj)?;
+    }
+    Ok(builder.build())
+}
+
+/// Resolves an AST expression against a schema.
+fn resolve(ast: &AstExpr, schema: &Schema) -> Result<Expr> {
+    Ok(match ast {
+        AstExpr::Col(alias, name) => {
+            let full = match alias {
+                Some(a) => format!("{a}.{name}"),
+                None => name.clone(),
+            };
+            Expr::Col(schema.index_of(&full)?)
+        }
+        AstExpr::Lit(v) => Expr::Const(v.clone()),
+        AstExpr::Cmp(op, l, r) => Expr::Cmp(
+            *op,
+            Box::new(resolve(l, schema)?),
+            Box::new(resolve(r, schema)?),
+        ),
+        AstExpr::Temporal(p, l, r) => Expr::Temporal(
+            *p,
+            Box::new(resolve(l, schema)?),
+            Box::new(resolve(r, schema)?),
+        ),
+        AstExpr::And(l, r) => resolve(l, schema)?.and(resolve(r, schema)?),
+        AstExpr::Or(l, r) => resolve(l, schema)?.or(resolve(r, schema)?),
+        AstExpr::Not(e) => resolve(e, schema)?.not(),
+        AstExpr::Intersection(l, r) => resolve(l, schema)?.intersect(resolve(r, schema)?),
+        AstExpr::Start(e) => resolve(e, schema)?.start_point(),
+        AstExpr::End(e) => resolve(e, schema)?.end_point(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ongoing_core::date::md;
+    use ongoing_core::{IntervalSet, OngoingInterval};
+    use ongoing_relation::{OngoingRelation, Value};
+
+    fn fig1_db() -> Database {
+        let db = Database::new();
+        let mut b = OngoingRelation::new(
+            Schema::builder().int("BID").str("C").interval("VT").build(),
+        );
+        b.insert(vec![
+            Value::Int(500),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::from_until_now(md(1, 25))),
+        ])
+        .unwrap();
+        b.insert(vec![
+            Value::Int(501),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::fixed(md(3, 30), md(8, 21))),
+        ])
+        .unwrap();
+        db.create_table("B", b).unwrap();
+        let mut p = OngoingRelation::new(
+            Schema::builder().int("PID").str("C").interval("VT").build(),
+        );
+        p.insert(vec![
+            Value::Int(201),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::fixed(md(8, 15), md(8, 24))),
+        ])
+        .unwrap();
+        p.insert(vec![
+            Value::Int(202),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::fixed(md(8, 24), md(8, 27))),
+        ])
+        .unwrap();
+        db.create_table("P", p).unwrap();
+        let mut l = OngoingRelation::new(
+            Schema::builder().str("Name").str("C").interval("VT").build(),
+        );
+        l.insert(vec![
+            Value::str("Ann"),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::fixed(md(1, 20), md(8, 18))),
+        ])
+        .unwrap();
+        l.insert(vec![
+            Value::str("Bob"),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::from_until_now(md(8, 18))),
+        ])
+        .unwrap();
+        db.create_table("L", l).unwrap();
+        db
+    }
+
+    #[test]
+    fn running_example_via_sql_reproduces_fig_2() {
+        let db = fig1_db();
+        let v = query(
+            &db,
+            "SELECT B.BID, B.VT, P.PID, L.Name, INTERSECTION(B.VT, L.VT) AS Resp \
+             FROM B JOIN P ON B.C = P.C AND B.VT BEFORE P.VT \
+             JOIN L ON B.C = L.C AND B.VT OVERLAPS L.VT \
+             WHERE B.C = 'Spam filter'",
+        )
+        .unwrap();
+        assert_eq!(v.len(), 5);
+        // Spot-check v1's reference time {[01/26, 08/16)}.
+        let v1 = v
+            .tuples()
+            .iter()
+            .find(|t| {
+                t.value(0) == &Value::Int(500)
+                    && t.value(2) == &Value::Int(201)
+                    && t.value(3).as_str() == Some("Ann")
+            })
+            .unwrap();
+        assert_eq!(v1.rt(), &IntervalSet::range(md(1, 26), md(8, 16)));
+    }
+
+    #[test]
+    fn where_with_period_literal() {
+        let db = fig1_db();
+        let r = query(
+            &db,
+            "SELECT BID FROM B WHERE VT OVERLAPS PERIOD(DATE '2019-08-01', DATE '2019-09-01')",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn select_star_and_union_except() {
+        let db = fig1_db();
+        let u = query(
+            &db,
+            "SELECT BID FROM B WHERE BID = 500 UNION SELECT BID FROM B WHERE BID = 501",
+        )
+        .unwrap();
+        assert_eq!(u.len(), 2);
+        let e = query(
+            &db,
+            "SELECT BID FROM B EXCEPT SELECT BID FROM B WHERE BID = 501",
+        )
+        .unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.tuples()[0].value(0), &Value::Int(500));
+        let all = query(&db, "SELECT * FROM B").unwrap();
+        assert_eq!(all.schema().len(), 3);
+    }
+
+    #[test]
+    fn start_end_now_predicates() {
+        let db = fig1_db();
+        // Bugs whose (ongoing) start lies before 2019-06-01 at every rt.
+        let r = query(
+            &db,
+            "SELECT BID FROM B WHERE START(VT) < DATE '2019-06-01'",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        // now <= end: restricts RT for the fixed-interval bug.
+        let r = query(&db, "SELECT BID FROM B WHERE NOW <= END(VT)").unwrap();
+        let b501 = r
+            .tuples()
+            .iter()
+            .find(|t| t.value(0) == &Value::Int(501))
+            .unwrap();
+        assert!(b501.rt().contains(md(8, 21)));
+        assert!(!b501.rt().contains(md(8, 22)));
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let db = fig1_db();
+        assert!(matches!(
+            plan_query(&db, "SELECT * FROM nope"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        let e = plan_query(&db, "SELECT nope FROM B").unwrap_err();
+        assert!(e.to_string().contains("nope"), "{e}");
+        let e = plan_query(&db, "SELECT * FROM B WHERE").unwrap_err();
+        assert!(e.to_string().contains("parse error"), "{e}");
+    }
+
+    #[test]
+    fn incompatible_union_rejected() {
+        let db = fig1_db();
+        let e = plan_query(&db, "SELECT BID FROM B UNION SELECT C FROM B").unwrap_err();
+        assert!(e.to_string().contains("UNION"), "{e}");
+    }
+
+    #[test]
+    fn sql_matches_builder_plan_results() {
+        let db = fig1_db();
+        let via_sql = query(
+            &db,
+            "SELECT BID FROM B WHERE VT OVERLAPS PERIOD(DATE '2019-08-01', DATE '2019-09-01')",
+        )
+        .unwrap();
+        let plan = crate::queries::selection(
+            &db,
+            "B",
+            ongoing_core::allen::TemporalPredicate::Overlaps,
+            (md(8, 1), md(9, 1)),
+        )
+        .unwrap();
+        let via_builder = crate::execute(&db, &plan).unwrap();
+        for rt in [md(2, 1), md(8, 15), md(12, 1)] {
+            let sql_rows: Vec<_> = via_sql.bind(rt).rows().to_vec();
+            let builder_rows: Vec<Vec<Value>> = via_builder
+                .bind(rt)
+                .rows()
+                .iter()
+                .map(|r| vec![r[0].clone()])
+                .collect();
+            assert_eq!(
+                sql_rows, builder_rows,
+                "SQL and builder plans must agree at rt={rt}"
+            );
+        }
+    }
+}

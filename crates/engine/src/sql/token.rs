@@ -1,0 +1,316 @@
+//! Lexer for the OngoingQL query language.
+
+use std::fmt;
+
+/// A lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the input.
+    pub at: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (keywords are case-insensitive; the parser
+    /// decides which is which).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (with `''` escaping).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "{w}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset.
+    pub at: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an input query.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let at = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, at });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, at });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, at });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, at });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, at });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, at });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token { kind: TokenKind::Ne, at });
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token { kind: TokenKind::Le, at });
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token { kind: TokenKind::Ne, at });
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token { kind: TokenKind::Lt, at });
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, at });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, at });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                at,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Multi-byte UTF-8 safe: advance char-wise.
+                            let ch = input[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), at });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    at,
+                })?;
+                out.push(Token { kind: TokenKind::Int(v), at });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Word(input[start..i].to_string()),
+                    at,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    at,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        at: input.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_numbers_symbols() {
+        assert_eq!(
+            kinds("SELECT a.b, 42 FROM t WHERE x <= 5"),
+            vec![
+                TokenKind::Word("SELECT".into()),
+                TokenKind::Word("a".into()),
+                TokenKind::Dot,
+                TokenKind::Word("b".into()),
+                TokenKind::Comma,
+                TokenKind::Int(42),
+                TokenKind::Word("FROM".into()),
+                TokenKind::Word("t".into()),
+                TokenKind::Word("WHERE".into()),
+                TokenKind::Word("x".into()),
+                TokenKind::Le,
+                TokenKind::Int(5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'Spam filter' 'it''s'"),
+            vec![
+                TokenKind::Str("Spam filter".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment\n b"),
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Word("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("abc $").unwrap_err();
+        assert_eq!(e.at, 4);
+        assert!(e.message.contains("unexpected character"));
+        let e = lex("'open").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'héllo ∩ wörld'"),
+            vec![TokenKind::Str("héllo ∩ wörld".into()), TokenKind::Eof]
+        );
+    }
+}

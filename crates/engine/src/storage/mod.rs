@@ -1,0 +1,9 @@
+//! Storage substrate: byte layout model, tuple codec, and slotted heap
+//! pages.
+
+pub mod codec;
+pub mod layout;
+pub mod page;
+
+pub use layout::{measure_relation, measure_tuple, RelationFootprint, TupleFootprint};
+pub use page::{HeapFile, HeapPage, TupleId, PAGE_SIZE};

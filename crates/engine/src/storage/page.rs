@@ -1,0 +1,256 @@
+//! Slotted heap pages.
+//!
+//! A minimal PostgreSQL-style heap: fixed-size pages with a slot directory
+//! growing from the front and tuple payloads growing from the back. A
+//! [`HeapFile`] is an append-only sequence of pages with full-scan
+//! iteration — exactly what the sequential scans of the evaluation queries
+//! need from the storage substrate.
+
+use crate::error::{EngineError, Result};
+use crate::storage::codec::{decode_tuple, encode_tuple};
+use ongoing_relation::Tuple;
+
+/// Page size in bytes (PostgreSQL's default).
+pub const PAGE_SIZE: usize = 8192;
+const SLOT_BYTES: usize = 4; // u16 offset + u16 length
+const PAGE_HEADER: usize = 4; // u16 slot count + u16 free-space pointer
+
+/// A slotted page holding encoded tuples.
+pub struct HeapPage {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl HeapPage {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        // Free-space pointer starts at the end of the page.
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        HeapPage { data }
+    }
+
+    fn slot_count(&self) -> usize {
+        u16::from_le_bytes([self.data[0], self.data[1]]) as usize
+    }
+
+    fn free_ptr(&self) -> usize {
+        u16::from_le_bytes([self.data[2], self.data[3]]) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        self.data[0..2].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    fn set_free_ptr(&mut self, p: usize) {
+        self.data[2..4].copy_from_slice(&(p as u16).to_le_bytes());
+    }
+
+    /// Free bytes remaining (accounting for the slot entry).
+    pub fn free_space(&self) -> usize {
+        let used_front = PAGE_HEADER + self.slot_count() * SLOT_BYTES;
+        self.free_ptr().saturating_sub(used_front)
+    }
+
+    /// Tries to insert an encoded tuple; returns its slot number or `None`
+    /// if the page is full.
+    pub fn insert(&mut self, payload: &[u8]) -> Option<usize> {
+        let need = payload.len() + SLOT_BYTES;
+        if self.free_space() < need || payload.len() > u16::MAX as usize {
+            return None;
+        }
+        let slot = self.slot_count();
+        let start = self.free_ptr() - payload.len();
+        self.data[start..start + payload.len()].copy_from_slice(payload);
+        let slot_off = PAGE_HEADER + slot * SLOT_BYTES;
+        self.data[slot_off..slot_off + 2].copy_from_slice(&(start as u16).to_le_bytes());
+        self.data[slot_off + 2..slot_off + 4]
+            .copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        self.set_slot_count(slot + 1);
+        self.set_free_ptr(start);
+        Some(slot)
+    }
+
+    /// Reads the payload of a slot.
+    pub fn read(&self, slot: usize) -> Result<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(EngineError::Storage(format!("no slot {slot}")));
+        }
+        let slot_off = PAGE_HEADER + slot * SLOT_BYTES;
+        let start =
+            u16::from_le_bytes([self.data[slot_off], self.data[slot_off + 1]]) as usize;
+        let len =
+            u16::from_le_bytes([self.data[slot_off + 2], self.data[slot_off + 3]]) as usize;
+        Ok(&self.data[start..start + len])
+    }
+
+    /// Number of tuples stored in this page.
+    pub fn len(&self) -> usize {
+        self.slot_count()
+    }
+
+    /// Is the page empty?
+    pub fn is_empty(&self) -> bool {
+        self.slot_count() == 0
+    }
+}
+
+impl Default for HeapPage {
+    fn default() -> Self {
+        HeapPage::new()
+    }
+}
+
+/// Location of a tuple in a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleId {
+    /// Page number.
+    pub page: usize,
+    /// Slot within the page.
+    pub slot: usize,
+}
+
+/// An append-only heap of pages.
+#[derive(Default)]
+pub struct HeapFile {
+    pages: Vec<HeapPage>,
+    tuples: usize,
+}
+
+impl HeapFile {
+    /// An empty heap file.
+    pub fn new() -> Self {
+        HeapFile::default()
+    }
+
+    /// Appends a tuple, returning its location.
+    pub fn insert(&mut self, t: &Tuple) -> Result<TupleId> {
+        let payload = encode_tuple(t);
+        if payload.len() + SLOT_BYTES > PAGE_SIZE - PAGE_HEADER {
+            return Err(EngineError::Storage(format!(
+                "tuple of {} bytes exceeds page capacity",
+                payload.len()
+            )));
+        }
+        if self
+            .pages
+            .last()
+            .map_or(true, |p| p.free_space() < payload.len() + SLOT_BYTES)
+        {
+            self.pages.push(HeapPage::new());
+        }
+        let page = self.pages.len() - 1;
+        let slot = self.pages[page]
+            .insert(&payload)
+            .expect("page checked for space");
+        self.tuples += 1;
+        Ok(TupleId { page, slot })
+    }
+
+    /// Fetches a tuple by location.
+    pub fn fetch(&self, id: TupleId) -> Result<Tuple> {
+        let page = self
+            .pages
+            .get(id.page)
+            .ok_or_else(|| EngineError::Storage(format!("no page {}", id.page)))?;
+        decode_tuple(page.read(id.slot)?)
+    }
+
+    /// Full sequential scan.
+    pub fn scan(&self) -> impl Iterator<Item = Result<Tuple>> + '_ {
+        self.pages.iter().flat_map(|p| {
+            (0..p.len()).map(move |s| p.read(s).and_then(decode_tuple))
+        })
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples
+    }
+
+    /// Is the heap empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ongoing_core::time::tp;
+    use ongoing_core::{IntervalSet, OngoingInterval};
+    use ongoing_relation::Value;
+
+    fn tuple(i: i64) -> Tuple {
+        Tuple::with_rt(
+            vec![
+                Value::Int(i),
+                Value::str(&format!("payload-{i}")),
+                Value::Interval(OngoingInterval::from_until_now(tp(i))),
+            ],
+            IntervalSet::range(tp(i), tp(i + 100)),
+        )
+    }
+
+    #[test]
+    fn insert_fetch_round_trip() {
+        let mut heap = HeapFile::new();
+        let id = heap.insert(&tuple(7)).unwrap();
+        assert_eq!(heap.fetch(id).unwrap(), tuple(7));
+    }
+
+    #[test]
+    fn scan_returns_all_in_order() {
+        let mut heap = HeapFile::new();
+        for i in 0..500 {
+            heap.insert(&tuple(i)).unwrap();
+        }
+        assert!(heap.page_count() > 1, "should spill to multiple pages");
+        let all: Vec<Tuple> = heap.scan().map(|r| r.unwrap()).collect();
+        assert_eq!(all.len(), 500);
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.value(0), &Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn oversized_tuple_is_rejected() {
+        let mut heap = HeapFile::new();
+        let big = Tuple::base(vec![Value::str(&"x".repeat(PAGE_SIZE))]);
+        assert!(heap.insert(&big).is_err());
+    }
+
+    #[test]
+    fn bad_fetch_is_an_error() {
+        let heap = HeapFile::new();
+        assert!(heap.fetch(TupleId { page: 0, slot: 0 }).is_err());
+        let mut heap = HeapFile::new();
+        heap.insert(&tuple(1)).unwrap();
+        assert!(heap.fetch(TupleId { page: 0, slot: 5 }).is_err());
+        assert!(heap.fetch(TupleId { page: 9, slot: 0 }).is_err());
+    }
+
+    #[test]
+    fn page_free_space_decreases() {
+        let mut page = HeapPage::new();
+        let before = page.free_space();
+        page.insert(b"hello").unwrap();
+        assert!(page.free_space() < before);
+        assert_eq!(page.read(0).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn page_rejects_when_full() {
+        let mut page = HeapPage::new();
+        let blob = vec![0u8; 1000];
+        let mut n = 0;
+        while page.insert(&blob).is_some() {
+            n += 1;
+        }
+        assert!(n >= 7 && n <= 8, "8K page fits ~8 1K tuples, got {n}");
+    }
+}

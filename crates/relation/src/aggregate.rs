@@ -1,0 +1,333 @@
+//! Reference-time-resolved aggregation over ongoing relations.
+//!
+//! This implements the aggregation extension sketched in the paper's
+//! conclusions (Sec. X): aggregates whose result is an *ongoing integer* —
+//! a value that depends on the reference time. At every reference time `rt`
+//! the aggregate equals the fixed aggregate over the instantiated relation:
+//! `∥count(R)∥rt = |∥R∥rt|` (counting tuples alive at `rt`), and likewise
+//! for `sum`.
+//!
+//! Grouping is supported on fixed attributes. (Grouping on ongoing
+//! attributes would need reference-time-dependent groups, which the paper
+//! leaves open; we reject it.)
+
+use crate::relation::OngoingRelation;
+use crate::schema::SchemaError;
+use crate::value::Value;
+use ongoing_core::ongoing_int::count_over;
+use ongoing_core::{OngoingInt, TimePoint};
+use std::collections::HashMap;
+
+/// The reference-time-resolved `COUNT(*)`: how many tuples are alive at
+/// each reference time.
+///
+/// Note this counts *tuples of the ongoing relation*; under set semantics
+/// duplicated payloads coalesce, so callers wanting `COUNT(DISTINCT …)`
+/// semantics should [`OngoingRelation::coalesce`] first.
+pub fn count(rel: &OngoingRelation) -> OngoingInt {
+    count_over(rel.tuples().iter().map(|t| t.rt()))
+}
+
+/// The reference-time-resolved `SUM(col)` over an integer attribute: at
+/// each reference time, the sum of `col` over the tuples alive then.
+pub fn sum(rel: &OngoingRelation, col: usize) -> Result<OngoingInt, SchemaError> {
+    let attr = rel.schema().attr(col)?;
+    if attr.ty != crate::value::ValueType::Int {
+        return Err(SchemaError::Mismatch(format!(
+            "sum requires an Int attribute, `{}` is {:?}",
+            attr.name, attr.ty
+        )));
+    }
+    let mut acc = OngoingInt::constant(0);
+    for t in rel.tuples() {
+        let w = t.value(col).as_int().expect("type-checked above");
+        acc = acc.add(&OngoingInt::indicator(t.rt()).scale(w));
+    }
+    Ok(acc)
+}
+
+/// Grouped reference-time-resolved `COUNT(*)`. Groups are formed on the
+/// (fixed) attributes at `group_cols`; each group's count is an ongoing
+/// integer.
+pub fn count_by(
+    rel: &OngoingRelation,
+    group_cols: &[usize],
+) -> Result<Vec<(Vec<Value>, OngoingInt)>, SchemaError> {
+    for &c in group_cols {
+        let attr = rel.schema().attr(c)?;
+        if attr.ty.is_ongoing() {
+            return Err(SchemaError::Mismatch(format!(
+                "cannot group on ongoing attribute `{}`",
+                attr.name
+            )));
+        }
+    }
+    let mut groups: HashMap<Vec<Value>, OngoingInt> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for t in rel.tuples() {
+        let key: Vec<Value> = group_cols.iter().map(|&c| t.value(c).clone()).collect();
+        let ind = OngoingInt::indicator(t.rt());
+        match groups.get_mut(&key) {
+            Some(acc) => *acc = acc.add(&ind),
+            None => {
+                groups.insert(key.clone(), ind);
+                order.push(key);
+            }
+        }
+    }
+    Ok(order
+        .into_iter()
+        .map(|k| {
+            let v = groups.remove(&k).expect("key inserted above");
+            (k, v)
+        })
+        .collect())
+}
+
+/// Convenience: the fixed `COUNT(*)` of the instantiation at `rt` —
+/// `|∥R∥rt|` under set semantics. Primarily for tests and examples; the
+/// ongoing [`count`] carries the same information for *all* reference times.
+pub fn count_at(rel: &OngoingRelation, rt: TimePoint) -> usize {
+    rel.bind(rt).len()
+}
+
+/// One aggregate function of the grouped operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggFn {
+    /// `COUNT(*)` — tuples alive per reference time.
+    CountStar,
+    /// `SUM(col)` over an integer attribute.
+    SumInt(usize),
+}
+
+impl AggFn {
+    /// Default output attribute name.
+    pub fn default_name(&self, schema: &crate::schema::Schema) -> String {
+        match self {
+            AggFn::CountStar => "count".to_string(),
+            AggFn::SumInt(col) => schema
+                .attr(*col)
+                .map(|a| format!("sum_{}", a.name))
+                .unwrap_or_else(|_| "sum".to_string()),
+        }
+    }
+}
+
+/// The grouped aggregation operator over ongoing relations (the Sec. X
+/// extension): groups on fixed attributes, each aggregate is an ongoing
+/// integer, and a result tuple's reference time is the set of reference
+/// times at which its group is non-empty — so that
+/// `∀rt: ∥γ(R)∥rt ≡ γF(∥R∥rt)` (grouped fixed aggregation over the
+/// instantiated input).
+pub fn aggregate_relation(
+    rel: &OngoingRelation,
+    group_cols: &[usize],
+    aggs: &[AggFn],
+    out_names: &[String],
+) -> Result<OngoingRelation, SchemaError> {
+    use crate::schema::{Attribute, Schema};
+    use crate::value::ValueType;
+    if aggs.len() != out_names.len() {
+        return Err(SchemaError::Mismatch(
+            "one output name per aggregate required".into(),
+        ));
+    }
+    for &c in group_cols {
+        let attr = rel.schema().attr(c)?;
+        if attr.ty.is_ongoing() {
+            return Err(SchemaError::Mismatch(format!(
+                "cannot group on ongoing attribute `{}`",
+                attr.name
+            )));
+        }
+    }
+    for a in aggs {
+        if let AggFn::SumInt(col) = a {
+            let attr = rel.schema().attr(*col)?;
+            if attr.ty != ValueType::Int {
+                return Err(SchemaError::Mismatch(format!(
+                    "SUM requires an Int attribute, `{}` is {:?}",
+                    attr.name, attr.ty
+                )));
+            }
+        }
+    }
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(group_cols.len() + aggs.len());
+    for &c in group_cols {
+        attrs.push(rel.schema().attr(c)?.clone());
+    }
+    for name in out_names {
+        attrs.push(Attribute::new(name.clone(), ValueType::OngoingInt));
+    }
+    let out_schema = Schema::new(attrs);
+
+    // Set semantics: identical payloads must count once per reference time
+    // (∥R∥rt is a set), so coalesce duplicates — their reference times
+    // union — before aggregating.
+    let rel = rel.coalesce();
+
+    // Group members (preserving first-seen order).
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<&crate::tuple::Tuple>> = HashMap::new();
+    for t in rel.tuples() {
+        let key: Vec<Value> = group_cols.iter().map(|&c| t.value(c).clone()).collect();
+        match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(t),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(e.key().clone());
+                e.insert(vec![t]);
+            }
+        }
+    }
+
+    let mut out = OngoingRelation::new(out_schema);
+    for key in order {
+        let members = &groups[&key];
+        // Set semantics, the subtle part: two tuples with *different
+        // stored payloads* can still instantiate to the same fixed row at
+        // some reference times (e.g. `[0, now)` vs `[0, 5)` at rt = 5) and
+        // must count once there. Like the difference operator (Theorem 2),
+        // each member is counted only at the reference times where no
+        // earlier member instantiates identically while alive:
+        // `RTᵢ ∧ ¬⋁_{j<i}(eq(Aᵢ, Aⱼ) ∧ RTⱼ)`.
+        let dedup_rts: Vec<ongoing_core::IntervalSet> = members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut shadowed = ongoing_core::OngoingBool::always_false();
+                for e in members.iter().take(i) {
+                    if shadowed.is_always_true() {
+                        break;
+                    }
+                    let eq = crate::algebra::tuple_eq(m.values(), e.values());
+                    if eq.is_always_false() {
+                        continue;
+                    }
+                    shadowed =
+                        shadowed.or(&eq.and(&ongoing_core::OngoingBool::from_set(e.rt().clone())));
+                }
+                m.rt().intersect(&shadowed.not().into_true_set())
+            })
+            .collect();
+        // The group exists at the reference times where any member is
+        // alive.
+        let mut rt_set = ongoing_core::IntervalSet::empty();
+        for m in members {
+            rt_set = rt_set.union(m.rt());
+        }
+        let mut values = key;
+        for a in aggs {
+            let acc = match a {
+                AggFn::CountStar => count_over(dedup_rts.iter()),
+                AggFn::SumInt(col) => members.iter().zip(&dedup_rts).fold(
+                    OngoingInt::constant(0),
+                    |acc, (m, rt)| {
+                        let w = m.value(*col).as_int().expect("type-checked");
+                        acc.add(&OngoingInt::indicator(rt).scale(w))
+                    },
+                ),
+            };
+            values.push(Value::Count(acc));
+        }
+        out.push(crate::tuple::Tuple::with_rt(values, rt_set));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use ongoing_core::time::tp;
+    use ongoing_core::{IntervalSet, OngoingInterval};
+
+    fn sample() -> OngoingRelation {
+        let schema = Schema::builder().int("N").str("C").interval("VT").build();
+        let mut r = OngoingRelation::new(schema);
+        // Bug open [0, now): alive everywhere (base tuple, trivial RT).
+        r.insert(vec![
+            Value::Int(10),
+            Value::str("a"),
+            Value::Interval(OngoingInterval::from_until_now(tp(0))),
+        ])
+        .unwrap();
+        // Tuple alive only on [5, 15).
+        r.insert_with_rt(
+            vec![
+                Value::Int(20),
+                Value::str("a"),
+                Value::Interval(OngoingInterval::fixed(tp(1), tp(2))),
+            ],
+            IntervalSet::range(tp(5), tp(15)),
+        )
+        .unwrap();
+        // Different group, alive on [10, 20).
+        r.insert_with_rt(
+            vec![
+                Value::Int(30),
+                Value::str("b"),
+                Value::Interval(OngoingInterval::fixed(tp(1), tp(2))),
+            ],
+            IntervalSet::range(tp(10), tp(20)),
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn count_matches_instantiated_cardinality() {
+        let r = sample();
+        let c = count(&r);
+        for rt in -3i64..25 {
+            let rt = tp(rt);
+            assert_eq!(c.bind(rt), count_at(&r, rt) as i64, "rt={rt}");
+        }
+    }
+
+    #[test]
+    fn count_peaks_where_all_alive() {
+        let c = count(&sample());
+        assert_eq!(c.bind(tp(12)), 3);
+        assert_eq!(c.bind(tp(0)), 1);
+        assert_eq!(c.bind(tp(17)), 2);
+    }
+
+    #[test]
+    fn sum_weights_by_attribute() {
+        let r = sample();
+        let s = sum(&r, 0).unwrap();
+        assert_eq!(s.bind(tp(0)), 10);
+        assert_eq!(s.bind(tp(12)), 60);
+        assert_eq!(s.bind(tp(17)), 40);
+    }
+
+    #[test]
+    fn sum_requires_int_attribute() {
+        assert!(sum(&sample(), 1).is_err());
+    }
+
+    #[test]
+    fn count_by_groups_on_fixed_attrs() {
+        let r = sample();
+        let groups = count_by(&r, &[1]).unwrap();
+        assert_eq!(groups.len(), 2);
+        let a = &groups
+            .iter()
+            .find(|(k, _)| k[0] == Value::str("a"))
+            .unwrap()
+            .1;
+        let b = &groups
+            .iter()
+            .find(|(k, _)| k[0] == Value::str("b"))
+            .unwrap()
+            .1;
+        assert_eq!(a.bind(tp(12)), 2);
+        assert_eq!(b.bind(tp(12)), 1);
+        assert_eq!(b.bind(tp(5)), 0);
+    }
+
+    #[test]
+    fn count_by_rejects_ongoing_group_keys() {
+        assert!(count_by(&sample(), &[2]).is_err());
+    }
+}

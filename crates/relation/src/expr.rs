@@ -1,0 +1,843 @@
+//! Predicate and scalar expressions over ongoing tuples.
+//!
+//! A predicate evaluates to an [`OngoingBool`]: predicates on fixed
+//! attributes retain their standard behaviour (their result is `true` or
+//! `false` at *every* reference time), while predicates on ongoing
+//! attributes evaluate to booleans whose value depends on the reference time
+//! (Sec. VI). Relational operators restrict a tuple's `RT` with the
+//! predicate result (Theorem 2).
+//!
+//! Following the paper's query-optimization rule (Sec. VIII), a conjunctive
+//! predicate can be [split](Expr::split_fixed_ongoing) into a conjunct over
+//! fixed attributes only — evaluated cheaply to a plain boolean, enabling
+//! standard optimizations such as hash joins on equality conjuncts — and a
+//! conjunct referencing ongoing attributes, which contributes to the result
+//! tuple's reference time.
+
+use crate::schema::{Schema, SchemaError};
+use crate::value::{Value, ValueType};
+use ongoing_core::allen::TemporalPredicate;
+use ongoing_core::{ops, OngoingBool};
+use std::fmt;
+
+/// Scalar comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl CmpOp {
+    fn name(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+/// Errors raised during expression evaluation or type checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Operation applied to incompatible value types.
+    TypeMismatch(String),
+    /// Attribute resolution failed.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<SchemaError> for EvalError {
+    fn from(e: SchemaError) -> Self {
+        EvalError::Schema(e)
+    }
+}
+
+/// An expression tree over the attributes of a tuple.
+///
+/// Attribute references are positional; use [`Expr::col`] to resolve names
+/// against a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The attribute at an index.
+    Col(usize),
+    /// A literal value.
+    Const(Value),
+    /// Scalar comparison; on ongoing points it evaluates via the core
+    /// operations of Definition 4.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// A temporal predicate of Table II over two (ongoing) intervals.
+    Temporal(TemporalPredicate, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Interval intersection `∩` (a scalar function, Table II).
+    Intersect(Box<Expr>, Box<Expr>),
+    /// The (ongoing) start point of an interval expression.
+    StartOf(Box<Expr>),
+    /// The (ongoing) exclusive end point of an interval expression.
+    EndOf(Box<Expr>),
+}
+
+impl Expr {
+    /// Resolves an attribute name against a schema.
+    pub fn col(schema: &Schema, name: &str) -> Result<Expr, SchemaError> {
+        Ok(Expr::Col(schema.index_of(name)?))
+    }
+
+    /// A literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self <temporal-predicate> other` over interval expressions.
+    pub fn temporal(self, pred: TemporalPredicate, other: Expr) -> Expr {
+        Expr::Temporal(pred, Box::new(self), Box::new(other))
+    }
+
+    /// `self before other`.
+    pub fn before(self, other: Expr) -> Expr {
+        self.temporal(TemporalPredicate::Before, other)
+    }
+
+    /// `self overlaps other`.
+    pub fn overlaps(self, other: Expr) -> Expr {
+        self.temporal(TemporalPredicate::Overlaps, other)
+    }
+
+    /// `self ∩ other` (scalar).
+    pub fn intersect(self, other: Expr) -> Expr {
+        Expr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// The start point of this interval expression.
+    pub fn start_point(self) -> Expr {
+        Expr::StartOf(Box::new(self))
+    }
+
+    /// The exclusive end point of this interval expression.
+    pub fn end_point(self) -> Expr {
+        Expr::EndOf(Box::new(self))
+    }
+
+    /// `now ∈ self`: true at exactly the reference times contained in the
+    /// instantiation of this interval expression
+    /// (`ts <= now ∧ now < te`). Restricting a tuple's reference time by
+    /// its own valid time — "while the tuple is valid".
+    pub fn contains_now(self) -> Expr {
+        let now = || Expr::lit(crate::value::Value::Point(ongoing_core::OngoingPoint::now()));
+        self.clone()
+            .start_point()
+            .le(now())
+            .and(now().lt(self.end_point()))
+    }
+
+    /// Evaluates the expression as a scalar over a tuple.
+    pub fn eval_scalar(&self, row: &[Value]) -> Result<Value, EvalError> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or(EvalError::Schema(SchemaError::BadIndex(*i))),
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Intersect(l, r) => {
+                let lv = l.eval_scalar(row)?;
+                let rv = r.eval_scalar(row)?;
+                match (lv.as_interval(), rv.as_interval()) {
+                    (Some(a), Some(b)) => Ok(Value::Interval(a.intersect(b))),
+                    _ => Err(EvalError::TypeMismatch(
+                        "∩ requires interval operands".into(),
+                    )),
+                }
+            }
+            Expr::StartOf(e) | Expr::EndOf(e) => {
+                let v = e.eval_scalar(row)?;
+                let iv = v.as_interval().ok_or_else(|| {
+                    EvalError::TypeMismatch("start/end of a non-interval".into())
+                })?;
+                let p = if matches!(self, Expr::StartOf(_)) {
+                    iv.ts()
+                } else {
+                    iv.te()
+                };
+                Ok(Value::Point(p))
+            }
+            _ => Err(EvalError::TypeMismatch(
+                "predicate used in scalar position".into(),
+            )),
+        }
+    }
+
+    /// Evaluates the expression as a predicate over a tuple, producing an
+    /// ongoing boolean.
+    pub fn eval_predicate(&self, row: &[Value]) -> Result<OngoingBool, EvalError> {
+        match self {
+            Expr::And(l, r) => {
+                let lb = l.eval_predicate(row)?;
+                // Short-circuit: ∧ with always-false stays always-false.
+                if lb.is_always_false() {
+                    return Ok(lb);
+                }
+                Ok(lb.and(&r.eval_predicate(row)?))
+            }
+            Expr::Or(l, r) => {
+                let lb = l.eval_predicate(row)?;
+                if lb.is_always_true() {
+                    return Ok(lb);
+                }
+                Ok(lb.or(&r.eval_predicate(row)?))
+            }
+            Expr::Not(e) => Ok(e.eval_predicate(row)?.not()),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval_scalar(row)?;
+                let rv = r.eval_scalar(row)?;
+                eval_cmp(*op, &lv, &rv)
+            }
+            Expr::Temporal(pred, l, r) => {
+                let lv = l.eval_scalar(row)?;
+                let rv = r.eval_scalar(row)?;
+                match (lv.as_interval(), rv.as_interval()) {
+                    (Some(a), Some(b)) => Ok(pred.eval(a, b)),
+                    _ => Err(EvalError::TypeMismatch(format!(
+                        "{} requires interval operands",
+                        pred.name()
+                    ))),
+                }
+            }
+            Expr::Col(_) | Expr::Const(_) | Expr::Intersect(..) | Expr::StartOf(_)
+            | Expr::EndOf(_) => {
+                match self.eval_scalar(row)? {
+                    Value::Bool(b) => Ok(OngoingBool::from_bool(b)),
+                    v => Err(EvalError::TypeMismatch(format!(
+                        "expected boolean, got {v}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Does this expression reference any attribute with an ongoing type
+    /// (or an ongoing literal)? Such predicates restrict the reference time;
+    /// all others keep their standard behaviour.
+    pub fn references_ongoing(&self, schema: &Schema) -> bool {
+        match self {
+            Expr::Col(i) => schema
+                .attr(*i)
+                .map(|a| a.ty.is_ongoing())
+                .unwrap_or(false),
+            Expr::Const(v) => v.is_ongoing(),
+            Expr::Cmp(_, l, r) | Expr::Or(l, r) | Expr::And(l, r) | Expr::Intersect(l, r) => {
+                l.references_ongoing(schema) || r.references_ongoing(schema)
+            }
+            Expr::Temporal(_, l, r) => {
+                // A temporal predicate over two genuinely fixed intervals is
+                // still fixed; over anything ongoing it restricts RT.
+                l.references_ongoing(schema) || r.references_ongoing(schema)
+            }
+            Expr::Not(e) | Expr::StartOf(e) | Expr::EndOf(e) => e.references_ongoing(schema),
+        }
+    }
+
+    /// Flattens nested conjunctions into a conjunct list.
+    pub fn conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::And(l, r) => {
+                let mut out = l.conjuncts();
+                out.extend(r.conjuncts());
+                out
+            }
+            e => vec![e],
+        }
+    }
+
+    /// The paper's predicate split (Sec. VIII): partitions a conjunctive
+    /// predicate into the conjunction over fixed attributes only (left) and
+    /// the conjunction referencing ongoing attributes (right). Either side
+    /// may be absent.
+    pub fn split_fixed_ongoing(self, schema: &Schema) -> (Option<Expr>, Option<Expr>) {
+        let mut fixed: Option<Expr> = None;
+        let mut ongoing: Option<Expr> = None;
+        for c in self.conjuncts() {
+            let slot = if c.references_ongoing(schema) {
+                &mut ongoing
+            } else {
+                &mut fixed
+            };
+            *slot = Some(match slot.take() {
+                Some(acc) => acc.and(c),
+                None => c,
+            });
+        }
+        (fixed, ongoing)
+    }
+
+    /// Evaluates a predicate that references no genuinely ongoing values to
+    /// a plain boolean — the fast path instantiation-based approaches
+    /// (Clifford) use, mirroring the paper's setup where the baseline runs
+    /// predicates for *fixed* time intervals.
+    ///
+    /// Returns an error if an ongoing value is encountered; callers decide
+    /// whether to fall back to [`Expr::eval_predicate`].
+    pub fn eval_bool(&self, row: &[Value]) -> Result<bool, EvalError> {
+        match self {
+            Expr::And(l, r) => Ok(l.eval_bool(row)? && r.eval_bool(row)?),
+            Expr::Or(l, r) => Ok(l.eval_bool(row)? || r.eval_bool(row)?),
+            Expr::Not(e) => Ok(!e.eval_bool(row)?),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval_scalar(row)?;
+                let rv = r.eval_scalar(row)?;
+                if lv.is_ongoing() || rv.is_ongoing() {
+                    return Err(EvalError::TypeMismatch(
+                        "eval_bool on ongoing value".into(),
+                    ));
+                }
+                let b = eval_cmp(*op, &lv, &rv)?;
+                Ok(b.is_always_true())
+            }
+            Expr::Temporal(pred, l, r) => {
+                let lv = l.eval_scalar(row)?;
+                let rv = r.eval_scalar(row)?;
+                match (&lv, &rv) {
+                    (Value::Span(a, b), Value::Span(c, d)) => {
+                        Ok(pred.eval_fixed((*a, *b), (*c, *d)))
+                    }
+                    // Fixed intervals stored as ongoing values still take
+                    // the fast path.
+                    _ => match (lv.as_interval(), rv.as_interval()) {
+                        (Some(a), Some(b)) if !lv.is_ongoing() && !rv.is_ongoing() => Ok(pred
+                            .eval_fixed(
+                                (a.ts().a(), a.te().a()),
+                                (b.ts().a(), b.te().a()),
+                            )),
+                        _ => Err(EvalError::TypeMismatch(
+                            "eval_bool on ongoing interval".into(),
+                        )),
+                    },
+                }
+            }
+            Expr::Col(_) | Expr::Const(_) | Expr::Intersect(..) | Expr::StartOf(_)
+            | Expr::EndOf(_) => match self.eval_scalar(row)? {
+                Value::Bool(b) => Ok(b),
+                v => Err(EvalError::TypeMismatch(format!(
+                    "expected boolean, got {v}"
+                ))),
+            },
+        }
+    }
+
+    /// Instantiates every literal in the expression at `rt` — what the
+    /// bind operator does to the *query* in instantiation-based evaluation
+    /// (ongoing literals like `[08/15, now)` become fixed spans). Column
+    /// references are untouched; instantiating the scanned values is the
+    /// scan's job.
+    pub fn bind_consts(&self, rt: ongoing_core::TimePoint) -> Expr {
+        match self {
+            Expr::Const(v) => Expr::Const(v.bind(rt)),
+            Expr::Col(i) => Expr::Col(*i),
+            Expr::Cmp(op, l, r) => Expr::Cmp(
+                *op,
+                Box::new(l.bind_consts(rt)),
+                Box::new(r.bind_consts(rt)),
+            ),
+            Expr::Temporal(p, l, r) => Expr::Temporal(
+                *p,
+                Box::new(l.bind_consts(rt)),
+                Box::new(r.bind_consts(rt)),
+            ),
+            Expr::And(l, r) => Expr::And(
+                Box::new(l.bind_consts(rt)),
+                Box::new(r.bind_consts(rt)),
+            ),
+            Expr::Or(l, r) => Expr::Or(
+                Box::new(l.bind_consts(rt)),
+                Box::new(r.bind_consts(rt)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.bind_consts(rt))),
+            Expr::Intersect(l, r) => Expr::Intersect(
+                Box::new(l.bind_consts(rt)),
+                Box::new(r.bind_consts(rt)),
+            ),
+            Expr::StartOf(e) => Expr::StartOf(Box::new(e.bind_consts(rt))),
+            Expr::EndOf(e) => Expr::EndOf(Box::new(e.bind_consts(rt))),
+        }
+    }
+
+    /// Collects the column indices referenced by this expression.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Const(_) => {}
+            Expr::Cmp(_, l, r)
+            | Expr::Temporal(_, l, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Intersect(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::StartOf(e) | Expr::EndOf(e) => e.collect_columns(out),
+        }
+    }
+
+    /// Rewrites every column reference through `f` — used by the optimizer
+    /// to move predicates across products (shifting indices) and under
+    /// projections.
+    pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(f(*i)),
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Cmp(op, l, r) => {
+                Expr::Cmp(*op, Box::new(l.map_columns(f)), Box::new(r.map_columns(f)))
+            }
+            Expr::Temporal(p, l, r) => {
+                Expr::Temporal(*p, Box::new(l.map_columns(f)), Box::new(r.map_columns(f)))
+            }
+            Expr::And(l, r) => {
+                Expr::And(Box::new(l.map_columns(f)), Box::new(r.map_columns(f)))
+            }
+            Expr::Or(l, r) => Expr::Or(Box::new(l.map_columns(f)), Box::new(r.map_columns(f))),
+            Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
+            Expr::Intersect(l, r) => {
+                Expr::Intersect(Box::new(l.map_columns(f)), Box::new(r.map_columns(f)))
+            }
+            Expr::StartOf(e) => Expr::StartOf(Box::new(e.map_columns(f))),
+            Expr::EndOf(e) => Expr::EndOf(Box::new(e.map_columns(f))),
+        }
+    }
+
+    /// If this conjunct is `Col(i) = Col(j)` with `i` on the left side of a
+    /// product of `split` columns and `j` on the right (or vice versa),
+    /// returns the `(left, right-local)` key pair — a hash-join key.
+    pub fn as_equi_key(&self, split: usize) -> Option<(usize, usize)> {
+        if let Expr::Cmp(CmpOp::Eq, l, r) = self {
+            if let (Expr::Col(i), Expr::Col(j)) = (l.as_ref(), r.as_ref()) {
+                let (i, j) = (*i, *j);
+                if i < split && j >= split {
+                    return Some((i, j - split));
+                }
+                if j < split && i >= split {
+                    return Some((j, i - split));
+                }
+            }
+        }
+        None
+    }
+
+    /// Infers the scalar result type against a schema (predicates are
+    /// `Bool`).
+    pub fn result_type(&self, schema: &Schema) -> Result<ValueType, EvalError> {
+        match self {
+            Expr::Col(i) => Ok(schema.attr(*i)?.ty),
+            Expr::Const(v) => Ok(v.value_type()),
+            Expr::Intersect(..) => Ok(ValueType::OngoingInterval),
+            Expr::StartOf(_) | Expr::EndOf(_) => Ok(ValueType::OngoingPoint),
+            _ => Ok(ValueType::Bool),
+        }
+    }
+}
+
+fn eval_cmp(op: CmpOp, lv: &Value, rv: &Value) -> Result<OngoingBool, EvalError> {
+    // Ongoing integers (aggregate results) compare pointwise over the
+    // reference time; mixed Int/ongoing-int comparisons coerce.
+    if matches!(lv, Value::Count(_)) || matches!(rv, Value::Count(_)) {
+        let (p, q) = match (lv.as_ongoing_int(), rv.as_ongoing_int()) {
+            (Some(p), Some(q)) => (p, q),
+            _ => {
+                return Err(EvalError::TypeMismatch(format!(
+                    "cannot compare {lv} {} {rv}",
+                    op.name()
+                )))
+            }
+        };
+        let st = match op {
+            CmpOp::Lt => p.lt_set(&q),
+            CmpOp::Le => q.lt_set(&p).complement(),
+            CmpOp::Eq => p.eq_set(&q),
+            CmpOp::Ne => p.eq_set(&q).complement(),
+            CmpOp::Ge => p.lt_set(&q).complement(),
+            CmpOp::Gt => q.lt_set(&p),
+        };
+        return Ok(OngoingBool::from_set(st));
+    }
+    // Ongoing (or mixed fixed/ongoing) time points go through the core
+    // operations; everything else is a standard fixed comparison.
+    if matches!(lv, Value::Point(_)) || matches!(rv, Value::Point(_)) {
+        let (p, q) = match (lv.as_point(), rv.as_point()) {
+            (Some(p), Some(q)) => (p, q),
+            _ => {
+                return Err(EvalError::TypeMismatch(format!(
+                    "cannot compare {lv} {} {rv}",
+                    op.name()
+                )))
+            }
+        };
+        return Ok(match op {
+            CmpOp::Lt => ops::lt(p, q),
+            CmpOp::Le => ops::le(p, q),
+            CmpOp::Eq => ops::eq(p, q),
+            CmpOp::Ne => ops::ne(p, q),
+            CmpOp::Ge => ops::ge(p, q),
+            CmpOp::Gt => ops::gt(p, q),
+        });
+    }
+    if matches!(lv, Value::Interval(_)) || matches!(rv, Value::Interval(_)) {
+        // Only (in)equality is defined on interval values; ordering of
+        // intervals is expressed through the Table II predicates.
+        return match op {
+            CmpOp::Eq => Ok(lv.ongoing_eq(rv)),
+            CmpOp::Ne => Ok(lv.ongoing_eq(rv).not()),
+            _ => Err(EvalError::TypeMismatch(format!(
+                "{} is not defined on intervals; use a temporal predicate",
+                op.name()
+            ))),
+        };
+    }
+    let ord = match (lv, rv) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(b),
+        (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+        (Value::Time(a), Value::Time(b)) => a.cmp(b),
+        (Value::Span(a, b), Value::Span(c, d)) => a.cmp(c).then(b.cmp(d)),
+        _ => {
+            return Err(EvalError::TypeMismatch(format!(
+                "cannot compare {lv} {} {rv}",
+                op.name()
+            )))
+        }
+    };
+    let res = match op {
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Ge => ord.is_ge(),
+        CmpOp::Gt => ord.is_gt(),
+    };
+    Ok(OngoingBool::from_bool(res))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Cmp(op, l, r) => write!(f, "({l} {} {r})", op.name()),
+            Expr::Temporal(p, l, r) => write!(f, "({l} {} {r})", p.name()),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Intersect(l, r) => write!(f, "({l} ∩ {r})"),
+            Expr::StartOf(e) => write!(f, "start({e})"),
+            Expr::EndOf(e) => write!(f, "end({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use ongoing_core::date::md;
+    use ongoing_core::time::tp;
+    use ongoing_core::{IntervalSet, OngoingInterval, OngoingPoint, TimePoint};
+
+    fn bug_tuple() -> (Schema, Tuple) {
+        let schema = Schema::builder().int("BID").str("C").interval("VT").build();
+        let t = Tuple::base(vec![
+            Value::Int(500),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::from_until_now(md(1, 25))),
+        ]);
+        (schema, t)
+    }
+
+    #[test]
+    fn fixed_predicate_keeps_standard_behaviour() {
+        let (schema, t) = bug_tuple();
+        let e = Expr::col(&schema, "C")
+            .unwrap()
+            .eq(Expr::lit("Spam filter"));
+        assert!(e.eval_predicate(t.values()).unwrap().is_always_true());
+        let e = Expr::col(&schema, "C").unwrap().eq(Expr::lit("Other"));
+        assert!(e.eval_predicate(t.values()).unwrap().is_always_false());
+    }
+
+    #[test]
+    fn temporal_predicate_restricts_reference_time() {
+        let (schema, t) = bug_tuple();
+        // VT overlaps [01/20, 08/18) — Example 3 yields b[{[01/26, ∞)}].
+        let e = Expr::col(&schema, "VT").unwrap().overlaps(Expr::lit(
+            Value::Interval(OngoingInterval::fixed(md(1, 20), md(8, 18))),
+        ));
+        let b = e.eval_predicate(t.values()).unwrap();
+        assert_eq!(
+            b.true_set(),
+            &IntervalSet::range(md(1, 26), TimePoint::POS_INF)
+        );
+    }
+
+    #[test]
+    fn point_comparison_goes_through_core_ops() {
+        let schema = Schema::builder().point("P").build();
+        let t = Tuple::base(vec![Value::Point(OngoingPoint::now())]);
+        let e = Expr::col(&schema, "P")
+            .unwrap()
+            .le(Expr::lit(Value::Time(tp(17))));
+        let b = e.eval_predicate(t.values()).unwrap();
+        assert!(b.bind(tp(17)));
+        assert!(!b.bind(tp(18)));
+    }
+
+    #[test]
+    fn intersect_is_scalar() {
+        let (schema, t) = bug_tuple();
+        let e = Expr::col(&schema, "VT").unwrap().intersect(Expr::lit(
+            Value::Interval(OngoingInterval::fixed(md(1, 20), md(8, 18))),
+        ));
+        let v = e.eval_scalar(t.values()).unwrap();
+        let iv = v.as_interval().unwrap();
+        assert_eq!(iv.ts(), OngoingPoint::fixed(md(1, 25)));
+        assert_eq!(iv.te(), OngoingPoint::limited(md(8, 18)));
+    }
+
+    #[test]
+    fn connectives_combine_pointwise() {
+        let (schema, t) = bug_tuple();
+        let vt = || Expr::col(&schema, "VT").unwrap();
+        let ovl = |a: u8, b: u8, c: u8, d: u8| {
+            vt().overlaps(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                md(a, b),
+                md(c, d),
+            ))))
+        };
+        let e = ovl(1, 20, 8, 18).and(ovl(3, 1, 12, 31).not());
+        let b = e.eval_predicate(t.values()).unwrap();
+        for rt_day in [md(1, 20), md(1, 26), md(3, 1), md(3, 2), md(9, 1)] {
+            let lhs = t.value(2).as_interval().unwrap();
+            let (s, e_) = lhs.bind(rt_day);
+            let o1 = ongoing_core::allen::fixed::overlaps((s, e_), (md(1, 20), md(8, 18)));
+            let o2 = ongoing_core::allen::fixed::overlaps((s, e_), (md(3, 1), md(12, 31)));
+            assert_eq!(b.bind(rt_day), o1 && !o2);
+        }
+    }
+
+    #[test]
+    fn split_separates_fixed_and_ongoing_conjuncts() {
+        let (schema, _) = bug_tuple();
+        let e = Expr::col(&schema, "C")
+            .unwrap()
+            .eq(Expr::lit("Spam filter"))
+            .and(
+                Expr::col(&schema, "VT")
+                    .unwrap()
+                    .overlaps(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                        md(1, 1),
+                        md(12, 31),
+                    ))))
+                    .and(Expr::col(&schema, "BID").unwrap().eq(Expr::lit(500i64))),
+            );
+        let (fixed, ongoing) = e.split_fixed_ongoing(&schema);
+        let fixed = fixed.unwrap();
+        let ongoing = ongoing.unwrap();
+        assert!(!fixed.references_ongoing(&schema));
+        assert!(ongoing.references_ongoing(&schema));
+        // The fixed part contains both fixed conjuncts.
+        assert_eq!(fixed.conjuncts().len(), 2);
+        assert_eq!(ongoing.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn split_with_only_fixed_conjuncts() {
+        let (schema, _) = bug_tuple();
+        let e = Expr::col(&schema, "BID").unwrap().eq(Expr::lit(1i64));
+        let (fixed, ongoing) = e.clone().split_fixed_ongoing(&schema);
+        assert_eq!(fixed, Some(e));
+        assert!(ongoing.is_none());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let (schema, t) = bug_tuple();
+        let e = Expr::col(&schema, "BID")
+            .unwrap()
+            .lt(Expr::lit("not an int"));
+        assert!(matches!(
+            e.eval_predicate(t.values()),
+            Err(EvalError::TypeMismatch(_))
+        ));
+        // Ordering intervals directly is rejected.
+        let e = Expr::col(&schema, "VT").unwrap().lt(Expr::lit(
+            Value::Interval(OngoingInterval::fixed(tp(0), tp(1))),
+        ));
+        assert!(matches!(
+            e.eval_predicate(t.values()),
+            Err(EvalError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (schema, _) = bug_tuple();
+        let e = Expr::col(&schema, "C")
+            .unwrap()
+            .eq(Expr::lit("x"))
+            .and(Expr::col(&schema, "VT").unwrap().before(Expr::lit(
+                Value::Interval(OngoingInterval::fixed(tp(0), tp(1))),
+            )));
+        assert_eq!(e.to_string(), "((#1 = x) AND (#2 before [0, 1)))");
+    }
+
+    #[test]
+    fn endpoint_accessors_extract_ongoing_points() {
+        let (schema, t) = bug_tuple();
+        let vt = Expr::col(&schema, "VT").unwrap();
+        let s = vt.clone().start_point().eval_scalar(t.values()).unwrap();
+        assert_eq!(s, Value::Point(OngoingPoint::fixed(md(1, 25))));
+        let e = vt.end_point().eval_scalar(t.values()).unwrap();
+        assert_eq!(e, Value::Point(OngoingPoint::now()));
+        // Non-interval input is a type error.
+        assert!(Expr::col(&schema, "BID")
+            .unwrap()
+            .start_point()
+            .eval_scalar(t.values())
+            .is_err());
+    }
+
+    #[test]
+    fn contains_now_restricts_to_validity() {
+        // VT = [01/25, now): rt ∈ ∥VT∥rt exactly for rt > 01/25 ... wait,
+        // ts <= rt < te with te = rt means never... check semantics:
+        // ∥[01/25, now)∥rt = [01/25, rt); rt ∈ it is false (rt < rt fails).
+        // For the expanding interval the *probe* form is ts <= now < te.
+        let (schema, t) = bug_tuple();
+        let e = Expr::col(&schema, "VT").unwrap().contains_now();
+        let b = e.eval_predicate(t.values()).unwrap();
+        // now < now is always false: an expanding interval never contains
+        // the current instant itself (it is right-open at now).
+        assert!(b.is_always_false());
+        // A fixed interval contains now exactly while it lasts.
+        let schema2 = Schema::builder().interval("VT").build();
+        let t2 = Tuple::base(vec![Value::Interval(OngoingInterval::fixed(
+            tp(10),
+            tp(20),
+        ))]);
+        let e2 = Expr::col(&schema2, "VT").unwrap().contains_now();
+        let b2 = e2.eval_predicate(t2.values()).unwrap();
+        for rt in 0i64..30 {
+            assert_eq!(b2.bind(tp(rt)), (10..20).contains(&rt), "rt={rt}");
+        }
+    }
+
+    #[test]
+    fn eval_bool_fast_path_on_fixed_values() {
+        let schema = Schema::builder().int("X").build();
+        let t = Tuple::base(vec![Value::Int(5)]);
+        let e = Expr::col(&schema, "X").unwrap().lt(Expr::lit(10i64));
+        assert!(e.eval_bool(t.values()).unwrap());
+        // Temporal predicate on instantiated spans.
+        let t2 = Tuple::base(vec![Value::Int(1)]);
+        let e2 = Expr::lit(Value::Span(tp(0), tp(5)))
+            .overlaps(Expr::lit(Value::Span(tp(3), tp(9))));
+        assert!(e2.eval_bool(t2.values()).unwrap());
+    }
+
+    #[test]
+    fn eval_bool_rejects_ongoing_values() {
+        let (schema, t) = bug_tuple();
+        let e = Expr::col(&schema, "VT").unwrap().overlaps(Expr::lit(
+            Value::Interval(OngoingInterval::fixed(tp(0), tp(1))),
+        ));
+        assert!(e.eval_bool(t.values()).is_err());
+    }
+
+    #[test]
+    fn columns_and_map_columns() {
+        let e = Expr::Col(3)
+            .eq(Expr::Col(1))
+            .and(Expr::Col(3).lt(Expr::lit(5i64)));
+        assert_eq!(e.columns(), vec![1, 3]);
+        let shifted = e.map_columns(&|i| i + 10);
+        assert_eq!(shifted.columns(), vec![11, 13]);
+    }
+
+    #[test]
+    fn equi_key_detection() {
+        // #1 = #4 over a product split at 3 → key pair (1, 1).
+        let e = Expr::Col(1).eq(Expr::Col(4));
+        assert_eq!(e.as_equi_key(3), Some((1, 1)));
+        // Reversed order too.
+        let e = Expr::Col(4).eq(Expr::Col(1));
+        assert_eq!(e.as_equi_key(3), Some((1, 1)));
+        // Same-side equality is not a join key.
+        let e = Expr::Col(0).eq(Expr::Col(1));
+        assert_eq!(e.as_equi_key(3), None);
+        // Non-equality is not a key.
+        let e = Expr::Col(1).lt(Expr::Col(4));
+        assert_eq!(e.as_equi_key(3), None);
+    }
+}

@@ -1,0 +1,387 @@
+//! Ongoing relations (Definition 5) and their bind operator.
+
+use crate::schema::{Schema, SchemaError};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use ongoing_core::{IntervalSet, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An ongoing relation: a schema plus a finite set of tuples, each carrying
+/// a reference-time attribute `RT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OngoingRelation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl OngoingRelation {
+    /// An empty relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        OngoingRelation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from pre-made tuples (arity-checked).
+    pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Result<Self, SchemaError> {
+        for t in &tuples {
+            if t.arity() != schema.len() {
+                return Err(SchemaError::Mismatch(format!(
+                    "tuple arity {} does not match schema arity {}",
+                    t.arity(),
+                    schema.len()
+                )));
+            }
+        }
+        Ok(OngoingRelation { schema, tuples })
+    }
+
+    /// Inserts a base tuple with the trivial reference time `{(-∞, ∞)}` —
+    /// how base ongoing relations are populated (Sec. VII-A).
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<(), SchemaError> {
+        self.insert_with_rt(values, IntervalSet::full())
+    }
+
+    /// Inserts a tuple with an explicit reference time. Tuples with an
+    /// empty reference time are deleted (not stored).
+    pub fn insert_with_rt(
+        &mut self,
+        values: Vec<Value>,
+        rt: IntervalSet,
+    ) -> Result<(), SchemaError> {
+        if values.len() != self.schema.len() {
+            return Err(SchemaError::Mismatch(format!(
+                "tuple arity {} does not match schema arity {}",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        if rt.is_empty() {
+            return Ok(());
+        }
+        self.tuples.push(Tuple::with_rt(values, rt));
+        Ok(())
+    }
+
+    /// Pushes a pre-built tuple, dropping it if its `RT` is empty.
+    pub fn push(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.arity(), self.schema.len());
+        if !tuple.rt().is_empty() {
+            self.tuples.push(tuple);
+        }
+    }
+
+    /// The schema `(A, RT)`.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Replaces the schema (names only — used by `qualify`/rename).
+    pub fn with_schema(self, schema: Schema) -> Result<Self, SchemaError> {
+        if !self.schema.compatible_with(&schema) {
+            return Err(SchemaError::Mismatch(
+                "rename must preserve attribute types".into(),
+            ));
+        }
+        Ok(OngoingRelation {
+            schema,
+            tuples: self.tuples,
+        })
+    }
+
+    /// Qualifies all attribute names with a relation alias (`B.VT`).
+    pub fn qualify(self, rel: &str) -> Self {
+        let schema = self.schema.qualify(rel);
+        OngoingRelation {
+            schema,
+            tuples: self.tuples,
+        }
+    }
+
+    /// The bind operator `∥R∥rt` (Sec. VII-A): instantiates every ongoing
+    /// attribute at `rt` and omits tuples whose `RT` does not contain `rt`.
+    /// The result is a fixed relation with set semantics.
+    pub fn bind(&self, rt: TimePoint) -> FixedRelation {
+        FixedRelation::from_rows(self.bind_rows(rt))
+    }
+
+    /// The raw row bag of `∥R∥rt`, without the canonicalizing sort/dedup of
+    /// [`bind`](Self::bind) — what a system hands to an application when
+    /// instantiating a materialized ongoing result (and what the benchmark
+    /// harness times, so the comparison against re-evaluation does not
+    /// charge either side for canonicalization).
+    pub fn bind_rows(&self, rt: TimePoint) -> Vec<Vec<Value>> {
+        self.tuples.iter().filter_map(|t| t.bind(rt)).collect()
+    }
+
+    /// Merges tuples with identical attribute values by unioning their
+    /// reference times. The result has the same instantiations at every
+    /// reference time but a canonical tuple set.
+    pub fn coalesce(&self) -> OngoingRelation {
+        let mut groups: HashMap<&[Value], IntervalSet> = HashMap::with_capacity(self.len());
+        let mut order: Vec<&Tuple> = Vec::with_capacity(self.len());
+        for t in &self.tuples {
+            match groups.entry(t.values()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let merged = e.get().union(t.rt());
+                    e.insert(merged);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(t.rt().clone());
+                    order.push(t);
+                }
+            }
+        }
+        let tuples = order
+            .into_iter()
+            .map(|t| Tuple::with_rt(t.values().to_vec(), groups[t.values()].clone()))
+            .collect();
+        OngoingRelation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Renders the relation like the paper's figures (one row per tuple,
+    /// `RT` last).
+    pub fn to_table_string(&self) -> String {
+        self.render_table(|v| v.to_string(), |rt| rt.to_string())
+    }
+
+    /// Renders the relation with day-granularity values formatted as civil
+    /// dates (the paper's `mm/dd` shorthand) — for examples and the repro
+    /// harness.
+    pub fn to_table_string_md(&self) -> String {
+        use ongoing_core::date::AsMd;
+        self.render_table(
+            |v| v.display_md(),
+            |rt| {
+                let parts: Vec<String> = rt
+                    .ranges()
+                    .iter()
+                    .map(|r| format!("[{}, {})", AsMd(r.ts()), AsMd(r.te())))
+                    .collect();
+                format!("{{{}}}", parts.join(", "))
+            },
+        )
+    }
+
+    fn render_table(
+        &self,
+        fmt_value: impl Fn(&Value) -> String,
+        fmt_rt: impl Fn(&IntervalSet) -> String,
+    ) -> String {
+        let mut head: Vec<String> = self
+            .schema
+            .attrs()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        head.push("RT".to_string());
+        let mut rows: Vec<Vec<String>> = vec![head];
+        for t in &self.tuples {
+            let mut row: Vec<String> = t.values().iter().map(&fmt_value).collect();
+            row.push(fmt_rt(t.rt()));
+            rows.push(row);
+        }
+        let widths: Vec<usize> = (0..rows[0].len())
+            .map(|c| rows.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (c, cell) in row.iter().enumerate() {
+                out.push_str(cell);
+                out.extend(std::iter::repeat(' ').take(widths[c] - cell.chars().count() + 2));
+            }
+            out.push('\n');
+            if i == 0 {
+                let total: usize = widths.iter().map(|w| w + 2).sum();
+                out.extend(std::iter::repeat('-').take(total));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for OngoingRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table_string())
+    }
+}
+
+/// A fixed relation with set semantics — the result of instantiating an
+/// ongoing relation at a reference time. Rows are kept sorted and
+/// deduplicated so equality is structural; this is the oracle representation
+/// for the paper's correctness criterion `∥Q(D)∥rt ≡ Q(∥D∥rt)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedRelation {
+    rows: Vec<Vec<Value>>,
+}
+
+impl FixedRelation {
+    /// Builds a fixed relation, sorting and deduplicating the rows.
+    pub fn from_rows(mut rows: Vec<Vec<Value>>) -> Self {
+        rows.sort_unstable_by(|a, b| crate::value::cmp_rows(a, b));
+        rows.dedup();
+        FixedRelation { rows }
+    }
+
+    /// The canonical rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Does a row appear in the relation?
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows
+            .binary_search_by(|r| crate::value::cmp_rows(r, row))
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ongoing_core::time::tp;
+    use ongoing_core::OngoingInterval;
+
+    fn bugs() -> OngoingRelation {
+        let schema = Schema::builder().int("BID").str("C").interval("VT").build();
+        let mut r = OngoingRelation::new(schema);
+        r.insert(vec![
+            Value::Int(500),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::from_until_now(tp(25))),
+        ])
+        .unwrap();
+        r.insert(vec![
+            Value::Int(501),
+            Value::str("Spam filter"),
+            Value::Interval(OngoingInterval::fixed(tp(89), tp(233))),
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut r = bugs();
+        assert!(r.insert(vec![Value::Int(1)]).is_err());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_rt_tuples_are_deleted() {
+        let mut r = bugs();
+        r.insert_with_rt(
+            vec![
+                Value::Int(502),
+                Value::str("X"),
+                Value::Interval(OngoingInterval::fixed(tp(0), tp(1))),
+            ],
+            IntervalSet::empty(),
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn bind_instantiates_and_filters() {
+        let r = bugs();
+        let snap = r.bind(tp(30));
+        assert_eq!(snap.len(), 2);
+        assert!(snap.contains(&[
+            Value::Int(500),
+            Value::str("Spam filter"),
+            Value::Span(tp(25), tp(30)),
+        ]));
+    }
+
+    #[test]
+    fn bind_omits_dead_tuples() {
+        let schema = Schema::builder().int("X").build();
+        let mut r = OngoingRelation::new(schema);
+        r.insert_with_rt(vec![Value::Int(1)], IntervalSet::range(tp(0), tp(10)))
+            .unwrap();
+        assert_eq!(r.bind(tp(5)).len(), 1);
+        assert_eq!(r.bind(tp(15)).len(), 0);
+    }
+
+    #[test]
+    fn bind_applies_set_semantics() {
+        let schema = Schema::builder().int("X").build();
+        let mut r = OngoingRelation::new(schema);
+        r.insert(vec![Value::Int(1)]).unwrap();
+        r.insert(vec![Value::Int(1)]).unwrap();
+        assert_eq!(r.bind(tp(0)).len(), 1);
+    }
+
+    #[test]
+    fn coalesce_merges_equal_payloads() {
+        let schema = Schema::builder().int("X").build();
+        let mut r = OngoingRelation::new(schema);
+        r.insert_with_rt(vec![Value::Int(1)], IntervalSet::range(tp(0), tp(5)))
+            .unwrap();
+        r.insert_with_rt(vec![Value::Int(1)], IntervalSet::range(tp(5), tp(9)))
+            .unwrap();
+        r.insert_with_rt(vec![Value::Int(2)], IntervalSet::range(tp(0), tp(1)))
+            .unwrap();
+        let c = r.coalesce();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.tuples()[0].rt(), &IntervalSet::range(tp(0), tp(9)));
+    }
+
+    #[test]
+    fn qualify_prefixes_names() {
+        let r = bugs().qualify("B");
+        assert_eq!(r.schema().attrs()[0].name, "B.BID");
+    }
+
+    #[test]
+    fn table_rendering_includes_rt_column() {
+        let s = bugs().to_table_string();
+        assert!(s.contains("RT"));
+        assert!(s.contains("[25, now)"));
+    }
+
+    #[test]
+    fn fixed_relation_dedups_and_sorts() {
+        let r = FixedRelation::from_rows(vec![
+            vec![Value::Int(2)],
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+        ]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[Value::Int(1)]));
+        assert!(!r.contains(&[Value::Int(3)]));
+    }
+}

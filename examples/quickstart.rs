@@ -1,0 +1,88 @@
+//! Quickstart: ongoing time points, predicates, and a first ongoing query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ongoing_core::date::{md, AsMd};
+use ongoing_core::{allen, ops, OngoingInt, OngoingInterval, OngoingPoint};
+use ongoing_relation::{Expr, OngoingRelation, Schema, Value};
+use ongoingdb::engine::{execute, execute_at, Database, QueryBuilder};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Ongoing time points: `now` changes its value as time passes by.
+    //    An ongoing point `a+b` means "not earlier than a, not later
+    //    than b"; `now = -∞+∞` instantiates to the reference time.
+    // ------------------------------------------------------------------
+    let now = OngoingPoint::now();
+    println!("∥now∥ at 08/15 = {}", AsMd(now.bind(md(8, 15))));
+    println!("∥now∥ at 08/16 = {}", AsMd(now.bind(md(8, 16))));
+
+    // min/max stay uninstantiated — Ω is closed (Theorem 1):
+    let m = ops::min(OngoingPoint::fixed(md(10, 17)), now);
+    println!("min(10/17, now) = {m} (a limited ongoing point)");
+
+    // ------------------------------------------------------------------
+    // 2. Predicates evaluate at *all* reference times at once, producing
+    //    ongoing booleans.
+    // ------------------------------------------------------------------
+    let bug = OngoingInterval::from_until_now(md(1, 25)); // open until now
+    let patch = OngoingInterval::fixed(md(8, 15), md(8, 24));
+    let b = allen::before(bug, patch);
+    println!("\n[01/25, now) before [08/15, 08/24) = {b}");
+    println!("  true at 08/15? {}", b.bind(md(8, 15)));
+    println!("  true at 08/16? {}", b.bind(md(8, 16)));
+
+    // Extension (paper Sec. X): duration as an ongoing integer.
+    let d = OngoingInt::duration(bug);
+    println!(
+        "duration([01/25, now)) at 02/01 = {} days, at 03/01 = {} days",
+        d.bind(md(2, 1)),
+        d.bind(md(3, 1))
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Ongoing relations: every tuple carries a reference time RT that
+    //    queries restrict. Results remain valid as time passes by.
+    // ------------------------------------------------------------------
+    let db = Database::new();
+    let schema = Schema::builder().int("BID").str("C").interval("VT").build();
+    let mut bugs = OngoingRelation::new(schema);
+    bugs.insert(vec![
+        Value::Int(500),
+        Value::str("Spam filter"),
+        Value::Interval(OngoingInterval::from_until_now(md(1, 25))),
+    ])
+    .unwrap();
+    bugs.insert(vec![
+        Value::Int(501),
+        Value::str("Search"),
+        Value::Interval(OngoingInterval::fixed(md(3, 30), md(8, 21))),
+    ])
+    .unwrap();
+    db.create_table("bugs", bugs).unwrap();
+
+    // Which bugs are open during the August release window?
+    let plan = QueryBuilder::scan(&db, "bugs")
+        .unwrap()
+        .filter(|s| {
+            Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
+                OngoingInterval::fixed(md(8, 1), md(9, 1)),
+            ))))
+        })
+        .unwrap()
+        .build();
+
+    let ongoing = execute(&db, &plan).unwrap();
+    println!("\nOngoing result (computed once, valid forever):");
+    println!("{}", ongoing.to_table_string_md());
+
+    // Instantiate whenever you need a snapshot — no re-evaluation:
+    for rt in [md(2, 1), md(8, 15)] {
+        let snapshot = ongoing.bind(rt);
+        println!("snapshot at {}: {} tuple(s)", AsMd(rt), snapshot.len());
+        // ... and it provably equals Clifford-style re-evaluation:
+        assert_eq!(snapshot, execute_at(&db, &plan, rt).unwrap());
+    }
+}

@@ -1,0 +1,27 @@
+//! # ongoingdb
+//!
+//! Facade crate bundling the full ongoing-databases stack — a from-scratch
+//! Rust reproduction of *"Query Results over Ongoing Databases that Remain
+//! Valid as Time Passes By"* (Mülle & Böhlen, ICDE 2020).
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] (`ongoing-core`) | ongoing time points, intervals, booleans, core ops |
+//! | [`relation`] (`ongoing-relation`) | ongoing relations, expressions, relational algebra |
+//! | [`engine`] (`ongoing-engine`) | catalog, storage, planner, executors, baselines |
+//! | [`datasets`] (`ongoing-datasets`) | synthetic evaluation datasets |
+//!
+//! See the repository README for a quickstart and `EXPERIMENTS.md` for the
+//! paper-reproduction harness.
+
+#![forbid(unsafe_code)]
+
+pub use ongoing_core as core;
+pub use ongoing_datasets as datasets;
+pub use ongoing_engine as engine;
+pub use ongoing_relation as relation;
+
+pub use ongoing_core::{
+    IntervalSet, OngoingBool, OngoingInt, OngoingInterval, OngoingPoint, TimePoint,
+};
+pub use ongoing_relation::{Expr, OngoingRelation, Schema, Tuple, Value};

@@ -1,0 +1,278 @@
+//! Randomized whole-plan differential testing.
+//!
+//! Generates random logical plans (selections, joins, products, unions,
+//! differences, projections, aggregations — nested up to depth 3) over
+//! randomly generated ongoing relations and verifies the paper's master
+//! criterion `∀rt: ∥Q(D)∥rt ≡ Q(∥D∥rt)` at every breakpoint-relevant
+//! reference time, under every join strategy.
+//!
+//! This is the heaviest single guarantee in the suite: any divergence
+//! between the ongoing executors (interval-set arithmetic, RT
+//! restriction) and the instantiated executors (fixed evaluation) for any
+//! generated plan shape is a bug.
+
+use ongoing_core::allen::TemporalPredicate;
+use ongoing_core::time::tp;
+use ongoing_core::{IntervalSet, OngoingInterval, OngoingPoint, TimePoint};
+use ongoing_relation::aggregate::AggFn;
+use ongoing_relation::{Expr, OngoingRelation, Schema, Value};
+use ongoingdb::engine::plan::{compile, JoinStrategy, PlannerConfig};
+use ongoingdb::engine::{Database, LogicalPlan, QueryBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const LO: i64 = -10;
+const HI: i64 = 10;
+
+fn random_point(rng: &mut SmallRng) -> OngoingPoint {
+    let a = rng.gen_range(LO..=HI);
+    let b = rng.gen_range(a..=HI + 3);
+    match rng.gen_range(0..5) {
+        0 => OngoingPoint::fixed(tp(a)),
+        1 => OngoingPoint::now(),
+        2 => OngoingPoint::growing(tp(a)),
+        3 => OngoingPoint::limited(tp(b)),
+        _ => OngoingPoint::new(tp(a), tp(b)).unwrap(),
+    }
+}
+
+fn random_interval(rng: &mut SmallRng) -> OngoingInterval {
+    OngoingInterval::new(random_point(rng), random_point(rng))
+}
+
+fn random_rt_set(rng: &mut SmallRng) -> IntervalSet {
+    if rng.gen_bool(0.5) {
+        return IntervalSet::full();
+    }
+    let n = rng.gen_range(1..3);
+    IntervalSet::from_ranges((0..n).map(|_| {
+        let s = rng.gen_range(LO..=HI);
+        (tp(s), tp(s + rng.gen_range(1..8)))
+    }))
+}
+
+/// A random relation over (K: Int, C: Str, VT: OngoingInterval).
+fn random_relation(rng: &mut SmallRng, rows: usize) -> OngoingRelation {
+    let schema = Schema::builder().int("K").str("C").interval("VT").build();
+    let mut r = OngoingRelation::new(schema);
+    for _ in 0..rows {
+        r.insert_with_rt(
+            vec![
+                Value::Int(rng.gen_range(0..4)),
+                Value::str(["x", "y", "z"][rng.gen_range(0..3)]),
+                Value::Interval(random_interval(rng)),
+            ],
+            random_rt_set(rng),
+        )
+        .unwrap();
+    }
+    r
+}
+
+fn random_pred(rng: &mut SmallRng, schema: &Schema) -> Expr {
+    let col = |rng: &mut SmallRng, schema: &Schema, want_interval: bool| {
+        let candidates: Vec<usize> = schema
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                if want_interval {
+                    a.ty == ongoing_relation::ValueType::OngoingInterval
+                } else {
+                    a.ty == ongoing_relation::ValueType::Int
+                        || a.ty == ongoing_relation::ValueType::Str
+                }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        candidates[rng.gen_range(0..candidates.len())]
+    };
+    match rng.gen_range(0..5) {
+        0 => {
+            // Fixed equality between two fixed columns or a literal.
+            let i = col(rng, schema, false);
+            if rng.gen_bool(0.5) {
+                let j = col(rng, schema, false);
+                if schema.attr(i).unwrap().ty == schema.attr(j).unwrap().ty {
+                    return Expr::Col(i).eq(Expr::Col(j));
+                }
+            }
+            match schema.attr(i).unwrap().ty {
+                ongoing_relation::ValueType::Int => {
+                    Expr::Col(i).eq(Expr::lit(rng.gen_range(0..4i64)))
+                }
+                _ => Expr::Col(i).eq(Expr::lit(["x", "y", "z"][rng.gen_range(0..3)])),
+            }
+        }
+        1 => {
+            // Temporal predicate between two interval columns.
+            let preds = TemporalPredicate::ALL;
+            let p = preds[rng.gen_range(0..preds.len())];
+            Expr::Col(col(rng, schema, true)).temporal(p, Expr::Col(col(rng, schema, true)))
+        }
+        2 => {
+            // Temporal predicate against a literal window.
+            let preds = TemporalPredicate::ALL;
+            let p = preds[rng.gen_range(0..preds.len())];
+            Expr::Col(col(rng, schema, true))
+                .temporal(p, Expr::lit(Value::Interval(random_interval(rng))))
+        }
+        3 => {
+            // Point comparison: START/END vs now or a date.
+            let c = Expr::Col(col(rng, schema, true));
+            let lhs = if rng.gen_bool(0.5) {
+                c.start_point()
+            } else {
+                c.end_point()
+            };
+            let rhs = if rng.gen_bool(0.5) {
+                Expr::lit(Value::Point(OngoingPoint::now()))
+            } else {
+                Expr::lit(Value::Time(tp(rng.gen_range(LO..=HI))))
+            };
+            match rng.gen_range(0..3) {
+                0 => lhs.lt(rhs),
+                1 => lhs.le(rhs),
+                _ => lhs.eq(rhs),
+            }
+        }
+        _ => {
+            // Boolean combination.
+            let a = random_pred(rng, schema);
+            let b = random_pred(rng, schema);
+            match rng.gen_range(0..3) {
+                0 => a.and(b),
+                1 => a.or(b),
+                _ => a.not(),
+            }
+        }
+    }
+}
+
+fn random_plan(rng: &mut SmallRng, db: &Database, depth: usize) -> LogicalPlan {
+    let table = ["T0", "T1", "T2"][rng.gen_range(0..3)];
+    let alias = format!("A{}", rng.gen_range(0..100));
+    let mut b = QueryBuilder::scan_as(db, table, &alias).unwrap();
+    if depth > 0 {
+        match rng.gen_range(0..6) {
+            0 => {
+                // Nested join.
+                let rhs_table = ["T0", "T1", "T2"][rng.gen_range(0..3)];
+                let rhs_alias = format!("B{}", rng.gen_range(0..100));
+                let rhs = QueryBuilder::scan_as(db, rhs_table, &rhs_alias).unwrap();
+                let schema = b.schema().product(rhs.schema());
+                let pred = random_pred(rng, &schema);
+                b = b.join(rhs, |_| Ok(pred)).unwrap();
+            }
+            1 => {
+                let schema = b.schema().clone();
+                let pred = random_pred(rng, &schema);
+                b = b.filter(|_| Ok(pred)).unwrap();
+            }
+            2 => {
+                // Union of two selections over the same table.
+                let other = QueryBuilder::scan_as(db, table, "U").unwrap();
+                let pred = random_pred(rng, other.schema());
+                let other = other.filter(|_| Ok(pred)).unwrap();
+                b = b.union(other).unwrap();
+            }
+            3 => {
+                let other = QueryBuilder::scan_as(db, table, "D").unwrap();
+                let pred = random_pred(rng, other.schema());
+                let other = other.filter(|_| Ok(pred)).unwrap();
+                b = b.difference(other).unwrap();
+            }
+            4 => {
+                // Aggregate over the scan.
+                let group = if rng.gen_bool(0.5) { vec!["K"] } else { vec!["C"] };
+                b = b
+                    .aggregate(&group, vec![AggFn::CountStar], vec!["cnt".into()])
+                    .unwrap();
+            }
+            _ => {
+                // Projection (drop a column).
+                let n = b.schema().len();
+                let keep: Vec<usize> = (0..n).filter(|&i| i != n - 1 || n == 1).collect();
+                let names: Vec<String> = keep
+                    .iter()
+                    .map(|&i| b.schema().attrs()[i].name.clone())
+                    .collect();
+                let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                b = b.project_cols(&refs).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn random_plans_commute_with_bind() {
+    let mut rng = SmallRng::seed_from_u64(20260609);
+    let db = Database::new();
+    for (i, rows) in [7usize, 5, 9].iter().enumerate() {
+        db.create_table(&format!("T{i}"), random_relation(&mut rng, *rows))
+            .unwrap();
+    }
+    let rts: Vec<TimePoint> = (LO - 4..=HI + 6).map(tp).collect();
+    for trial in 0..120 {
+        let plan = random_plan(&mut rng, &db, 1 + trial % 2);
+        for strategy in [JoinStrategy::Auto, JoinStrategy::NestedLoop] {
+            let cfg = PlannerConfig {
+                join_strategy: strategy,
+                ..PlannerConfig::default()
+            };
+            let phys = compile(&db, &plan, &cfg).unwrap();
+            let ongoing = match phys.execute() {
+                Ok(o) => o,
+                Err(e) => panic!("trial {trial} ({strategy:?}): {e}\nplan:\n{}", phys.explain()),
+            };
+            for &rt in &rts {
+                let lhs = ongoing.bind(rt);
+                let rhs = phys.execute_at(rt).unwrap();
+                assert_eq!(
+                    lhs,
+                    rhs,
+                    "trial {trial} ({strategy:?}): divergence at rt={rt}\nplan:\n{}",
+                    phys.explain()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_plans_agree_across_join_strategies() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let db = Database::new();
+    for i in 0..3 {
+        db.create_table(&format!("T{i}"), random_relation(&mut rng, 6))
+            .unwrap();
+    }
+    for trial in 0..40 {
+        let plan = random_plan(&mut rng, &db, 1);
+        let mut reference: Option<Vec<String>> = None;
+        for strategy in [
+            JoinStrategy::Auto,
+            JoinStrategy::NestedLoop,
+            JoinStrategy::Hash,
+            JoinStrategy::Sweep,
+        ] {
+            let cfg = PlannerConfig {
+                join_strategy: strategy,
+                ..PlannerConfig::default()
+            };
+            let rel = compile(&db, &plan, &cfg).unwrap().execute().unwrap();
+            let mut rows: Vec<String> = rel
+                .coalesce()
+                .tuples()
+                .iter()
+                .map(|t| t.to_string())
+                .collect();
+            rows.sort();
+            match &reference {
+                None => reference = Some(rows),
+                Some(r) => assert_eq!(&rows, r, "trial {trial} strategy {strategy:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests for the planner (operator choice, pushdown, index)
+//! and the storage substrate (heap pages, layout model) on generated data.
+
+use ongoing_core::allen::TemporalPredicate;
+use ongoing_datasets::{synthetic, History, SyntheticConfig};
+use ongoing_relation::Expr;
+use ongoingdb::engine::plan::{compile, JoinStrategy, PlannerConfig};
+use ongoingdb::engine::storage::{layout, HeapFile};
+use ongoingdb::engine::{queries, Database, QueryBuilder};
+
+fn db_with_dex(n: usize) -> Database {
+    let db = Database::new();
+    db.create_table(
+        "Dex",
+        synthetic::generate(&SyntheticConfig::dex(n, None, 3)),
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn planner_picks_hash_join_for_equi_conjuncts() {
+    let db = db_with_dex(50);
+    let plan = queries::self_join(&db, "Dex", "K", TemporalPredicate::Overlaps).unwrap();
+    let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+    let explain = phys.explain();
+    assert!(explain.contains("HashJoin"), "{explain}");
+    // The temporal conjunct stays as an ongoing residual.
+    assert!(explain.contains("ongoing:"), "{explain}");
+}
+
+#[test]
+fn planner_picks_sweep_join_without_equi_keys() {
+    let db = db_with_dex(50);
+    let l = QueryBuilder::scan_as(&db, "Dex", "R").unwrap();
+    let r = QueryBuilder::scan_as(&db, "Dex", "S").unwrap();
+    let plan = l
+        .join(r, |s| {
+            Ok(Expr::col(s, "R.VT")?.overlaps(Expr::col(s, "S.VT")?))
+        })
+        .unwrap()
+        .build();
+    let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+    assert!(phys.explain().contains("SweepJoin"), "{}", phys.explain());
+}
+
+#[test]
+fn before_join_does_not_use_sweep() {
+    // `before` does not imply a shared time point; the envelope pre-filter
+    // would be unsound, so the planner must fall back to nested loops.
+    let db = db_with_dex(30);
+    let l = QueryBuilder::scan_as(&db, "Dex", "R").unwrap();
+    let r = QueryBuilder::scan_as(&db, "Dex", "S").unwrap();
+    let plan = l
+        .join(r, |s| Ok(Expr::col(s, "R.VT")?.before(Expr::col(s, "S.VT")?)))
+        .unwrap()
+        .build();
+    let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+    assert!(
+        phys.explain().contains("NestedLoopJoin"),
+        "{}",
+        phys.explain()
+    );
+}
+
+#[test]
+fn pushdown_moves_single_side_conjuncts_below_join() {
+    let db = db_with_dex(30);
+    let l = QueryBuilder::scan_as(&db, "Dex", "R").unwrap();
+    let r = QueryBuilder::scan_as(&db, "Dex", "S").unwrap();
+    let joined = l
+        .join(r, |s| {
+            Ok(Expr::col(s, "R.K")?
+                .eq(Expr::col(s, "S.K")?)
+                .and(Expr::col(s, "R.ID")?.lt(Expr::lit(10i64)))
+                .and(Expr::col(s, "S.ID")?.lt(Expr::lit(20i64))))
+        })
+        .unwrap()
+        .build();
+    let phys = compile(&db, &joined, &PlannerConfig::default()).unwrap();
+    let explain = phys.explain();
+    // Both single-side conjuncts become filters below the join.
+    assert_eq!(
+        explain.matches("Filter").count(),
+        2,
+        "expected two pushed-down filters:\n{explain}"
+    );
+    let without = compile(
+        &db,
+        &joined,
+        &PlannerConfig {
+            pushdown: false,
+            ..PlannerConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(without.explain().matches("Filter").count(), 0);
+    // Same results either way.
+    let a = phys.execute().unwrap();
+    let b = without.execute().unwrap();
+    assert_eq!(a.len(), b.len());
+}
+
+#[test]
+fn index_scan_is_used_and_correct() {
+    let db = db_with_dex(400);
+    let h = History::synthetic();
+    let w = h.last_fraction(0.1);
+    let plan = queries::selection(&db, "Dex", TemporalPredicate::Overlaps, (w.start, w.end))
+        .unwrap();
+    let cfg = PlannerConfig {
+        use_interval_index: true,
+        ..PlannerConfig::default()
+    };
+    let phys = compile(&db, &plan, &cfg).unwrap();
+    assert!(phys.explain().contains("IndexScan"), "{}", phys.explain());
+    let via_index = phys.execute().unwrap();
+    let via_scan = compile(&db, &plan, &PlannerConfig::default())
+        .unwrap()
+        .execute()
+        .unwrap();
+    assert_eq!(via_index.len(), via_scan.len());
+    // Instantiated mode works through the index too.
+    for rt in [h.midpoint(), h.end] {
+        assert_eq!(
+            phys.execute_at(rt).unwrap(),
+            compile(&db, &plan, &PlannerConfig::default())
+                .unwrap()
+                .execute_at(rt)
+                .unwrap()
+        );
+    }
+}
+
+#[test]
+fn heap_file_stores_generated_relations() {
+    let rel = synthetic::generate(&SyntheticConfig::dex(2_000, Some(1), 9));
+    let mut heap = HeapFile::new();
+    for t in rel.tuples() {
+        heap.insert(t).unwrap();
+    }
+    assert_eq!(heap.len(), rel.len());
+    let restored: Vec<_> = heap.scan().map(|r| r.unwrap()).collect();
+    assert_eq!(restored.as_slice(), rel.tuples());
+    // ~40 B payloads → thousands of tuples per 8 K page region.
+    assert!(heap.page_count() < 40, "pages: {}", heap.page_count());
+}
+
+#[test]
+fn layout_model_tracks_ongoing_overhead() {
+    let rel = synthetic::generate(&SyntheticConfig::dex(1_000, None, 5));
+    let f = layout::measure_relation(&rel);
+    assert_eq!(f.tuples, 1_000);
+    // Base relations have trivial RTs: exactly one range, 29 bytes each.
+    assert_eq!(f.rt_bytes, 29 * 1_000);
+    assert_eq!(f.max_rt_cardinality, 1);
+    // Ongoing format carries the RT plus doubled intervals.
+    assert!(f.ongoing_over_fixed() > 1.3, "{}", f.ongoing_over_fixed());
+}
+
+#[test]
+fn all_join_strategies_agree_on_mozilla_complex_join() {
+    let db = ongoing_datasets::mozilla_database(40, 13);
+    let plan = queries::complex_join(&db, TemporalPredicate::Overlaps).unwrap();
+    let mut sizes = Vec::new();
+    for strategy in [JoinStrategy::Auto, JoinStrategy::NestedLoop, JoinStrategy::Sweep] {
+        let cfg = PlannerConfig {
+            join_strategy: strategy,
+            ..PlannerConfig::default()
+        };
+        let rel = compile(&db, &plan, &cfg).unwrap().execute().unwrap();
+        sizes.push(rel.coalesce().len());
+    }
+    assert_eq!(sizes[0], sizes[1]);
+    assert_eq!(sizes[0], sizes[2]);
+}

@@ -1,0 +1,303 @@
+//! Property-based tests (proptest) for the core invariants.
+//!
+//! The soundness criterion of every ongoing operation is differential:
+//! `∥f(x, y)∥rt = fF(∥x∥rt, ∥y∥rt)` for all reference times. These
+//! properties sample random ongoing points/intervals (including the
+//! unbounded shapes) and verify the criterion over a window of reference
+//! times wide enough to cross every breakpoint, plus structural invariants
+//! (canonical interval sets, Table IV cardinality bounds, codec round
+//! trips).
+
+use ongoing_core::allen::TemporalPredicate;
+use ongoing_core::time::tp;
+use ongoing_core::{allen, ops, IntervalSet, OngoingInt, OngoingInterval, OngoingPoint, TimePoint};
+use ongoing_relation::{algebra, Tuple, Value};
+use proptest::prelude::*;
+
+const LO: i64 = -12;
+const HI: i64 = 12;
+
+/// An ongoing point with components in a small window, occasionally
+/// unbounded — every Fig. 3 shape occurs.
+fn arb_point() -> impl Strategy<Value = OngoingPoint> {
+    (LO..=HI, LO..=HI, 0u8..6).prop_map(|(x, y, shape)| {
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        match shape {
+            0 => OngoingPoint::fixed(tp(a)),
+            1 => OngoingPoint::now(),
+            2 => OngoingPoint::growing(tp(a)),
+            3 => OngoingPoint::limited(tp(b)),
+            _ => OngoingPoint::new(tp(a), tp(b)).unwrap(),
+        }
+    })
+}
+
+fn arb_interval() -> impl Strategy<Value = OngoingInterval> {
+    (arb_point(), arb_point()).prop_map(|(ts, te)| OngoingInterval::new(ts, te))
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    proptest::collection::vec((LO..=HI, 1i64..=6), 0..5).prop_map(|ranges| {
+        IntervalSet::from_ranges(
+            ranges
+                .into_iter()
+                .map(|(s, len)| (tp(s), tp(s + len))),
+        )
+    })
+}
+
+fn rts() -> impl Iterator<Item = TimePoint> {
+    (LO - 3..=HI + 3).map(tp)
+}
+
+proptest! {
+    #[test]
+    fn lt_min_max_are_pointwise_sound(p in arb_point(), q in arb_point()) {
+        let b = ops::lt(p, q);
+        let mn = ops::min(p, q);
+        let mx = ops::max(p, q);
+        for rt in rts() {
+            prop_assert_eq!(b.bind(rt), p.bind(rt) < q.bind(rt));
+            prop_assert_eq!(mn.bind(rt), p.bind(rt).min_f(q.bind(rt)));
+            prop_assert_eq!(mx.bind(rt), p.bind(rt).max_f(q.bind(rt)));
+        }
+    }
+
+    #[test]
+    fn derived_comparisons_are_pointwise_sound(p in arb_point(), q in arb_point()) {
+        for rt in rts() {
+            prop_assert_eq!(ops::le(p, q).bind(rt), p.bind(rt) <= q.bind(rt));
+            prop_assert_eq!(ops::eq(p, q).bind(rt), p.bind(rt) == q.bind(rt));
+            prop_assert_eq!(ops::ne(p, q).bind(rt), p.bind(rt) != q.bind(rt));
+        }
+    }
+
+    #[test]
+    fn lt_decision_tree_matches_naive(p in arb_point(), q in arb_point()) {
+        prop_assert_eq!(ops::lt(p, q), ops::lt_naive(p, q));
+        prop_assert!(ops::lt_comparisons(p, q) <= 3);
+    }
+
+    #[test]
+    fn omega_is_closed_under_min_max(p in arb_point(), q in arb_point()) {
+        // Constructors enforce a <= b; closure means these never panic and
+        // the results are valid points of Ω.
+        let mn = ops::min(p, q);
+        let mx = ops::max(p, q);
+        prop_assert!(mn.a() <= mn.b());
+        prop_assert!(mx.a() <= mx.b());
+    }
+
+    #[test]
+    fn allen_predicates_are_pointwise_sound(l in arb_interval(), r in arb_interval()) {
+        for pred in TemporalPredicate::ALL {
+            let b = pred.eval(l, r);
+            for rt in rts() {
+                prop_assert_eq!(
+                    b.bind(rt),
+                    pred.eval_fixed(l.bind(rt), r.bind(rt)),
+                    "{} {} {} at {}", l, pred.name(), r, rt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_intersection_is_pointwise_sound(l in arb_interval(), r in arb_interval()) {
+        let x = l.intersect(r);
+        for rt in rts() {
+            let (ls, le) = l.bind(rt);
+            let (rs, re) = r.bind(rt);
+            prop_assert_eq!(x.bind(rt), (ls.max_f(rs), le.min_f(re)));
+        }
+    }
+
+    #[test]
+    fn table_iv_rt_cardinality_bounds(l in arb_interval(), r in arb_interval()) {
+        // Table IV: at most 2 ranges in general; at most 1 when both
+        // intervals come from the same one-sided-ongoing family (the
+        // "expanding" and "shrinking" columns: fixed-start or fixed-end
+        // data). Mixed/general intervals may need 2 (overlaps, and the
+        // vacuous branches of during/equals on general intervals).
+        use ongoing_core::IntervalKind;
+        let fixed_start = |i: OngoingInterval| {
+            matches!(i.kind(), IntervalKind::Fixed | IntervalKind::Expanding)
+        };
+        let fixed_end = |i: OngoingInterval| {
+            matches!(i.kind(), IntervalKind::Fixed | IntervalKind::Shrinking)
+        };
+        for pred in TemporalPredicate::ALL {
+            let card = pred.eval(l, r).true_set().cardinality();
+            prop_assert!(card <= 2, "{} produced cardinality {}", pred.name(), card);
+            let same_family = (fixed_start(l) && fixed_start(r))
+                || (fixed_end(l) && fixed_end(r));
+            if same_family {
+                prop_assert!(
+                    card <= 1,
+                    "{} on same-family inputs {} / {} produced {}",
+                    pred.name(),
+                    l,
+                    r,
+                    card
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_set_ops_match_pointwise_model(a in arb_set(), b in arb_set()) {
+        let inter = a.intersect(&b);
+        let uni = a.union(&b);
+        let comp = a.complement();
+        let diff = a.difference(&b);
+        prop_assert!(inter.is_canonical());
+        prop_assert!(uni.is_canonical());
+        prop_assert!(comp.is_canonical());
+        prop_assert!(diff.is_canonical());
+        for rt in rts() {
+            let (ia, ib) = (a.contains(rt), b.contains(rt));
+            prop_assert_eq!(inter.contains(rt), ia && ib);
+            prop_assert_eq!(uni.contains(rt), ia || ib);
+            prop_assert_eq!(comp.contains(rt), !ia);
+            prop_assert_eq!(diff.contains(rt), ia && !ib);
+        }
+    }
+
+    #[test]
+    fn interval_set_laws(a in arb_set(), b in arb_set(), c in arb_set()) {
+        // De Morgan, distributivity, involution — on canonical forms.
+        prop_assert_eq!(
+            a.intersect(&b).complement(),
+            a.complement().union(&b.complement())
+        );
+        prop_assert_eq!(
+            a.union(&b).intersect(&c),
+            a.intersect(&c).union(&b.intersect(&c))
+        );
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn ongoing_int_ops_are_pointwise_sound(p in arb_point(), q in arb_point(), k in -4i64..=4) {
+        let f = OngoingInt::from_point(p);
+        let g = OngoingInt::from_point(q);
+        let sum = f.add(&g);
+        let diff = f.sub(&g);
+        let mx = f.max_with(&g);
+        let mn = f.min_with(&g);
+        let scaled = f.scale(k);
+        for rt in rts() {
+            let (fv, gv) = (p.bind(rt).ticks(), q.bind(rt).ticks());
+            prop_assert_eq!(sum.bind(rt), fv + gv);
+            prop_assert_eq!(diff.bind(rt), fv - gv);
+            prop_assert_eq!(mx.bind(rt), fv.max(gv));
+            prop_assert_eq!(mn.bind(rt), fv.min(gv));
+            prop_assert_eq!(scaled.bind(rt), fv * k);
+        }
+    }
+
+    #[test]
+    fn duration_is_pointwise_sound(i in arb_interval()) {
+        let d = OngoingInt::duration(i);
+        for rt in rts() {
+            let (s, e) = i.bind(rt);
+            prop_assert_eq!(d.bind(rt), s.distance_to(e).max(0));
+        }
+    }
+
+    #[test]
+    fn nonempty_set_matches_bind(i in arb_interval()) {
+        let ne = i.nonempty_set();
+        for rt in rts() {
+            prop_assert_eq!(ne.contains(rt), i.nonempty_at(rt));
+        }
+    }
+
+    #[test]
+    fn selection_commutes_with_bind(
+        ivs in proptest::collection::vec(arb_interval(), 1..12),
+        w in arb_interval(),
+    ) {
+        // σ over random single-column relations: ∥σ(R)∥rt == σF(∥R∥rt).
+        use ongoing_relation::{Expr, OngoingRelation, Schema};
+        let schema = Schema::builder().interval("VT").build();
+        let mut rel = OngoingRelation::new(schema.clone());
+        for iv in &ivs {
+            rel.insert(vec![Value::Interval(*iv)]).unwrap();
+        }
+        let pred = Expr::col(&schema, "VT").unwrap()
+            .overlaps(Expr::lit(Value::Interval(w)));
+        let q = algebra::select(&rel, &pred).unwrap();
+        for rt in rts() {
+            let lhs = q.bind(rt);
+            let rhs: Vec<Vec<Value>> = rel
+                .bind(rt)
+                .rows()
+                .iter()
+                .filter(|row| {
+                    let iv = row[0].as_interval().unwrap();
+                    allen::fixed::overlaps(
+                        (iv.ts().a(), iv.te().a()),
+                        w.bind(rt),
+                    )
+                })
+                .cloned()
+                .collect();
+            prop_assert_eq!(lhs, ongoing_relation::FixedRelation::from_rows(rhs));
+        }
+    }
+
+    #[test]
+    fn tuple_codec_round_trips(
+        vals in proptest::collection::vec(arb_value(), 0..6),
+        rt in arb_set(),
+    ) {
+        use ongoingdb::engine::storage::codec::{decode_tuple, encode_tuple};
+        let t = Tuple::with_rt(vals, rt);
+        let bytes = encode_tuple(&t);
+        prop_assert_eq!(decode_tuple(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn difference_commutes_with_bind(
+        l_ivs in proptest::collection::vec(arb_interval(), 0..8),
+        r_ivs in proptest::collection::vec(arb_interval(), 0..8),
+    ) {
+        use ongoing_relation::{OngoingRelation, Schema};
+        let schema = Schema::builder().interval("VT").build();
+        let mut l = OngoingRelation::new(schema.clone());
+        for iv in &l_ivs {
+            l.insert(vec![Value::Interval(*iv)]).unwrap();
+        }
+        let mut r = OngoingRelation::new(schema);
+        for iv in &r_ivs {
+            r.insert(vec![Value::Interval(*iv)]).unwrap();
+        }
+        let d = algebra::difference(&l, &r).unwrap();
+        for rt in rts() {
+            let lhs = d.bind(rt);
+            let rbound = r.bind(rt);
+            let rows: Vec<Vec<Value>> = l
+                .bind(rt)
+                .rows()
+                .iter()
+                .filter(|row| !rbound.contains(row))
+                .cloned()
+                .collect();
+            prop_assert_eq!(lhs, ongoing_relation::FixedRelation::from_rows(rows));
+        }
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,12}".prop_map(|s| Value::str(&s)),
+        any::<bool>().prop_map(Value::Bool),
+        (LO..=HI).prop_map(|t| Value::Time(tp(t))),
+        arb_point().prop_map(Value::Point),
+        arb_interval().prop_map(Value::Interval),
+    ]
+}
