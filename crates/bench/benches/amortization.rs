@@ -14,12 +14,15 @@ fn fig11_selection(c: &mut Criterion) {
     let db = mozilla_database(2_000, 42);
     let h = History::mozilla();
     let w = h.last_fraction(0.1);
-    let plan =
-        queries::selection(&db, "BugInfo", TemporalPredicate::Overlaps, (w.start, w.end))
-            .unwrap();
+    let plan = queries::selection(
+        &db,
+        "BugInfo",
+        TemporalPredicate::Overlaps,
+        (w.start, w.end),
+    )
+    .unwrap();
     let rt = clifford::cliff_max_reference_time(&db);
-    let view = MaterializedView::create(&db, "v", plan.clone(), PlannerConfig::default())
-        .unwrap();
+    let view = MaterializedView::create(&db, "v", plan.clone(), PlannerConfig::default()).unwrap();
     let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
 
     let mut g = c.benchmark_group("fig11_selection_mozilla");
@@ -45,8 +48,7 @@ fn fig11_complex_join(c: &mut Criterion) {
     let db = mozilla_database(600, 42);
     let plan = queries::complex_join(&db, TemporalPredicate::Overlaps).unwrap();
     let rt = clifford::cliff_max_reference_time(&db);
-    let view = MaterializedView::create(&db, "v", plan.clone(), PlannerConfig::default())
-        .unwrap();
+    let view = MaterializedView::create(&db, "v", plan.clone(), PlannerConfig::default()).unwrap();
     let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
 
     let mut g = c.benchmark_group("fig11_complex_join_mozilla");

@@ -82,9 +82,7 @@ fn bench_connectives(c: &mut Criterion) {
     g.bench_function("disjunction_sweep", |bch| {
         bch.iter(|| black_box(a.union(black_box(&b))))
     });
-    g.bench_function("negation", |bch| {
-        bch.iter(|| black_box(a.complement()))
-    });
+    g.bench_function("negation", |bch| bch.iter(|| black_box(a.complement())));
     g.finish();
 
     // Equivalence sanity: the ablation baseline computes the same sets.
@@ -100,7 +98,7 @@ fn bench_allen(c: &mut Criterion) {
                 if rng.gen_bool(0.3) {
                     OngoingInterval::from_until_now(tp(s))
                 } else {
-                    OngoingInterval::fixed(tp(s), tp(s + rng.gen_range(1..200)))
+                    OngoingInterval::fixed(tp(s), tp(s + rng.gen_range(1..200i64)))
                 }
             };
             (iv(), iv())

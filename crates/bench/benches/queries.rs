@@ -61,8 +61,7 @@ fn fig10_scaling(c: &mut Criterion) {
         db.create_table("Dsc", generate(&SyntheticConfig::dsc(n, 42)))
             .unwrap();
         let plan =
-            queries::selection(&db, "Dsc", TemporalPredicate::Overlaps, (w.start, w.end))
-                .unwrap();
+            queries::selection(&db, "Dsc", TemporalPredicate::Overlaps, (w.start, w.end)).unwrap();
         let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
         let rt = clifford::cliff_max_reference_time(&db);
         g.bench_function(BenchmarkId::new("ongoing", n), |b| {
@@ -81,8 +80,8 @@ fn ablation_split_and_index(c: &mut Criterion) {
         .unwrap();
     let h = History::synthetic();
     let w = h.last_fraction(0.05);
-    let plan = queries::selection(&db, "Dex", TemporalPredicate::Overlaps, (w.start, w.end))
-        .unwrap();
+    let plan =
+        queries::selection(&db, "Dex", TemporalPredicate::Overlaps, (w.start, w.end)).unwrap();
     let mut g = c.benchmark_group("ablation_selection_dex");
     g.sample_size(10);
     for (name, cfg) in [

@@ -1,23 +1,23 @@
-//! Runs every `repro-*` binary in sequence (they must live in the same
+//! Runs every `repro_*` binary in sequence (they must live in the same
 //! target directory, i.e. run `cargo run --release -p ongoing-bench --bin
-//! repro-all` after `cargo build --release -p ongoing-bench`).
+//! repro_all` after `cargo build --release -p ongoing-bench`).
 
 use std::process::Command;
 
 const BINS: &[&str] = &[
-    "repro-table1",
-    "repro-table2",
-    "repro-table3",
-    "repro-table4",
-    "repro-fig7",
-    "repro-forever",
-    "repro-fig8",
-    "repro-fig9",
-    "repro-fig10",
-    "repro-fig11",
-    "repro-fig12",
-    "repro-fig13",
-    "repro-table5",
+    "repro_table1",
+    "repro_table2",
+    "repro_table3",
+    "repro_table4",
+    "repro_fig7",
+    "repro_forever",
+    "repro_fig8",
+    "repro_fig9",
+    "repro_fig10",
+    "repro_fig11",
+    "repro_fig12",
+    "repro_fig13",
+    "repro_table5",
 ];
 
 fn main() {

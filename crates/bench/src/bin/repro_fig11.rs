@@ -13,7 +13,9 @@
 //! Clifford — we reproduce that choice by forcing the sweep join for the
 //! ongoing side).
 
-use ongoing_bench::{amortization_point, header, ms, row, scaled, time_bind, time_clifford, time_ongoing};
+use ongoing_bench::{
+    amortization_point, header, ms, row, scaled, time_bind, time_clifford, time_ongoing,
+};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_datasets::{mozilla_database, History};
 use ongoing_engine::baseline::clifford;
@@ -29,29 +31,33 @@ fn main() {
     println!("(a) selection Qσ_ovlp(B):");
     let widths = [12, 14, 12, 16, 16];
     header(
-        &["# bugs", "ongoing [ms]", "bind [ms]", "Cliff_max [ms]", "# instantiations"],
+        &[
+            "# bugs",
+            "ongoing [ms]",
+            "bind [ms]",
+            "Cliff_max [ms]",
+            "# instantiations",
+        ],
         &widths,
     );
     let mut sel_points = Vec::new();
     for &n in &sizes {
         let db = mozilla_database(n, 42);
         let cfg = PlannerConfig::default();
-        let plan =
-            queries::selection(&db, "BugInfo", TemporalPredicate::Overlaps, (w.start, w.end))
-                .unwrap();
+        let plan = queries::selection(
+            &db,
+            "BugInfo",
+            TemporalPredicate::Overlaps,
+            (w.start, w.end),
+        )
+        .unwrap();
         let rt = clifford::cliff_max_reference_time(&db);
         let (t_on, on_res) = time_ongoing(&db, &plan, &cfg, 5);
         let t_bind = time_bind(&on_res, rt, 5);
         let (t_cl, _) = time_clifford(&db, &plan, &cfg, rt, 5);
         let k = amortization_point(t_on, t_bind, t_cl).unwrap_or(u32::MAX);
         row(
-            &[
-                n.to_string(),
-                ms(t_on),
-                ms(t_bind),
-                ms(t_cl),
-                k.to_string(),
-            ],
+            &[n.to_string(), ms(t_on), ms(t_bind), ms(t_cl), k.to_string()],
             &widths,
         );
         sel_points.push(k);
@@ -60,7 +66,13 @@ fn main() {
 
     println!("(b) complex join QC⋈_ovlp(A, S, B):");
     header(
-        &["# bugs", "ongoing [ms]", "bind [ms]", "Cliff_max [ms]", "# instantiations"],
+        &[
+            "# bugs",
+            "ongoing [ms]",
+            "bind [ms]",
+            "Cliff_max [ms]",
+            "# instantiations",
+        ],
         &widths,
     );
     let mut join_points = Vec::new();
@@ -80,13 +92,7 @@ fn main() {
         let (t_cl, _) = time_clifford(&db, &plan, &clifford_cfg, rt, 3);
         let k = amortization_point(t_on, t_bind, t_cl).unwrap_or(u32::MAX);
         row(
-            &[
-                n.to_string(),
-                ms(t_on),
-                ms(t_bind),
-                ms(t_cl),
-                k.to_string(),
-            ],
+            &[n.to_string(), ms(t_on), ms(t_bind), ms(t_cl), k.to_string()],
             &widths,
         );
         join_points.push(k);

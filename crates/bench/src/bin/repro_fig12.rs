@@ -8,7 +8,9 @@
 //! slower amortization: the paper reports 3 instantiations at `rt = min`
 //! dropping to 2 for late reference times.
 
-use ongoing_bench::{amortization_point, header, ms, row, scaled, time_bind, time_clifford, time_ongoing};
+use ongoing_bench::{
+    amortization_point, header, ms, row, scaled, time_bind, time_clifford, time_ongoing,
+};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_core::date::{date, AsDate};
 use ongoing_datasets::{mozilla_database, History};
@@ -26,9 +28,13 @@ fn main() {
     let widths = [12, 14, 16, 16, 14, 14];
     for &n in &sizes {
         let db = mozilla_database(n, 42);
-        let plan =
-            queries::selection(&db, "BugInfo", TemporalPredicate::Overlaps, (w.start, w.end))
-                .unwrap();
+        let plan = queries::selection(
+            &db,
+            "BugInfo",
+            TemporalPredicate::Overlaps,
+            (w.start, w.end),
+        )
+        .unwrap();
         let (t_on, on_res) = time_ongoing(&db, &plan, &cfg, 5);
         println!(
             "# bugs = {n}: ongoing result {} tuples in {} ms",
@@ -36,7 +42,14 @@ fn main() {
             ms(t_on)
         );
         header(
-            &["rt", "Cliff [ms]", "bind [ms]", "# instantiations", "|instantiated|", "|ongoing|"],
+            &[
+                "rt",
+                "Cliff [ms]",
+                "bind [ms]",
+                "# instantiations",
+                "|instantiated|",
+                "|ongoing|",
+            ],
             &widths,
         );
         let rts = [

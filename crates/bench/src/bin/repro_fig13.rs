@@ -68,7 +68,12 @@ fn main() {
     let w = h.last_fraction(0.1);
 
     let sel = |pred| queries::selection(&db, "BugInfo", pred, (w.start, w.end)).unwrap();
-    panel(&db, &sel(TemporalPredicate::Overlaps), "(a) Qσ_ovlp(B)", true);
+    panel(
+        &db,
+        &sel(TemporalPredicate::Overlaps),
+        "(a) Qσ_ovlp(B)",
+        true,
+    );
     panel(&db, &sel(TemporalPredicate::Before), "(b) Qσ_bef(B)", false);
 
     let join_db = mozilla_database(scaled(400), 42);

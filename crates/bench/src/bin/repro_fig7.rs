@@ -31,8 +31,18 @@ fn main() {
     let inc = incumbent::generate(&incumbent::IncumbentConfig::scaled(scaled(8_000), 43));
 
     let b = curve("MozillaBugs BugInfo", &m.bug_info, 5, History::mozilla());
-    curve("MozillaBugs BugAssignment", &m.bug_assignment, 2, History::mozilla());
-    curve("MozillaBugs BugSeverity", &m.bug_severity, 2, History::mozilla());
+    curve(
+        "MozillaBugs BugAssignment",
+        &m.bug_assignment,
+        2,
+        History::mozilla(),
+    );
+    curve(
+        "MozillaBugs BugSeverity",
+        &m.bug_severity,
+        2,
+        History::mozilla(),
+    );
     let i = curve("Incumbent", &inc, 2, History::incumbent());
 
     // Shape checks: Mozilla ~50% of ongoing in the last 2 of ~19.3 years
@@ -46,7 +56,8 @@ fn main() {
     );
     let total_i = *i.last().unwrap();
     assert_eq!(
-        i[BUCKETS - 3], 0,
+        i[BUCKETS - 3],
+        0,
         "Incumbent: no ongoing starts before the final ~year"
     );
     assert!(total_i > 0);

@@ -7,7 +7,9 @@
 //! break-even point. The paper's result: ongoing is faster after 2
 //! re-evaluations for `overlaps` and 3 for `before`.
 
-use ongoing_bench::{break_even_reevaluations, header, ms, row, scaled, time_clifford, time_ongoing};
+use ongoing_bench::{
+    break_even_reevaluations, header, ms, row, scaled, time_clifford, time_ongoing,
+};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_datasets::{incumbent_database, History};
 use ongoing_engine::baseline::clifford;
@@ -36,7 +38,10 @@ fn main() {
             cl_res.len()
         );
         let widths = [18, 14, 14];
-        header(&["# re-evaluations", "ongoing [ms]", "Cliff_max [ms]"], &widths);
+        header(
+            &["# re-evaluations", "ongoing [ms]", "Cliff_max [ms]"],
+            &widths,
+        );
         for k in 0..=6u32 {
             row(
                 &[

@@ -21,9 +21,14 @@ fn main() {
     );
     let with_forever = allen::before(fbug, patch201);
 
-    println!("query: might bug 500 (open [01/25, now)) be resolved before patch 201 ([08/15, 08/24))?");
+    println!(
+        "query: might bug 500 (open [01/25, now)) be resolved before patch 201 ([08/15, 08/24))?"
+    );
     println!("reference time: 05/14\n");
-    println!("ongoing evaluation : bug 500 before patch 201 = {}", ongoing.bind(rt));
+    println!(
+        "ongoing evaluation : bug 500 before patch 201 = {}",
+        ongoing.bind(rt)
+    );
     println!(
         "Forever evaluation : bug 500 before patch 201 = {}",
         with_forever.bind(rt)

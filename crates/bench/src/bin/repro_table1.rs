@@ -71,12 +71,7 @@ fn main() {
         &w,
     );
     row(
-        &[
-            "Tf".into(),
-            "yes".into(),
-            "yes".into(),
-            yes_no(tf_closed()),
-        ],
+        &["Tf".into(), "yes".into(), "yes".into(), yes_no(tf_closed())],
         &w,
     );
     row(

@@ -14,7 +14,10 @@ fn span_years(h: History) -> String {
 
 fn main() {
     println!("Table III: characteristics of the experiment data sets");
-    println!("(scaled by REPRO_SCALE={}; paper figures in parentheses)\n", ongoing_bench::scale());
+    println!(
+        "(scaled by REPRO_SCALE={}; paper figures in parentheses)\n",
+        ongoing_bench::scale()
+    );
 
     let m = mozilla::generate(&mozilla::MozillaConfig::scaled(scaled(4_000), 42));
     let inc = incumbent::generate(&incumbent::IncumbentConfig::scaled(scaled(8_000), 43));
@@ -24,14 +27,20 @@ fn main() {
 
     let w = [16, 12, 18, 14, 12];
     header(
-        &["data set", "cardinality", "# ongoing", "intervals", "time span"],
+        &[
+            "data set",
+            "cardinality",
+            "# ongoing",
+            "intervals",
+            "time span",
+        ],
         &w,
     );
     let print = |name: &str,
-                     rel: &ongoing_relation::OngoingRelation,
-                     vt: usize,
-                     shape: &str,
-                     span: String| {
+                 rel: &ongoing_relation::OngoingRelation,
+                 vt: usize,
+                 shape: &str,
+                 span: String| {
         let s = stats(rel, vt);
         row(
             &[
@@ -46,7 +55,13 @@ fn main() {
         s
     };
 
-    let b = print("BugInfo B", &m.bug_info, 5, "[a, now)", span_years(History::mozilla()));
+    let b = print(
+        "BugInfo B",
+        &m.bug_info,
+        5,
+        "[a, now)",
+        span_years(History::mozilla()),
+    );
     let a = print(
         "BugAssignment A",
         &m.bug_assignment,

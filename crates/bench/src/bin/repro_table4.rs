@@ -94,7 +94,12 @@ fn main() {
 
     let w = [10, 11, 11, 22];
     header(
-        &["predicate", "expanding", "shrinking", "expanding + shrinking"],
+        &[
+            "predicate",
+            "expanding",
+            "shrinking",
+            "expanding + shrinking",
+        ],
         &w,
     );
     // Paper row order.
@@ -120,7 +125,11 @@ fn main() {
             ],
             &w,
         );
-        let want_es = if pred == TemporalPredicate::Overlaps { 2 } else { 1 };
+        let want_es = if pred == TemporalPredicate::Overlaps {
+            2
+        } else {
+            1
+        };
         assert_eq!(e, 1, "{}: expanding column", pred.name());
         assert_eq!(s, 1, "{}: shrinking column", pred.name());
         assert_eq!(es, want_es, "{}: expanding + shrinking column", pred.name());

@@ -22,8 +22,13 @@ fn main() {
     let w = h.last_fraction(0.1);
     let cfg = PlannerConfig::default();
 
-    let sel = queries::selection(&db, "BugInfo", TemporalPredicate::Overlaps, (w.start, w.end))
-        .unwrap();
+    let sel = queries::selection(
+        &db,
+        "BugInfo",
+        TemporalPredicate::Overlaps,
+        (w.start, w.end),
+    )
+    .unwrap();
     let sel_res = compile(&db, &sel, &cfg).unwrap().execute().unwrap();
     let join = queries::complex_join(&db, TemporalPredicate::Overlaps).unwrap();
     let join_res = compile(&db, &join, &cfg).unwrap().execute().unwrap();
@@ -72,7 +77,10 @@ fn main() {
     // Shape assertions: constant RT cost, significant only for small tuples.
     let b_stats = &shares[0].1;
     let a_stats = &shares[1].1;
-    assert!((b_stats.avg_rt_bytes() - 29.0).abs() < 1.0, "B: typical RT is one range");
+    assert!(
+        (b_stats.avg_rt_bytes() - 29.0).abs() < 1.0,
+        "B: typical RT is one range"
+    );
     assert!(
         b_stats.avg_rt_bytes() / b_stats.avg_tuple_bytes() < 0.05,
         "RT share of the wide B relation stays small"

@@ -108,7 +108,9 @@ pub fn break_even_reevaluations(t_ongoing: Duration, t_clifford: Duration) -> u3
     if t_clifford.is_zero() {
         return u32::MAX;
     }
-    (t_ongoing.as_secs_f64() / t_clifford.as_secs_f64()).ceil().max(1.0) as u32
+    (t_ongoing.as_secs_f64() / t_clifford.as_secs_f64())
+        .ceil()
+        .max(1.0) as u32
 }
 
 /// Prints a fixed-width row.
@@ -148,10 +150,7 @@ mod tests {
         // Bind slower than re-evaluation: never amortizes.
         assert_eq!(amortization_point(o, c, b), None);
         // Huge ongoing cost.
-        assert_eq!(
-            amortization_point(Duration::from_secs(1), b, c),
-            Some(20)
-        );
+        assert_eq!(amortization_point(Duration::from_secs(1), b, c), Some(20));
     }
 
     #[test]

@@ -221,13 +221,11 @@ pub mod fixed {
     }
 
     pub fn during(l: Iv, r: Iv) -> bool {
-        (r.0 <= l.0 && l.1 <= r.1 && nonempty(l) && nonempty(r))
-            || (!nonempty(l) && nonempty(r))
+        (r.0 <= l.0 && l.1 <= r.1 && nonempty(l) && nonempty(r)) || (!nonempty(l) && nonempty(r))
     }
 
     pub fn equals(l: Iv, r: Iv) -> bool {
-        (l.0 == r.0 && l.1 == r.1 && nonempty(l) && nonempty(r))
-            || (!nonempty(l) && !nonempty(r))
+        (l.0 == r.0 && l.1 == r.1 && nonempty(l) && nonempty(r)) || (!nonempty(l) && !nonempty(r))
     }
 
     pub fn intersection(l: Iv, r: Iv) -> Iv {

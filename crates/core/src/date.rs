@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn timestamps_scale_days_by_micros() {
-        assert_eq!(
-            timestamp(1970, 1, 2),
-            TimePoint::new(MICROS_PER_DAY)
-        );
+        assert_eq!(timestamp(1970, 1, 2), TimePoint::new(MICROS_PER_DAY));
         assert_eq!(
             timestamp_at(1970, 1, 1, 1_500_000),
             TimePoint::new(1_500_000)

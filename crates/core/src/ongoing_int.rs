@@ -82,7 +82,11 @@ impl OngoingInt {
         if a < b {
             // The identity piece [a, b).
             segs.push(Segment {
-                start: if a.is_neg_inf() { TimePoint::NEG_INF } else { a },
+                start: if a.is_neg_inf() {
+                    TimePoint::NEG_INF
+                } else {
+                    a
+                },
                 coef: 1,
                 offset: 0,
             });
@@ -141,10 +145,7 @@ impl OngoingInt {
 
     /// The value at reference time `rt` (saturating at the `i64` limits).
     pub fn bind(&self, rt: TimePoint) -> i64 {
-        let idx = match self
-            .segs
-            .binary_search_by(|s| s.start.cmp(&rt))
-        {
+        let idx = match self.segs.binary_search_by(|s| s.start.cmp(&rt)) {
             Ok(i) => i,
             Err(i) => i - 1, // segs[0].start == -∞ <= rt always
         };
@@ -277,10 +278,7 @@ impl OngoingInt {
     fn cmp_zero_set(&self, keep: impl Fn(i64) -> bool) -> IntervalSet {
         let mut ranges: Vec<(TimePoint, TimePoint)> = Vec::new();
         for (i, s) in self.segs.iter().enumerate() {
-            let end = self
-                .segs
-                .get(i + 1)
-                .map_or(TimePoint::POS_INF, |n| n.start);
+            let end = self.segs.get(i + 1).map_or(TimePoint::POS_INF, |n| n.start);
             if s.coef == 0 {
                 if keep(s.offset) {
                     ranges.push((s.start, end));
@@ -306,7 +304,11 @@ impl OngoingInt {
                         continue;
                     }
                     // Representative: lo when finite, else just below hi.
-                    let rep = if lo.is_neg_inf() { hi.pred().pred() } else { lo };
+                    let rep = if lo.is_neg_inf() {
+                        hi.pred().pred()
+                    } else {
+                        lo
+                    };
                     if keep(s.eval(rep)) {
                         ranges.push((lo, hi));
                     }
@@ -453,10 +455,7 @@ fn push_split(
     hi_seg: &Segment,
 ) {
     if thr > start {
-        segs.push(Segment {
-            start,
-            ..*lo_seg
-        });
+        segs.push(Segment { start, ..*lo_seg });
     }
     let hi_start = thr.max_f(start);
     if hi_start < end {
@@ -473,10 +472,9 @@ pub fn count_over<'a, I>(sets: I) -> OngoingInt
 where
     I: IntoIterator<Item = &'a IntervalSet>,
 {
-    sets.into_iter()
-        .fold(OngoingInt::constant(0), |acc, s| {
-            acc.add(&OngoingInt::indicator(s))
-        })
+    sets.into_iter().fold(OngoingInt::constant(0), |acc, s| {
+        acc.add(&OngoingInt::indicator(s))
+    })
 }
 
 impl fmt::Debug for OngoingInt {

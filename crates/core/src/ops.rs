@@ -112,15 +112,13 @@ pub fn lt_naive(p: OngoingPoint, q: OngoingPoint) -> OngoingBool {
 pub fn min(p: OngoingPoint, q: OngoingPoint) -> OngoingPoint {
     // minF(a,c) <= minF(b,d) holds whenever a <= b and c <= d, so the
     // constructor invariant cannot fail (proof of Theorem 1).
-    OngoingPoint::new(p.a().min_f(q.a()), p.b().min_f(q.b()))
-        .expect("Ω is closed under min")
+    OngoingPoint::new(p.a().min_f(q.a()), p.b().min_f(q.b())).expect("Ω is closed under min")
 }
 
 /// The maximum function `max(a+b, c+d) ≡ maxF(a,c)+maxF(b,d)` (Theorem 1).
 #[inline]
 pub fn max(p: OngoingPoint, q: OngoingPoint) -> OngoingPoint {
-    OngoingPoint::new(p.a().max_f(q.a()), p.b().max_f(q.b()))
-        .expect("Ω is closed under max")
+    OngoingPoint::new(p.a().max_f(q.a()), p.b().max_f(q.b())).expect("Ω is closed under max")
 }
 
 /// `t1 ≤ t2 ≡ ¬(t2 < t1)` (Table II).
@@ -327,7 +325,7 @@ mod tests {
         // b = +∞ in case 3/4 territory: [b+1, ∞) must be empty, not wrap.
         let p = OngoingPoint::growing(tp(0)); // 0+∞
         let q = OngoingPoint::now(); // -∞+∞
-        // b = d = +∞ -> not (b < d) -> a < c? 0 < -∞ is false -> always false.
+                                     // b = d = +∞ -> not (b < d) -> a < c? 0 < -∞ is false -> always false.
         assert!(lt(p, q).is_always_false());
         // now < 0+: a=-∞<0=c, d=+∞<=b=+∞ -> case 2: true before 0.
         let b = lt(q, p);

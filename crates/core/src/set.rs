@@ -290,28 +290,18 @@ impl IntervalSet {
     /// Checks the representation invariant: ranges non-empty, ascending,
     /// disjoint and maximal (no two ranges touch).
     pub fn is_canonical(&self) -> bool {
-        self.ranges.iter().all(|r| r.ts < r.te)
-            && self
-                .ranges
-                .windows(2)
-                .all(|w| w[0].te < w[1].ts)
+        self.ranges.iter().all(|r| r.ts < r.te) && self.ranges.windows(2).all(|w| w[0].te < w[1].ts)
     }
 
     /// Iterates over the contained time points inside `[lo, hi)` — used by
     /// differential tests that compare instantiations at every reference
     /// time of a window.
-    pub fn points_in(
-        &self,
-        lo: TimePoint,
-        hi: TimePoint,
-    ) -> impl Iterator<Item = TimePoint> + '_ {
-        self.ranges
-            .iter()
-            .flat_map(move |r| {
-                let s = r.ts.max_f(lo);
-                let e = r.te.min_f(hi);
-                (s.ticks()..e.ticks().max(s.ticks())).map(TimePoint::new)
-            })
+    pub fn points_in(&self, lo: TimePoint, hi: TimePoint) -> impl Iterator<Item = TimePoint> + '_ {
+        self.ranges.iter().flat_map(move |r| {
+            let s = r.ts.max_f(lo);
+            let e = r.te.min_f(hi);
+            (s.ticks()..e.ticks().max(s.ticks())).map(TimePoint::new)
+        })
     }
 }
 

@@ -71,17 +71,13 @@ pub fn generate(cfg: &IncumbentConfig) -> OngoingRelation {
         } else {
             let start = sample_day(&mut rng, history);
             // Project stints of weeks to ~2 years.
-            let dur = rng.gen_range(14..=730);
+            let dur: i64 = rng.gen_range(14..=730);
             let end = TimePoint::new((start.ticks() + dur).min(history.end.ticks() - 1))
                 .max_f(start.succ());
             OngoingInterval::fixed(start, end)
         };
-        rel.insert(vec![
-            Value::Int(emp),
-            Value::Int(proj),
-            Value::Interval(vt),
-        ])
-        .expect("schema arity");
+        rel.insert(vec![Value::Int(emp), Value::Int(proj), Value::Interval(vt)])
+            .expect("schema arity");
     }
     rel
 }

@@ -15,6 +15,16 @@
 //! The real dumps are not redistributable; DESIGN.md §2 documents why the
 //! aggregate statistics these generators match are the ones the experiments
 //! depend on. All generators are deterministic per seed.
+//!
+//! ```
+//! use ongoing_datasets::mozilla_database;
+//!
+//! // 100 bugs, seed 42 — deterministic: same seed, same database.
+//! let db = mozilla_database(100, 42);
+//! assert_eq!(db.table("BugInfo").unwrap().data().len(), 100);
+//! assert!(db.table("BugAssignment").is_ok());
+//! assert!(db.table("BugSeverity").is_ok());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,7 +58,10 @@ pub fn mozilla_database(bugs: usize, seed: u64) -> Database {
 /// Loads a scaled Incumbent database (table `Incumbent`).
 pub fn incumbent_database(n: usize, seed: u64) -> Database {
     let db = Database::new();
-    db.create_table("Incumbent", incumbent::generate(&IncumbentConfig::scaled(n, seed)))
-        .expect("fresh db");
+    db.create_table(
+        "Incumbent",
+        incumbent::generate(&IncumbentConfig::scaled(n, seed)),
+    )
+    .expect("fresh db");
     db
 }

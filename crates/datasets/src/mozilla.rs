@@ -113,12 +113,20 @@ pub fn bug_info_schema() -> Schema {
 
 /// Schema of `BugAssignment`.
 pub fn bug_assignment_schema() -> Schema {
-    Schema::builder().int("ID").str("Assignee").interval("VT").build()
+    Schema::builder()
+        .int("ID")
+        .str("Assignee")
+        .interval("VT")
+        .build()
 }
 
 /// Schema of `BugSeverity`.
 pub fn bug_severity_schema() -> Schema {
-    Schema::builder().int("ID").str("Severity").interval("VT").build()
+    Schema::builder()
+        .int("ID")
+        .str("Severity")
+        .interval("VT")
+        .build()
 }
 
 fn pick_severity<R: Rng>(rng: &mut R) -> &'static str {
@@ -266,7 +274,10 @@ mod tests {
         assert_eq!(m.bug_info.len(), 800);
         let a_ratio = m.bug_assignment.len() as f64 / m.bug_info.len() as f64;
         let s_ratio = m.bug_severity.len() as f64 / m.bug_info.len() as f64;
-        assert!((a_ratio - ASSIGNMENT_RATIO).abs() < 0.1, "A ratio {a_ratio}");
+        assert!(
+            (a_ratio - ASSIGNMENT_RATIO).abs() < 0.1,
+            "A ratio {a_ratio}"
+        );
         assert!((s_ratio - SEVERITY_RATIO).abs() < 0.1, "S ratio {s_ratio}");
     }
 

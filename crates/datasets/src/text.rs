@@ -9,15 +9,80 @@
 use rand::Rng;
 
 const WORDS: &[&str] = &[
-    "crash", "on", "startup", "when", "filter", "rules", "contain", "unicode", "headers",
-    "the", "message", "index", "is", "rebuilt", "after", "compaction", "and", "memory",
-    "usage", "grows", "until", "client", "becomes", "unresponsive", "attachment",
-    "rendering", "fails", "for", "inline", "images", "with", "missing", "content", "type",
-    "reproducible", "under", "heavy", "load", "regression", "from", "previous", "release",
-    "stack", "trace", "attached", "workaround", "disable", "threading", "pane", "folder",
-    "synchronization", "times", "out", "imap", "server", "closes", "connection", "spam",
-    "classifier", "marks", "digest", "mails", "incorrectly", "junk", "score", "threshold",
-    "ignored", "settings", "dialog", "patch", "included", "needs", "review", "backend",
+    "crash",
+    "on",
+    "startup",
+    "when",
+    "filter",
+    "rules",
+    "contain",
+    "unicode",
+    "headers",
+    "the",
+    "message",
+    "index",
+    "is",
+    "rebuilt",
+    "after",
+    "compaction",
+    "and",
+    "memory",
+    "usage",
+    "grows",
+    "until",
+    "client",
+    "becomes",
+    "unresponsive",
+    "attachment",
+    "rendering",
+    "fails",
+    "for",
+    "inline",
+    "images",
+    "with",
+    "missing",
+    "content",
+    "type",
+    "reproducible",
+    "under",
+    "heavy",
+    "load",
+    "regression",
+    "from",
+    "previous",
+    "release",
+    "stack",
+    "trace",
+    "attached",
+    "workaround",
+    "disable",
+    "threading",
+    "pane",
+    "folder",
+    "synchronization",
+    "times",
+    "out",
+    "imap",
+    "server",
+    "closes",
+    "connection",
+    "spam",
+    "classifier",
+    "marks",
+    "digest",
+    "mails",
+    "incorrectly",
+    "junk",
+    "score",
+    "threshold",
+    "ignored",
+    "settings",
+    "dialog",
+    "patch",
+    "included",
+    "needs",
+    "review",
+    "backend",
 ];
 
 /// A deterministic description of roughly `target_len` bytes.

@@ -75,10 +75,7 @@ mod tests {
         assert!(correct.bind(md(5, 14)));
 
         // Forever rewrite: [01/25, Forever) is never before the patch.
-        let forever_bug = OngoingInterval::new(
-            rewrite_point(bug.ts()),
-            rewrite_point(bug.te()),
-        );
+        let forever_bug = OngoingInterval::new(rewrite_point(bug.ts()), rewrite_point(bug.te()));
         let wrong = allen::before(forever_bug, patch);
         assert!(!wrong.bind(md(5, 14)), "Forever drops bug 500 — incorrect");
     }

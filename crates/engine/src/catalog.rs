@@ -55,9 +55,12 @@ impl Table {
                 attr.name
             )));
         }
-        let entries = self.data.tuples().iter().enumerate().filter_map(|(i, t)| {
-            t.value(col).as_interval().map(|iv| (iv, i))
-        });
+        let entries = self
+            .data
+            .tuples()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.value(col).as_interval().map(|iv| (iv, i)));
         let built = Arc::new(IntervalIndex::build(entries));
         self.indexes.lock().insert(col, Arc::clone(&built));
         Ok(built)

@@ -78,14 +78,7 @@ impl IntervalIndex {
         out
     }
 
-    fn query_rec(
-        &self,
-        lo: usize,
-        hi: usize,
-        qs: TimePoint,
-        qe: TimePoint,
-        out: &mut Vec<usize>,
-    ) {
+    fn query_rec(&self, lo: usize, hi: usize, qs: TimePoint, qe: TimePoint, out: &mut Vec<usize>) {
         if lo >= hi {
             return;
         }
@@ -142,9 +135,12 @@ mod tests {
     }
 
     fn build(entries: &[(i64, i64)]) -> IntervalIndex {
-        IntervalIndex::build(entries.iter().enumerate().map(|(i, &(s, e))| {
-            (OngoingInterval::fixed(tp(s), tp(e)), i)
-        }))
+        IntervalIndex::build(
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, e))| (OngoingInterval::fixed(tp(s), tp(e)), i)),
+        )
     }
 
     #[test]

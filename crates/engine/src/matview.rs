@@ -127,9 +127,8 @@ mod tests {
     #[test]
     fn instantiation_matches_clifford_at_every_rt() {
         let db = setup();
-        let view =
-            MaterializedView::create(&db, "v", overlap_plan(&db), PlannerConfig::default())
-                .unwrap();
+        let view = MaterializedView::create(&db, "v", overlap_plan(&db), PlannerConfig::default())
+            .unwrap();
         for rt in [md(1, 1), md(4, 1), md(8, 2), md(8, 15), md(12, 24)] {
             let via_view = view.instantiate(rt);
             let via_clifford = clifford::run_at(&db, view.plan(), rt).unwrap();
@@ -161,9 +160,8 @@ mod tests {
     #[test]
     fn view_metadata() {
         let db = setup();
-        let view =
-            MaterializedView::create(&db, "v", overlap_plan(&db), PlannerConfig::default())
-                .unwrap();
+        let view = MaterializedView::create(&db, "v", overlap_plan(&db), PlannerConfig::default())
+            .unwrap();
         assert_eq!(view.name(), "v");
         assert!(!view.is_empty());
     }

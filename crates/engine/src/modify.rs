@@ -89,9 +89,10 @@ impl<'a> Modifier<'a> {
                 continue;
             }
             modified += 1;
-            let iv = t.value(vt_col).as_interval().ok_or_else(|| {
-                EngineError::Plan("valid-time value is not an interval".into())
-            })?;
+            let iv = t
+                .value(vt_col)
+                .as_interval()
+                .ok_or_else(|| EngineError::Plan("valid-time value is not an interval".into()))?;
             let capped = OngoingInterval::new(iv.ts(), ops::min(iv.te(), cap));
             if capped.nonempty_set().is_empty() {
                 continue; // never valid anywhere: physically gone
@@ -118,8 +119,7 @@ impl<'a> Modifier<'a> {
         for (col, _) in assignments {
             if *col == self.vt_col {
                 return Err(EngineError::Plan(
-                    "cannot assign the valid-time attribute directly; use terminate/insert"
-                        .into(),
+                    "cannot assign the valid-time attribute directly; use terminate/insert".into(),
                 ));
             }
             self.rel.schema().attr(*col)?;
@@ -134,9 +134,10 @@ impl<'a> Modifier<'a> {
                 continue;
             }
             modified += 1;
-            let iv = t.value(vt_col).as_interval().ok_or_else(|| {
-                EngineError::Plan("valid-time value is not an interval".into())
-            })?;
+            let iv = t
+                .value(vt_col)
+                .as_interval()
+                .ok_or_else(|| EngineError::Plan("valid-time value is not an interval".into()))?;
             // Old version: [ts, min(te, at)).
             let old_iv = OngoingInterval::new(iv.ts(), ops::min(iv.te(), split));
             if !old_iv.nonempty_set().is_empty() {
@@ -335,9 +336,10 @@ mod tests {
     #[test]
     fn ongoing_predicates_are_rejected() {
         let mut r = bugs();
-        let pred = Expr::Col(2).overlaps(Expr::lit(Value::Interval(
-            OngoingInterval::fixed(md(1, 1), md(2, 1)),
-        )));
+        let pred = Expr::Col(2).overlaps(Expr::lit(Value::Interval(OngoingInterval::fixed(
+            md(1, 1),
+            md(2, 1),
+        ))));
         assert!(Modifier::new(&mut r, "VT")
             .unwrap()
             .terminate(&pred, md(6, 1))

@@ -91,9 +91,7 @@ impl LogicalPlan {
             LogicalPlan::Join { left, right, .. } | LogicalPlan::Product { left, right } => {
                 left.schema().product(&right.schema())
             }
-            LogicalPlan::Union { left, .. } | LogicalPlan::Difference { left, .. } => {
-                left.schema()
-            }
+            LogicalPlan::Union { left, .. } | LogicalPlan::Difference { left, .. } => left.schema(),
             LogicalPlan::Aggregate { schema, .. } => schema.clone(),
         }
     }
@@ -139,7 +137,12 @@ impl LogicalPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            LogicalPlan::Aggregate { input, group_cols, aggs, .. } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}Aggregate group by {group_cols:?} [{} aggs]\n",
                     aggs.len()
@@ -379,9 +382,8 @@ mod tests {
         ])
         .unwrap();
         db.create_table("B", b).unwrap();
-        let mut p = OngoingRelation::new(
-            Schema::builder().int("PID").str("C").interval("VT").build(),
-        );
+        let mut p =
+            OngoingRelation::new(Schema::builder().int("PID").str("C").interval("VT").build());
         p.insert(vec![
             Value::Int(201),
             Value::str("Spam filter"),
@@ -431,7 +433,10 @@ mod tests {
     fn union_rejects_incompatible() {
         let db = db();
         let b = QueryBuilder::scan(&db, "B").unwrap();
-        let p = QueryBuilder::scan(&db, "P").unwrap().project_cols(&["C"]).unwrap();
+        let p = QueryBuilder::scan(&db, "P")
+            .unwrap()
+            .project_cols(&["C"])
+            .unwrap();
         assert!(b.union(p).is_err());
     }
 

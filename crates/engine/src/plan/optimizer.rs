@@ -83,7 +83,11 @@ pub fn rewrite(plan: LogicalPlan, pushdown: bool) -> LogicalPlan {
                 };
             }
             match input {
-                LogicalPlan::Join { left, right, pred: jp } => rewrite_join(
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    pred: jp,
+                } => rewrite_join(
                     *left,
                     *right,
                     {
@@ -96,7 +100,10 @@ pub fn rewrite(plan: LogicalPlan, pushdown: bool) -> LogicalPlan {
                 LogicalPlan::Product { left, right } => {
                     rewrite_join(*left, *right, pred.conjuncts(), pushdown)
                 }
-                LogicalPlan::Select { input: inner, pred: p2 } => LogicalPlan::Select {
+                LogicalPlan::Select {
+                    input: inner,
+                    pred: p2,
+                } => LogicalPlan::Select {
                     input: inner,
                     pred: p2.and(pred),
                 },
@@ -123,7 +130,11 @@ pub fn rewrite(plan: LogicalPlan, pushdown: bool) -> LogicalPlan {
             left: Box::new(rewrite(*left, pushdown)),
             right: Box::new(rewrite(*right, pushdown)),
         },
-        LogicalPlan::Project { input, items, schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            items,
+            schema,
+        } => LogicalPlan::Project {
             input: Box::new(rewrite(*input, pushdown)),
             items,
             schema,
@@ -136,7 +147,12 @@ pub fn rewrite(plan: LogicalPlan, pushdown: bool) -> LogicalPlan {
             left: Box::new(rewrite(*left, pushdown)),
             right: Box::new(rewrite(*right, pushdown)),
         },
-        LogicalPlan::Aggregate { input, group_cols, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_cols,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input: Box::new(rewrite(*input, pushdown)),
             group_cols,
             aggs,
@@ -228,7 +244,11 @@ fn compile_node(db: &Database, plan: LogicalPlan, cfg: &PlannerConfig) -> Result
             // Index-scan opportunity: selection directly over a base scan
             // with an indexable temporal conjunct.
             if cfg.use_interval_index {
-                if let LogicalPlan::Scan { ref table, schema: ref scan_schema } = *input {
+                if let LogicalPlan::Scan {
+                    ref table,
+                    schema: ref scan_schema,
+                } = *input
+                {
                     let hit = pred
                         .clone()
                         .conjuncts()
@@ -255,7 +275,11 @@ fn compile_node(db: &Database, plan: LogicalPlan, cfg: &PlannerConfig) -> Result
                 ongoing,
             })
         }
-        LogicalPlan::Project { input, items, schema } => Ok(PhysicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            items,
+            schema,
+        } => Ok(PhysicalPlan::Project {
             input: Box::new(compile_node(db, *input, cfg)?),
             items,
             schema,
@@ -284,14 +308,17 @@ fn compile_node(db: &Database, plan: LogicalPlan, cfg: &PlannerConfig) -> Result
             left: Box::new(compile_node(db, *left, cfg)?),
             right: Box::new(compile_node(db, *right, cfg)?),
         }),
-        LogicalPlan::Aggregate { input, group_cols, aggs, schema } => {
-            Ok(PhysicalPlan::Aggregate {
-                input: Box::new(compile_node(db, *input, cfg)?),
-                group_cols,
-                aggs,
-                schema,
-            })
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_cols,
+            aggs,
+            schema,
+        } => Ok(PhysicalPlan::Aggregate {
+            input: Box::new(compile_node(db, *input, cfg)?),
+            group_cols,
+            aggs,
+            schema,
+        }),
     }
 }
 
@@ -308,12 +335,8 @@ fn compile_join(
     let l = compile_node(db, left, cfg)?;
     let r = compile_node(db, right, cfg)?;
 
-    let fixed_type = |i: usize| -> bool {
-        schema
-            .attr(i)
-            .map(|a| !a.ty.is_ongoing())
-            .unwrap_or(false)
-    };
+    let fixed_type =
+        |i: usize| -> bool { schema.attr(i).map(|a| !a.ty.is_ongoing()).unwrap_or(false) };
 
     // Hash keys: fixed-attribute equality conjuncts across the split.
     let want_hash = matches!(cfg.join_strategy, JoinStrategy::Auto | JoinStrategy::Hash);
@@ -349,9 +372,7 @@ fn compile_join(
         let interval_type = |i: usize| -> bool {
             schema
                 .attr(i)
-                .map(|a| {
-                    matches!(a.ty, ValueType::OngoingInterval | ValueType::Span)
-                })
+                .map(|a| matches!(a.ty, ValueType::OngoingInterval | ValueType::Span))
                 .unwrap_or(false)
         };
         let sweep = conjuncts
@@ -361,8 +382,7 @@ fn compile_join(
         if let Some((l_col, r_col)) = sweep {
             // The envelope pass is a pre-filter; the complete predicate
             // stays as residual.
-            let (fixed, ongoing) =
-                split_pred(and_all(conjuncts), schema, cfg.split_predicates);
+            let (fixed, ongoing) = split_pred(and_all(conjuncts), schema, cfg.split_predicates);
             return Ok(PhysicalPlan::SweepJoin {
                 left: Box::new(l),
                 right: Box::new(r),

@@ -150,9 +150,7 @@ impl PhysicalPlan {
             PhysicalPlan::Filter { input, .. } => input.schema(),
             PhysicalPlan::NestedLoopJoin { left, right, .. }
             | PhysicalPlan::HashJoin { left, right, .. }
-            | PhysicalPlan::SweepJoin { left, right, .. } => {
-                left.schema().product(&right.schema())
-            }
+            | PhysicalPlan::SweepJoin { left, right, .. } => left.schema().product(&right.schema()),
             PhysicalPlan::Union { left, .. } | PhysicalPlan::Difference { left, .. } => {
                 left.schema()
             }
@@ -182,7 +180,14 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan { table, .. } => {
                 out.push_str(&format!("{pad}SeqScan {}\n", table.name()));
             }
-            PhysicalPlan::IndexScan { table, col, range, fixed, ongoing, .. } => {
+            PhysicalPlan::IndexScan {
+                table,
+                col,
+                range,
+                fixed,
+                ongoing,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}IndexScan {} col #{col} env [{}, {}){}\n",
                     table.name(),
@@ -191,7 +196,11 @@ impl PhysicalPlan {
                     preds(fixed, ongoing)
                 ));
             }
-            PhysicalPlan::Filter { input, fixed, ongoing } => {
+            PhysicalPlan::Filter {
+                input,
+                fixed,
+                ongoing,
+            } => {
                 out.push_str(&format!("{pad}Filter{}\n", preds(fixed, ongoing)));
                 input.explain_into(depth + 1, out);
             }
@@ -199,12 +208,23 @@ impl PhysicalPlan {
                 out.push_str(&format!("{pad}Project [{} cols]\n", items.len()));
                 input.explain_into(depth + 1, out);
             }
-            PhysicalPlan::NestedLoopJoin { left, right, fixed, ongoing } => {
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                fixed,
+                ongoing,
+            } => {
                 out.push_str(&format!("{pad}NestedLoopJoin{}\n", preds(fixed, ongoing)));
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysicalPlan::HashJoin { left, right, keys, fixed, ongoing } => {
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                keys,
+                fixed,
+                ongoing,
+            } => {
                 out.push_str(&format!(
                     "{pad}HashJoin on {keys:?}{}\n",
                     preds(fixed, ongoing)
@@ -212,7 +232,14 @@ impl PhysicalPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysicalPlan::SweepJoin { left, right, l_col, r_col, fixed, ongoing } => {
+            PhysicalPlan::SweepJoin {
+                left,
+                right,
+                l_col,
+                r_col,
+                fixed,
+                ongoing,
+            } => {
                 out.push_str(&format!(
                     "{pad}SweepJoin envelopes #{l_col} x #{r_col}{}\n",
                     preds(fixed, ongoing)
@@ -230,7 +257,12 @@ impl PhysicalPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysicalPlan::Aggregate { input, group_cols, aggs, .. } => {
+            PhysicalPlan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}Aggregate group by {group_cols:?} [{} aggs]\n",
                     aggs.len()
@@ -253,7 +285,14 @@ impl PhysicalPlan {
                 .clone()
                 .with_schema(schema.clone())
                 .expect("scan schema is a rename of the table schema")),
-            PhysicalPlan::IndexScan { table, schema, col, range, fixed, ongoing } => {
+            PhysicalPlan::IndexScan {
+                table,
+                schema,
+                col,
+                range,
+                fixed,
+                ongoing,
+            } => {
                 let idx = table.interval_index(*col)?;
                 let data = table.data();
                 let mut out = OngoingRelation::new(schema.clone());
@@ -263,7 +302,11 @@ impl PhysicalPlan {
                 }
                 Ok(out)
             }
-            PhysicalPlan::Filter { input, fixed, ongoing } => {
+            PhysicalPlan::Filter {
+                input,
+                fixed,
+                ongoing,
+            } => {
                 let rel = input.execute()?;
                 let mut out = OngoingRelation::new(rel.schema().clone());
                 for t in rel.tuples() {
@@ -271,14 +314,23 @@ impl PhysicalPlan {
                 }
                 Ok(out)
             }
-            PhysicalPlan::Project { input, items, schema } => {
+            PhysicalPlan::Project {
+                input,
+                items,
+                schema,
+            } => {
                 let rel = input.execute()?;
                 let projected = algebra::project(&rel, items)?;
                 projected
                     .with_schema(schema.clone())
                     .map_err(EngineError::Schema)
             }
-            PhysicalPlan::NestedLoopJoin { left, right, fixed, ongoing } => {
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                fixed,
+                ongoing,
+            } => {
                 let l = left.execute()?;
                 let r = right.execute()?;
                 let mut out = OngoingRelation::new(l.schema().product(r.schema()));
@@ -289,21 +341,24 @@ impl PhysicalPlan {
                 }
                 Ok(out)
             }
-            PhysicalPlan::HashJoin { left, right, keys, fixed, ongoing } => {
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                keys,
+                fixed,
+                ongoing,
+            } => {
                 let l = left.execute()?;
                 let r = right.execute()?;
                 let mut out = OngoingRelation::new(l.schema().product(r.schema()));
                 // Build on the right side.
-                let mut table: HashMap<Vec<Value>, Vec<&Tuple>> =
-                    HashMap::with_capacity(r.len());
+                let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(r.len());
                 for rt_ in r.tuples() {
-                    let key: Vec<Value> =
-                        keys.iter().map(|&(_, j)| rt_.value(j).clone()).collect();
+                    let key: Vec<Value> = keys.iter().map(|&(_, j)| rt_.value(j).clone()).collect();
                     table.entry(key).or_default().push(rt_);
                 }
                 for lt in l.tuples() {
-                    let key: Vec<Value> =
-                        keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
+                    let key: Vec<Value> = keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
                     if let Some(matches) = table.get(&key) {
                         for rt_ in matches {
                             join_pair(&mut out, lt, rt_, fixed.as_ref(), ongoing.as_ref())?;
@@ -312,7 +367,14 @@ impl PhysicalPlan {
                 }
                 Ok(out)
             }
-            PhysicalPlan::SweepJoin { left, right, l_col, r_col, fixed, ongoing } => {
+            PhysicalPlan::SweepJoin {
+                left,
+                right,
+                l_col,
+                r_col,
+                fixed,
+                ongoing,
+            } => {
                 let l = left.execute()?;
                 let r = right.execute()?;
                 let mut out = OngoingRelation::new(l.schema().product(r.schema()));
@@ -339,7 +401,12 @@ impl PhysicalPlan {
                 let r = right.execute()?;
                 algebra::difference(&l, &r).map_err(EngineError::Schema)
             }
-            PhysicalPlan::Aggregate { input, group_cols, aggs, schema } => {
+            PhysicalPlan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                schema,
+            } => {
                 let rel = input.execute()?;
                 let names: Vec<String> = schema
                     .attrs()
@@ -347,10 +414,9 @@ impl PhysicalPlan {
                     .skip(group_cols.len())
                     .map(|a| a.name.clone())
                     .collect();
-                let agg = ongoing_relation::aggregate::aggregate_relation(
-                    &rel, group_cols, aggs, &names,
-                )
-                .map_err(EngineError::Schema)?;
+                let agg =
+                    ongoing_relation::aggregate::aggregate_relation(&rel, group_cols, aggs, &names)
+                        .map_err(EngineError::Schema)?;
                 agg.with_schema(schema.clone()).map_err(EngineError::Schema)
             }
         }
@@ -371,10 +437,20 @@ impl PhysicalPlan {
     /// [`FixedRelation`] in `execute_at`).
     pub fn rows_at(&self, rt: TimePoint) -> Result<Vec<Vec<Value>>> {
         match self {
-            PhysicalPlan::SeqScan { table, .. } => {
-                Ok(table.data().tuples().iter().filter_map(|t| t.bind(rt)).collect())
-            }
-            PhysicalPlan::IndexScan { table, col, range, fixed, ongoing, .. } => {
+            PhysicalPlan::SeqScan { table, .. } => Ok(table
+                .data()
+                .tuples()
+                .iter()
+                .filter_map(|t| t.bind(rt))
+                .collect()),
+            PhysicalPlan::IndexScan {
+                table,
+                col,
+                range,
+                fixed,
+                ongoing,
+                ..
+            } => {
                 let idx = table.interval_index(*col)?;
                 let data = table.data();
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
@@ -382,14 +458,19 @@ impl PhysicalPlan {
                 let mut out = Vec::new();
                 for id in idx.query(range.0, range.1) {
                     if let Some(row) = data.tuples()[id].bind(rt) {
-                        if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())? {
+                        if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())?
+                        {
                             out.push(row);
                         }
                     }
                 }
                 Ok(out)
             }
-            PhysicalPlan::Filter { input, fixed, ongoing } => {
+            PhysicalPlan::Filter {
+                input,
+                fixed,
+                ongoing,
+            } => {
                 let rows = input.rows_at(rt)?;
                 // Instantiate ongoing literals in the predicates (the bind
                 // operator applies to the query, not only the data).
@@ -422,7 +503,12 @@ impl PhysicalPlan {
                 }
                 Ok(out)
             }
-            PhysicalPlan::NestedLoopJoin { left, right, fixed, ongoing } => {
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                fixed,
+                ongoing,
+            } => {
                 let l = left.rows_at(rt)?;
                 let r = right.rows_at(rt)?;
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
@@ -435,7 +521,13 @@ impl PhysicalPlan {
                 }
                 Ok(out)
             }
-            PhysicalPlan::HashJoin { left, right, keys, fixed, ongoing } => {
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                keys,
+                fixed,
+                ongoing,
+            } => {
                 let l = left.rows_at(rt)?;
                 let r = right.rows_at(rt)?;
                 let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> =
@@ -457,7 +549,14 @@ impl PhysicalPlan {
                 }
                 Ok(out)
             }
-            PhysicalPlan::SweepJoin { left, right, l_col, r_col, fixed, ongoing } => {
+            PhysicalPlan::SweepJoin {
+                left,
+                right,
+                l_col,
+                r_col,
+                fixed,
+                ongoing,
+            } => {
                 let l = left.rows_at(rt)?;
                 let r = right.rows_at(rt)?;
                 let le = row_envelopes(&l, *l_col)?;
@@ -480,7 +579,12 @@ impl PhysicalPlan {
                 let r = FixedRelation::from_rows(right.rows_at(rt)?);
                 Ok(l.into_iter().filter(|row| !r.contains(row)).collect())
             }
-            PhysicalPlan::Aggregate { input, group_cols, aggs, .. } => {
+            PhysicalPlan::Aggregate {
+                input,
+                group_cols,
+                aggs,
+                ..
+            } => {
                 // Fixed grouped aggregation over the instantiated rows —
                 // the semantics the ongoing operator must instantiate to.
                 use ongoing_relation::aggregate::AggFn;
@@ -488,12 +592,9 @@ impl PhysicalPlan {
                 let mut order: Vec<Vec<Value>> = Vec::new();
                 let mut groups: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
                 for row in rows.rows() {
-                    let key: Vec<Value> =
-                        group_cols.iter().map(|&c| row[c].clone()).collect();
+                    let key: Vec<Value> = group_cols.iter().map(|&c| row[c].clone()).collect();
                     match groups.entry(key) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            e.get_mut().push(row)
-                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(row),
                         std::collections::hash_map::Entry::Vacant(e) => {
                             order.push(e.key().clone());
                             e.insert(vec![row]);
@@ -507,10 +608,9 @@ impl PhysicalPlan {
                     for a in aggs {
                         let v = match a {
                             AggFn::CountStar => members.len() as i64,
-                            AggFn::SumInt(col) => members
-                                .iter()
-                                .map(|r| r[*col].as_int().unwrap_or(0))
-                                .sum(),
+                            AggFn::SumInt(col) => {
+                                members.iter().map(|r| r[*col].as_int().unwrap_or(0)).sum()
+                            }
                         };
                         vals.push(Value::Int(v));
                     }
@@ -627,10 +727,7 @@ fn envelopes(tuples: &[Tuple], col: usize) -> Result<Vec<(TimePoint, TimePoint, 
 }
 
 /// Envelopes over instantiated rows (the bound span *is* the envelope).
-fn row_envelopes(
-    rows: &[Vec<Value>],
-    col: usize,
-) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
+fn row_envelopes(rows: &[Vec<Value>], col: usize) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
     let mut out = Vec::with_capacity(rows.len());
     for (i, row) in rows.iter().enumerate() {
         let iv = row[col].as_interval().ok_or_else(|| {

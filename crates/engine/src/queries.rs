@@ -45,13 +45,12 @@ pub fn self_join(
     let r = QueryBuilder::scan_as(db, table, "S")?;
     let l_eq = format!("R.{eq_attr}");
     let r_eq = format!("S.{eq_attr}");
-    Ok(l
-        .join(r, |s| {
-            Ok(Expr::col(s, &l_eq)?
-                .eq(Expr::col(s, &r_eq)?)
-                .and(Expr::col(s, "R.VT")?.temporal(pred, Expr::col(s, "S.VT")?)))
-        })?
-        .build())
+    Ok(l.join(r, |s| {
+        Ok(Expr::col(s, &l_eq)?
+            .eq(Expr::col(s, &r_eq)?)
+            .and(Expr::col(s, "R.VT")?.temporal(pred, Expr::col(s, "S.VT")?)))
+    })?
+    .build())
 }
 
 /// `QC⋈_pred`: the complex MozillaBugs join of Sec. IX-A:
@@ -78,9 +77,10 @@ pub fn complex_join(db: &Database, pred: TemporalPredicate) -> Result<LogicalPla
             .and(Expr::col(sc, "S.Severity")?.eq(Expr::lit("major"))))
     })?;
 
-    let asb = a_s.join(b, |sc| {
-        Ok(Expr::col(sc, "A.ID")?.eq(Expr::col(sc, "B.ID")?))
-    })?;
+    let asb = a_s.join(
+        b,
+        |sc| Ok(Expr::col(sc, "A.ID")?.eq(Expr::col(sc, "B.ID")?)),
+    )?;
 
     Ok(asb
         .join(b2, |sc| {
@@ -123,13 +123,7 @@ mod tests {
     #[test]
     fn selection_query_shape() {
         let db = bugs_db();
-        let plan = selection(
-            &db,
-            "B",
-            TemporalPredicate::Overlaps,
-            (md(8, 1), md(9, 1)),
-        )
-        .unwrap();
+        let plan = selection(&db, "B", TemporalPredicate::Overlaps, (md(8, 1), md(9, 1))).unwrap();
         let result = crate::execute(&db, &plan).unwrap();
         assert_eq!(result.len(), 2);
     }
@@ -153,24 +147,41 @@ mod tests {
     #[test]
     fn complex_join_builds_against_mozilla_schema() {
         let db = Database::new();
-        db.create_table("BugAssignment", OngoingRelation::new(
-            Schema::builder().int("ID").str("Assignee").interval("VT").build(),
-        ))
+        db.create_table(
+            "BugAssignment",
+            OngoingRelation::new(
+                Schema::builder()
+                    .int("ID")
+                    .str("Assignee")
+                    .interval("VT")
+                    .build(),
+            ),
+        )
         .unwrap();
-        db.create_table("BugSeverity", OngoingRelation::new(
-            Schema::builder().int("ID").str("Severity").interval("VT").build(),
-        ))
+        db.create_table(
+            "BugSeverity",
+            OngoingRelation::new(
+                Schema::builder()
+                    .int("ID")
+                    .str("Severity")
+                    .interval("VT")
+                    .build(),
+            ),
+        )
         .unwrap();
-        db.create_table("BugInfo", OngoingRelation::new(
-            Schema::builder()
-                .int("ID")
-                .str("Product")
-                .str("Component")
-                .str("OS")
-                .str("Description")
-                .interval("VT")
-                .build(),
-        ))
+        db.create_table(
+            "BugInfo",
+            OngoingRelation::new(
+                Schema::builder()
+                    .int("ID")
+                    .str("Product")
+                    .str("Component")
+                    .str("OS")
+                    .str("Description")
+                    .interval("VT")
+                    .build(),
+            ),
+        )
         .unwrap();
         let plan = complex_join(&db, TemporalPredicate::Overlaps).unwrap();
         // 3 + 3 + 6 + 6 attributes.

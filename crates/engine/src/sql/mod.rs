@@ -168,9 +168,8 @@ mod tests {
 
     fn fig1_db() -> Database {
         let db = Database::new();
-        let mut b = OngoingRelation::new(
-            Schema::builder().int("BID").str("C").interval("VT").build(),
-        );
+        let mut b =
+            OngoingRelation::new(Schema::builder().int("BID").str("C").interval("VT").build());
         b.insert(vec![
             Value::Int(500),
             Value::str("Spam filter"),
@@ -184,9 +183,8 @@ mod tests {
         ])
         .unwrap();
         db.create_table("B", b).unwrap();
-        let mut p = OngoingRelation::new(
-            Schema::builder().int("PID").str("C").interval("VT").build(),
-        );
+        let mut p =
+            OngoingRelation::new(Schema::builder().int("PID").str("C").interval("VT").build());
         p.insert(vec![
             Value::Int(201),
             Value::str("Spam filter"),
@@ -201,7 +199,11 @@ mod tests {
         .unwrap();
         db.create_table("P", p).unwrap();
         let mut l = OngoingRelation::new(
-            Schema::builder().str("Name").str("C").interval("VT").build(),
+            Schema::builder()
+                .str("Name")
+                .str("C")
+                .interval("VT")
+                .build(),
         );
         l.insert(vec![
             Value::str("Ann"),
@@ -279,11 +281,7 @@ mod tests {
     fn start_end_now_predicates() {
         let db = fig1_db();
         // Bugs whose (ongoing) start lies before 2019-06-01 at every rt.
-        let r = query(
-            &db,
-            "SELECT BID FROM B WHERE START(VT) < DATE '2019-06-01'",
-        )
-        .unwrap();
+        let r = query(&db, "SELECT BID FROM B WHERE START(VT) < DATE '2019-06-01'").unwrap();
         assert_eq!(r.len(), 2);
         // now <= end: restricts RT for the fixed-interval bug.
         let r = query(&db, "SELECT BID FROM B WHERE NOW <= END(VT)").unwrap();

@@ -390,9 +390,32 @@ fn temporal_keyword(w: &str) -> Option<TemporalPredicate> {
 
 fn is_reserved(w: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "SELECT", "FROM", "WHERE", "JOIN", "ON", "AS", "AND", "OR", "NOT", "UNION", "EXCEPT",
-        "TRUE", "FALSE", "NOW", "DATE", "PERIOD", "INTERSECTION", "START", "END", "BEFORE",
-        "MEETS", "OVERLAPS", "STARTS", "FINISHES", "DURING", "EQUALS",
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "JOIN",
+        "ON",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "UNION",
+        "EXCEPT",
+        "TRUE",
+        "FALSE",
+        "NOW",
+        "DATE",
+        "PERIOD",
+        "INTERSECTION",
+        "START",
+        "END",
+        "BEFORE",
+        "MEETS",
+        "OVERLAPS",
+        "STARTS",
+        "FINISHES",
+        "DURING",
+        "EQUALS",
     ];
     RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r))
 }
@@ -411,7 +434,9 @@ mod tests {
              WHERE B.C = 'Spam filter'",
         )
         .unwrap();
-        let Query::Select(s) = q else { panic!("single select") };
+        let Query::Select(s) = q else {
+            panic!("single select")
+        };
         assert_eq!(s.items.as_ref().unwrap().len(), 5);
         assert_eq!(s.items.as_ref().unwrap()[4].alias.as_deref(), Some("Resp"));
         assert_eq!(s.from.table, "B");

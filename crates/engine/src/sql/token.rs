@@ -105,55 +105,89 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, at });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    at,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, at });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    at,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, at });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    at,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, at });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    at,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, at });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    at,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, at });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    at,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Token { kind: TokenKind::Ne, at });
+                out.push(Token {
+                    kind: TokenKind::Ne,
+                    at,
+                });
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token { kind: TokenKind::Le, at });
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token { kind: TokenKind::Ne, at });
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token { kind: TokenKind::Lt, at });
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        at,
+                    });
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        at,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        at,
+                    });
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ge, at });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        at,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, at });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        at,
+                    });
                     i += 1;
                 }
             }
@@ -185,7 +219,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), at });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    at,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -197,7 +234,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("integer literal `{text}` out of range"),
                     at,
                 })?;
-                out.push(Token { kind: TokenKind::Int(v), at });
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    at,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;

@@ -118,8 +118,7 @@ fn get_value(buf: &mut impl Buf) -> Result<Value> {
             need(buf, 16)?;
             let a = TimePoint::new(buf.get_i64_le());
             let b = TimePoint::new(buf.get_i64_le());
-            let p = OngoingPoint::new(a, b)
-                .map_err(|e| EngineError::Storage(e.to_string()))?;
+            let p = OngoingPoint::new(a, b).map_err(|e| EngineError::Storage(e.to_string()))?;
             Ok(Value::Point(p))
         }
         TAG_INTERVAL => {
@@ -128,10 +127,10 @@ fn get_value(buf: &mut impl Buf) -> Result<Value> {
             let tsb = TimePoint::new(buf.get_i64_le());
             let tea = TimePoint::new(buf.get_i64_le());
             let teb = TimePoint::new(buf.get_i64_le());
-            let ts = OngoingPoint::new(tsa, tsb)
-                .map_err(|e| EngineError::Storage(e.to_string()))?;
-            let te = OngoingPoint::new(tea, teb)
-                .map_err(|e| EngineError::Storage(e.to_string()))?;
+            let ts =
+                OngoingPoint::new(tsa, tsb).map_err(|e| EngineError::Storage(e.to_string()))?;
+            let te =
+                OngoingPoint::new(tea, teb).map_err(|e| EngineError::Storage(e.to_string()))?;
             Ok(Value::Interval(OngoingInterval::new(ts, te)))
         }
         TAG_ONGOING_INT => {

@@ -76,10 +76,8 @@ impl HeapPage {
             return Err(EngineError::Storage(format!("no slot {slot}")));
         }
         let slot_off = PAGE_HEADER + slot * SLOT_BYTES;
-        let start =
-            u16::from_le_bytes([self.data[slot_off], self.data[slot_off + 1]]) as usize;
-        let len =
-            u16::from_le_bytes([self.data[slot_off + 2], self.data[slot_off + 3]]) as usize;
+        let start = u16::from_le_bytes([self.data[slot_off], self.data[slot_off + 1]]) as usize;
+        let len = u16::from_le_bytes([self.data[slot_off + 2], self.data[slot_off + 3]]) as usize;
         Ok(&self.data[start..start + len])
     }
 
@@ -134,7 +132,7 @@ impl HeapFile {
         if self
             .pages
             .last()
-            .map_or(true, |p| p.free_space() < payload.len() + SLOT_BYTES)
+            .is_none_or(|p| p.free_space() < payload.len() + SLOT_BYTES)
         {
             self.pages.push(HeapPage::new());
         }
@@ -157,9 +155,9 @@ impl HeapFile {
 
     /// Full sequential scan.
     pub fn scan(&self) -> impl Iterator<Item = Result<Tuple>> + '_ {
-        self.pages.iter().flat_map(|p| {
-            (0..p.len()).map(move |s| p.read(s).and_then(decode_tuple))
-        })
+        self.pages
+            .iter()
+            .flat_map(|p| (0..p.len()).map(move |s| p.read(s).and_then(decode_tuple)))
     }
 
     /// Number of stored tuples.
@@ -251,6 +249,6 @@ mod tests {
         while page.insert(&blob).is_some() {
             n += 1;
         }
-        assert!(n >= 7 && n <= 8, "8K page fits ~8 1K tuples, got {n}");
+        assert!((7..=8).contains(&n), "8K page fits ~8 1K tuples, got {n}");
     }
 }

@@ -217,16 +217,17 @@ pub fn aggregate_relation(
         }
         let mut values = key;
         for a in aggs {
-            let acc = match a {
-                AggFn::CountStar => count_over(dedup_rts.iter()),
-                AggFn::SumInt(col) => members.iter().zip(&dedup_rts).fold(
-                    OngoingInt::constant(0),
-                    |acc, (m, rt)| {
-                        let w = m.value(*col).as_int().expect("type-checked");
-                        acc.add(&OngoingInt::indicator(rt).scale(w))
-                    },
-                ),
-            };
+            let acc =
+                match a {
+                    AggFn::CountStar => count_over(dedup_rts.iter()),
+                    AggFn::SumInt(col) => members.iter().zip(&dedup_rts).fold(
+                        OngoingInt::constant(0),
+                        |acc, (m, rt)| {
+                            let w = m.value(*col).as_int().expect("type-checked");
+                            acc.add(&OngoingInt::indicator(rt).scale(w))
+                        },
+                    ),
+                };
             values.push(Value::Count(acc));
         }
         out.push(crate::tuple::Tuple::with_rt(values, rt_set));

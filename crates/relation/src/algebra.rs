@@ -268,9 +268,12 @@ mod tests {
             IntervalSet::range(TimePoint::NEG_INF, md(8, 16)),
         )
         .unwrap();
-        let pred = Expr::col(&schema, "VT").unwrap().overlaps(Expr::lit(
-            Value::Interval(OngoingInterval::fixed(md(1, 20), md(8, 18))),
-        ));
+        let pred = Expr::col(&schema, "VT")
+            .unwrap()
+            .overlaps(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                md(1, 20),
+                md(8, 18),
+            ))));
         let q = select(&x, &pred).unwrap();
         assert_eq!(q.len(), 1);
         assert_eq!(
@@ -349,9 +352,12 @@ mod tests {
         let items = [
             ProjItem::col(&schema, "BID").unwrap(),
             ProjItem::named(
-                Expr::col(&schema, "VT").unwrap().intersect(Expr::lit(
-                    Value::Interval(OngoingInterval::fixed(md(8, 1), md(9, 1))),
-                )),
+                Expr::col(&schema, "VT")
+                    .unwrap()
+                    .intersect(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                        md(8, 1),
+                        md(9, 1),
+                    )))),
                 "OverlapVT",
             ),
         ];
@@ -403,9 +409,9 @@ mod tests {
         // exactly at rt = 6, so R's tuple is removed only there.
         let schema = Schema::builder().interval("VT").build();
         let mut l = OngoingRelation::new(schema.clone());
-        l.insert(vec![Value::Interval(OngoingInterval::from_until_now(
-            tp(0),
-        ))])
+        l.insert(vec![Value::Interval(OngoingInterval::from_until_now(tp(
+            0,
+        )))])
         .unwrap();
         let mut r = OngoingRelation::new(schema);
         r.insert(vec![Value::Interval(OngoingInterval::fixed(tp(0), tp(6)))])
@@ -419,9 +425,12 @@ mod tests {
         // Cross-check the paper's criterion at a few reference times.
         for rt_probe in -2i64..10 {
             let rt_probe = tp(rt_probe);
-            let expect = l.bind(rt_probe).rows().iter().cloned().filter(|row| {
-                !r.bind(rt_probe).contains(row)
-            }).count();
+            let expect = l
+                .bind(rt_probe)
+                .rows()
+                .iter()
+                .filter(|row| !r.bind(rt_probe).contains(row))
+                .count();
             assert_eq!(d.bind(rt_probe).len(), expect, "rt={rt_probe}");
         }
     }
@@ -431,9 +440,12 @@ mod tests {
         // ∥σ(R)∥rt == σF(∥R∥rt) spot-check on the running-example data.
         let b = bugs();
         let schema = b.schema().clone();
-        let pred = Expr::col(&schema, "VT").unwrap().overlaps(Expr::lit(
-            Value::Interval(OngoingInterval::fixed(md(8, 1), md(9, 1))),
-        ));
+        let pred = Expr::col(&schema, "VT")
+            .unwrap()
+            .overlaps(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                md(8, 1),
+                md(9, 1),
+            ))));
         let q = select(&b, &pred).unwrap();
         for rt in [md(1, 1), md(8, 2), md(8, 22), md(12, 1)] {
             let lhs = q.bind(rt);

@@ -209,9 +209,9 @@ impl Expr {
             }
             Expr::StartOf(e) | Expr::EndOf(e) => {
                 let v = e.eval_scalar(row)?;
-                let iv = v.as_interval().ok_or_else(|| {
-                    EvalError::TypeMismatch("start/end of a non-interval".into())
-                })?;
+                let iv = v
+                    .as_interval()
+                    .ok_or_else(|| EvalError::TypeMismatch("start/end of a non-interval".into()))?;
                 let p = if matches!(self, Expr::StartOf(_)) {
                     iv.ts()
                 } else {
@@ -261,15 +261,16 @@ impl Expr {
                     ))),
                 }
             }
-            Expr::Col(_) | Expr::Const(_) | Expr::Intersect(..) | Expr::StartOf(_)
-            | Expr::EndOf(_) => {
-                match self.eval_scalar(row)? {
-                    Value::Bool(b) => Ok(OngoingBool::from_bool(b)),
-                    v => Err(EvalError::TypeMismatch(format!(
-                        "expected boolean, got {v}"
-                    ))),
-                }
-            }
+            Expr::Col(_)
+            | Expr::Const(_)
+            | Expr::Intersect(..)
+            | Expr::StartOf(_)
+            | Expr::EndOf(_) => match self.eval_scalar(row)? {
+                Value::Bool(b) => Ok(OngoingBool::from_bool(b)),
+                v => Err(EvalError::TypeMismatch(format!(
+                    "expected boolean, got {v}"
+                ))),
+            },
         }
     }
 
@@ -278,10 +279,7 @@ impl Expr {
     /// all others keep their standard behaviour.
     pub fn references_ongoing(&self, schema: &Schema) -> bool {
         match self {
-            Expr::Col(i) => schema
-                .attr(*i)
-                .map(|a| a.ty.is_ongoing())
-                .unwrap_or(false),
+            Expr::Col(i) => schema.attr(*i).map(|a| a.ty.is_ongoing()).unwrap_or(false),
             Expr::Const(v) => v.is_ongoing(),
             Expr::Cmp(_, l, r) | Expr::Or(l, r) | Expr::And(l, r) | Expr::Intersect(l, r) => {
                 l.references_ongoing(schema) || r.references_ongoing(schema)
@@ -344,9 +342,7 @@ impl Expr {
                 let lv = l.eval_scalar(row)?;
                 let rv = r.eval_scalar(row)?;
                 if lv.is_ongoing() || rv.is_ongoing() {
-                    return Err(EvalError::TypeMismatch(
-                        "eval_bool on ongoing value".into(),
-                    ));
+                    return Err(EvalError::TypeMismatch("eval_bool on ongoing value".into()));
                 }
                 let b = eval_cmp(*op, &lv, &rv)?;
                 Ok(b.is_always_true())
@@ -361,18 +357,19 @@ impl Expr {
                     // Fixed intervals stored as ongoing values still take
                     // the fast path.
                     _ => match (lv.as_interval(), rv.as_interval()) {
-                        (Some(a), Some(b)) if !lv.is_ongoing() && !rv.is_ongoing() => Ok(pred
-                            .eval_fixed(
-                                (a.ts().a(), a.te().a()),
-                                (b.ts().a(), b.te().a()),
-                            )),
+                        (Some(a), Some(b)) if !lv.is_ongoing() && !rv.is_ongoing() => {
+                            Ok(pred.eval_fixed((a.ts().a(), a.te().a()), (b.ts().a(), b.te().a())))
+                        }
                         _ => Err(EvalError::TypeMismatch(
                             "eval_bool on ongoing interval".into(),
                         )),
                     },
                 }
             }
-            Expr::Col(_) | Expr::Const(_) | Expr::Intersect(..) | Expr::StartOf(_)
+            Expr::Col(_)
+            | Expr::Const(_)
+            | Expr::Intersect(..)
+            | Expr::StartOf(_)
             | Expr::EndOf(_) => match self.eval_scalar(row)? {
                 Value::Bool(b) => Ok(b),
                 v => Err(EvalError::TypeMismatch(format!(
@@ -396,24 +393,15 @@ impl Expr {
                 Box::new(l.bind_consts(rt)),
                 Box::new(r.bind_consts(rt)),
             ),
-            Expr::Temporal(p, l, r) => Expr::Temporal(
-                *p,
-                Box::new(l.bind_consts(rt)),
-                Box::new(r.bind_consts(rt)),
-            ),
-            Expr::And(l, r) => Expr::And(
-                Box::new(l.bind_consts(rt)),
-                Box::new(r.bind_consts(rt)),
-            ),
-            Expr::Or(l, r) => Expr::Or(
-                Box::new(l.bind_consts(rt)),
-                Box::new(r.bind_consts(rt)),
-            ),
+            Expr::Temporal(p, l, r) => {
+                Expr::Temporal(*p, Box::new(l.bind_consts(rt)), Box::new(r.bind_consts(rt)))
+            }
+            Expr::And(l, r) => Expr::And(Box::new(l.bind_consts(rt)), Box::new(r.bind_consts(rt))),
+            Expr::Or(l, r) => Expr::Or(Box::new(l.bind_consts(rt)), Box::new(r.bind_consts(rt))),
             Expr::Not(e) => Expr::Not(Box::new(e.bind_consts(rt))),
-            Expr::Intersect(l, r) => Expr::Intersect(
-                Box::new(l.bind_consts(rt)),
-                Box::new(r.bind_consts(rt)),
-            ),
+            Expr::Intersect(l, r) => {
+                Expr::Intersect(Box::new(l.bind_consts(rt)), Box::new(r.bind_consts(rt)))
+            }
             Expr::StartOf(e) => Expr::StartOf(Box::new(e.bind_consts(rt))),
             Expr::EndOf(e) => Expr::EndOf(Box::new(e.bind_consts(rt))),
         }
@@ -457,9 +445,7 @@ impl Expr {
             Expr::Temporal(p, l, r) => {
                 Expr::Temporal(*p, Box::new(l.map_columns(f)), Box::new(r.map_columns(f)))
             }
-            Expr::And(l, r) => {
-                Expr::And(Box::new(l.map_columns(f)), Box::new(r.map_columns(f)))
-            }
+            Expr::And(l, r) => Expr::And(Box::new(l.map_columns(f)), Box::new(r.map_columns(f))),
             Expr::Or(l, r) => Expr::Or(Box::new(l.map_columns(f)), Box::new(r.map_columns(f))),
             Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
             Expr::Intersect(l, r) => {
@@ -631,9 +617,12 @@ mod tests {
     fn temporal_predicate_restricts_reference_time() {
         let (schema, t) = bug_tuple();
         // VT overlaps [01/20, 08/18) — Example 3 yields b[{[01/26, ∞)}].
-        let e = Expr::col(&schema, "VT").unwrap().overlaps(Expr::lit(
-            Value::Interval(OngoingInterval::fixed(md(1, 20), md(8, 18))),
-        ));
+        let e = Expr::col(&schema, "VT")
+            .unwrap()
+            .overlaps(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                md(1, 20),
+                md(8, 18),
+            ))));
         let b = e.eval_predicate(t.values()).unwrap();
         assert_eq!(
             b.true_set(),
@@ -656,9 +645,12 @@ mod tests {
     #[test]
     fn intersect_is_scalar() {
         let (schema, t) = bug_tuple();
-        let e = Expr::col(&schema, "VT").unwrap().intersect(Expr::lit(
-            Value::Interval(OngoingInterval::fixed(md(1, 20), md(8, 18))),
-        ));
+        let e = Expr::col(&schema, "VT")
+            .unwrap()
+            .intersect(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                md(1, 20),
+                md(8, 18),
+            ))));
         let v = e.eval_scalar(t.values()).unwrap();
         let iv = v.as_interval().unwrap();
         assert_eq!(iv.ts(), OngoingPoint::fixed(md(1, 25)));
@@ -731,9 +723,12 @@ mod tests {
             Err(EvalError::TypeMismatch(_))
         ));
         // Ordering intervals directly is rejected.
-        let e = Expr::col(&schema, "VT").unwrap().lt(Expr::lit(
-            Value::Interval(OngoingInterval::fixed(tp(0), tp(1))),
-        ));
+        let e = Expr::col(&schema, "VT")
+            .unwrap()
+            .lt(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                tp(0),
+                tp(1),
+            ))));
         assert!(matches!(
             e.eval_predicate(t.values()),
             Err(EvalError::TypeMismatch(_))
@@ -743,12 +738,14 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let (schema, _) = bug_tuple();
-        let e = Expr::col(&schema, "C")
-            .unwrap()
-            .eq(Expr::lit("x"))
-            .and(Expr::col(&schema, "VT").unwrap().before(Expr::lit(
-                Value::Interval(OngoingInterval::fixed(tp(0), tp(1))),
-            )));
+        let e = Expr::col(&schema, "C").unwrap().eq(Expr::lit("x")).and(
+            Expr::col(&schema, "VT")
+                .unwrap()
+                .before(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                    tp(0),
+                    tp(1),
+                )))),
+        );
         assert_eq!(e.to_string(), "((#1 = x) AND (#2 before [0, 1)))");
     }
 
@@ -801,17 +798,20 @@ mod tests {
         assert!(e.eval_bool(t.values()).unwrap());
         // Temporal predicate on instantiated spans.
         let t2 = Tuple::base(vec![Value::Int(1)]);
-        let e2 = Expr::lit(Value::Span(tp(0), tp(5)))
-            .overlaps(Expr::lit(Value::Span(tp(3), tp(9))));
+        let e2 =
+            Expr::lit(Value::Span(tp(0), tp(5))).overlaps(Expr::lit(Value::Span(tp(3), tp(9))));
         assert!(e2.eval_bool(t2.values()).unwrap());
     }
 
     #[test]
     fn eval_bool_rejects_ongoing_values() {
         let (schema, t) = bug_tuple();
-        let e = Expr::col(&schema, "VT").unwrap().overlaps(Expr::lit(
-            Value::Interval(OngoingInterval::fixed(tp(0), tp(1))),
-        ));
+        let e = Expr::col(&schema, "VT")
+            .unwrap()
+            .overlaps(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                tp(0),
+                tp(1),
+            ))));
         assert!(e.eval_bool(t.values()).is_err());
     }
 

@@ -189,12 +189,7 @@ impl OngoingRelation {
         fmt_value: impl Fn(&Value) -> String,
         fmt_rt: impl Fn(&IntervalSet) -> String,
     ) -> String {
-        let mut head: Vec<String> = self
-            .schema
-            .attrs()
-            .iter()
-            .map(|a| a.name.clone())
-            .collect();
+        let mut head: Vec<String> = self.schema.attrs().iter().map(|a| a.name.clone()).collect();
         head.push("RT".to_string());
         let mut rows: Vec<Vec<String>> = vec![head];
         for t in &self.tuples {
@@ -209,12 +204,15 @@ impl OngoingRelation {
         for (i, row) in rows.iter().enumerate() {
             for (c, cell) in row.iter().enumerate() {
                 out.push_str(cell);
-                out.extend(std::iter::repeat(' ').take(widths[c] - cell.chars().count() + 2));
+                out.extend(std::iter::repeat_n(
+                    ' ',
+                    widths[c] - cell.chars().count() + 2,
+                ));
             }
             out.push('\n');
             if i == 0 {
                 let total: usize = widths.iter().map(|w| w + 2).sum();
-                out.extend(std::iter::repeat('-').take(total));
+                out.extend(std::iter::repeat_n('-', total));
                 out.push('\n');
             }
         }

@@ -238,11 +238,7 @@ mod tests {
     use super::*;
 
     fn bugs_schema() -> Schema {
-        Schema::builder()
-            .int("BID")
-            .str("C")
-            .interval("VT")
-            .build()
+        Schema::builder().int("BID").str("C").interval("VT").build()
     }
 
     #[test]
@@ -268,7 +264,9 @@ mod tests {
 
     #[test]
     fn ambiguous_lookup_fails() {
-        let s = bugs_schema().qualify("B").product(&bugs_schema().qualify("P"));
+        let s = bugs_schema()
+            .qualify("B")
+            .product(&bugs_schema().qualify("P"));
         assert!(matches!(s.index_of("BID"), Err(SchemaError::Ambiguous(_))));
         assert_eq!(s.index_of("P.BID").unwrap(), 3);
     }

@@ -124,8 +124,9 @@ impl Value {
             (Value::Point(p), Value::Time(t)) | (Value::Time(t), Value::Point(p)) => {
                 ops::eq(*p, OngoingPoint::fixed(*t))
             }
-            (Value::Interval(i), Value::Interval(j)) => ops::eq(i.ts(), j.ts())
-                .and(&ops::eq(i.te(), j.te())),
+            (Value::Interval(i), Value::Interval(j)) => {
+                ops::eq(i.ts(), j.ts()).and(&ops::eq(i.te(), j.te()))
+            }
             (Value::Interval(i), Value::Span(s, e)) | (Value::Span(s, e), Value::Interval(i)) => {
                 ops::eq(i.ts(), OngoingPoint::fixed(*s))
                     .and(&ops::eq(i.te(), OngoingPoint::fixed(*e)))
@@ -355,7 +356,9 @@ mod tests {
     fn ongoing_eq_on_fixed_values_is_constant() {
         assert!(Value::Int(3).ongoing_eq(&Value::Int(3)).is_always_true());
         assert!(Value::Int(3).ongoing_eq(&Value::Int(4)).is_always_false());
-        assert!(Value::str("x").ongoing_eq(&Value::str("x")).is_always_true());
+        assert!(Value::str("x")
+            .ongoing_eq(&Value::str("x"))
+            .is_always_true());
         // Cross-type comparisons are never equal.
         assert!(Value::Int(3).ongoing_eq(&Value::str("3")).is_always_false());
     }

@@ -39,9 +39,8 @@ fn main() {
     // ------------------------------------------------------------------
     let db = Database::new();
 
-    let mut bugs = OngoingRelation::new(
-        Schema::builder().int("BID").str("C").interval("VT").build(),
-    );
+    let mut bugs =
+        OngoingRelation::new(Schema::builder().int("BID").str("C").interval("VT").build());
     bugs.insert(vec![
         Value::Int(500),
         Value::str("Spam filter"),
@@ -56,9 +55,8 @@ fn main() {
     .unwrap();
     db.create_table("B", bugs).unwrap();
 
-    let mut patches = OngoingRelation::new(
-        Schema::builder().int("PID").str("C").interval("VT").build(),
-    );
+    let mut patches =
+        OngoingRelation::new(Schema::builder().int("PID").str("C").interval("VT").build());
     patches
         .insert(vec![
             Value::Int(201),
@@ -76,7 +74,11 @@ fn main() {
     db.create_table("P", patches).unwrap();
 
     let mut leads = OngoingRelation::new(
-        Schema::builder().str("Name").str("C").interval("VT").build(),
+        Schema::builder()
+            .str("Name")
+            .str("C")
+            .interval("VT")
+            .build(),
     );
     leads
         .insert(vec![
@@ -159,7 +161,10 @@ fn main() {
     let v1 = find(500, 201, "Ann");
     assert_eq!(
         interval(v1.value(4)),
-        OngoingInterval::new(OngoingPoint::fixed(md(1, 25)), OngoingPoint::limited(md(8, 18)))
+        OngoingInterval::new(
+            OngoingPoint::fixed(md(1, 25)),
+            OngoingPoint::limited(md(8, 18))
+        )
     );
     assert_eq!(v1.rt(), &IntervalSet::range(md(1, 26), md(8, 16)));
 
@@ -187,12 +192,12 @@ fn main() {
     let v5 = find(501, 202, "Bob");
     assert_eq!(
         interval(v5.value(4)),
-        OngoingInterval::new(OngoingPoint::fixed(md(8, 18)), OngoingPoint::limited(md(8, 21)))
+        OngoingInterval::new(
+            OngoingPoint::fixed(md(8, 18)),
+            OngoingPoint::limited(md(8, 21))
+        )
     );
-    assert_eq!(
-        v5.rt(),
-        &IntervalSet::range(md(8, 19), TimePoint::POS_INF)
-    );
+    assert_eq!(v5.rt(), &IntervalSet::range(md(8, 19), TimePoint::POS_INF));
 
     // ------------------------------------------------------------------
     // The whole point: instantiating V at any reference time equals

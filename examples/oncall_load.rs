@@ -23,18 +23,22 @@ fn main() {
     let schema = Schema::builder().int("BID").str("C").interval("VT").build();
     let mut bugs = OngoingRelation::new(schema);
     for (bid, comp, vt) in [
-        (500, "Spam filter", OngoingInterval::from_until_now(md(1, 25))),
-        (501, "Spam filter", OngoingInterval::fixed(md(3, 30), md(8, 21))),
+        (
+            500,
+            "Spam filter",
+            OngoingInterval::from_until_now(md(1, 25)),
+        ),
+        (
+            501,
+            "Spam filter",
+            OngoingInterval::fixed(md(3, 30), md(8, 21)),
+        ),
         (502, "Search", OngoingInterval::from_until_now(md(6, 1))),
         (503, "Search", OngoingInterval::fixed(md(2, 10), md(4, 2))),
         (504, "Compose", OngoingInterval::fixed(md(7, 4), md(7, 18))),
     ] {
-        bugs.insert(vec![
-            Value::Int(bid),
-            Value::str(comp),
-            Value::Interval(vt),
-        ])
-        .unwrap();
+        bugs.insert(vec![Value::Int(bid), Value::str(comp), Value::Interval(vt)])
+            .unwrap();
     }
     db.create_table("bugs", bugs).unwrap();
 
@@ -68,9 +72,7 @@ fn main() {
     }
 
     // Peak load: the reference times where at least 3 bugs are open.
-    let busy = load
-        .sub(&OngoingInt::constant(2))
-        .positive_set();
+    let busy = load.sub(&OngoingInt::constant(2)).positive_set();
     println!("\nat least 3 bugs open during: {busy:?} (day ticks)");
 
     // Per-component load (group by a fixed attribute).

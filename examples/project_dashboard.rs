@@ -41,8 +41,8 @@ fn main() {
     // Compute the ongoing result once, into a materialized view.
     // ------------------------------------------------------------------
     let t0 = Instant::now();
-    let view = MaterializedView::create(&db, "active", plan.clone(), PlannerConfig::default())
-        .unwrap();
+    let view =
+        MaterializedView::create(&db, "active", plan.clone(), PlannerConfig::default()).unwrap();
     let t_ongoing = t0.elapsed();
     println!(
         "materialized ongoing view: {} tuples in {:.2?} (over {n} assignments)",

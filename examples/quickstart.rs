@@ -64,15 +64,16 @@ fn main() {
     db.create_table("bugs", bugs).unwrap();
 
     // Which bugs are open during the August release window?
-    let plan = QueryBuilder::scan(&db, "bugs")
-        .unwrap()
-        .filter(|s| {
-            Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
-                OngoingInterval::fixed(md(8, 1), md(9, 1)),
-            ))))
-        })
-        .unwrap()
-        .build();
+    let plan =
+        QueryBuilder::scan(&db, "bugs")
+            .unwrap()
+            .filter(|s| {
+                Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
+                    OngoingInterval::fixed(md(8, 1), md(9, 1)),
+                ))))
+            })
+            .unwrap()
+            .build();
 
     let ongoing = execute(&db, &plan).unwrap();
     println!("\nOngoing result (computed once, valid forever):");

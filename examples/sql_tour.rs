@@ -15,12 +15,19 @@ use ongoingdb::relation::{Expr, OngoingRelation, Schema, Value};
 fn main() {
     // The Fig. 1 bug tracker, loaded as base relations.
     let db = Database::new();
-    let mut bugs = OngoingRelation::new(
-        Schema::builder().int("BID").str("C").interval("VT").build(),
-    );
+    let mut bugs =
+        OngoingRelation::new(Schema::builder().int("BID").str("C").interval("VT").build());
     for (bid, c, vt) in [
-        (500, "Spam filter", OngoingInterval::from_until_now(md(1, 25))),
-        (501, "Spam filter", OngoingInterval::fixed(md(3, 30), md(8, 21))),
+        (
+            500,
+            "Spam filter",
+            OngoingInterval::from_until_now(md(1, 25)),
+        ),
+        (
+            501,
+            "Spam filter",
+            OngoingInterval::fixed(md(3, 30), md(8, 21)),
+        ),
         (502, "Search", OngoingInterval::from_until_now(md(6, 1))),
     ] {
         bugs.insert(vec![Value::Int(bid), Value::str(c), Value::Interval(vt)])
@@ -28,9 +35,8 @@ fn main() {
     }
     db.create_table("bugs", bugs).unwrap();
 
-    let mut patches = OngoingRelation::new(
-        Schema::builder().int("PID").str("C").interval("VT").build(),
-    );
+    let mut patches =
+        OngoingRelation::new(Schema::builder().int("PID").str("C").interval("VT").build());
     for (pid, c, s, e) in [
         (201, "Spam filter", md(8, 15), md(8, 24)),
         (202, "Spam filter", md(8, 24), md(8, 27)),

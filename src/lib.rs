@@ -13,6 +13,32 @@
 //!
 //! See the repository README for a quickstart and `EXPERIMENTS.md` for the
 //! paper-reproduction harness.
+//!
+//! ```
+//! use ongoingdb::engine::{execute, Database, QueryBuilder};
+//! use ongoingdb::core::date::md;
+//! use ongoingdb::{Expr, OngoingInterval, OngoingRelation, Schema, Value};
+//!
+//! let db = Database::new();
+//! let schema = Schema::builder().int("BID").interval("VT").build();
+//! let mut bugs = OngoingRelation::new(schema);
+//! bugs.insert(vec![
+//!     Value::Int(500),
+//!     Value::Interval(OngoingInterval::from_until_now(md(1, 25))),
+//! ]).unwrap();
+//! db.create_table("bugs", bugs).unwrap();
+//!
+//! let plan = QueryBuilder::scan(&db, "bugs").unwrap()
+//!     .filter(|s| Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
+//!         OngoingInterval::fixed(md(8, 1), md(9, 1)))))))
+//!     .unwrap()
+//!     .build();
+//!
+//! // Computed once; the result stays valid as time passes by.
+//! let ongoing = execute(&db, &plan).unwrap();
+//! assert_eq!(ongoing.bind(md(8, 15)).len(), 1); // bug open during the window
+//! assert_eq!(ongoing.bind(md(2, 1)).len(), 0);  // not a member yet at 02/01
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -11,11 +11,7 @@ use ongoingdb::engine::{Database, QueryBuilder};
 
 fn sample_db() -> Database {
     let db = Database::new();
-    let schema = Schema::builder()
-        .int("N")
-        .str("C")
-        .interval("VT")
-        .build();
+    let schema = Schema::builder().int("N").str("C").interval("VT").build();
     let mut r = OngoingRelation::new(schema);
     let rows: Vec<(i64, &str, OngoingInterval, IntervalSet)> = vec![
         (
@@ -46,11 +42,8 @@ fn sample_db() -> Database {
         ),
     ];
     for (n, c, vt, rt) in rows {
-        r.insert_with_rt(
-            vec![Value::Int(n), Value::str(c), Value::Interval(vt)],
-            rt,
-        )
-        .unwrap();
+        r.insert_with_rt(vec![Value::Int(n), Value::str(c), Value::Interval(vt)], rt)
+            .unwrap();
     }
     db.create_table("T", r).unwrap();
     db
@@ -125,10 +118,9 @@ fn having_style_predicates_over_aggregates() {
         .aggregate(&["C"], vec![AggFn::CountStar], vec!["cnt".into()])
         .unwrap()
         .filter(|s| {
-            Ok(Expr::col(s, "cnt")?.ne(Expr::lit(0i64)).and(
-                Expr::lit(Value::Count(OngoingInt::constant(1)))
-                    .lt(Expr::col(s, "cnt")?),
-            ))
+            Ok(Expr::col(s, "cnt")?
+                .ne(Expr::lit(0i64))
+                .and(Expr::lit(Value::Count(OngoingInt::constant(1))).lt(Expr::col(s, "cnt")?)))
         })
         .unwrap()
         .build();
@@ -171,17 +163,18 @@ fn ongoing_int_values_round_trip_through_storage() {
 fn aggregate_over_selection_pipeline() {
     // γ over σ: open bugs per component while they are open.
     let db = sample_db();
-    let plan = QueryBuilder::scan(&db, "T")
-        .unwrap()
-        .filter(|s| {
-            Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
-                OngoingInterval::fixed(tp(0), tp(100)),
-            ))))
-        })
-        .unwrap()
-        .aggregate(&["C"], vec![AggFn::CountStar], vec!["cnt".into()])
-        .unwrap()
-        .build();
+    let plan =
+        QueryBuilder::scan(&db, "T")
+            .unwrap()
+            .filter(|s| {
+                Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
+                    OngoingInterval::fixed(tp(0), tp(100)),
+                ))))
+            })
+            .unwrap()
+            .aggregate(&["C"], vec![AggFn::CountStar], vec!["cnt".into()])
+            .unwrap()
+            .build();
     let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
     let ongoing = phys.execute().unwrap();
     for rt in [tp(-5), tp(3), tp(12), tp(22), TimePoint::new(40)] {

@@ -13,9 +13,7 @@ use ongoingdb::engine::{execute, Database, PlannerConfig, QueryBuilder};
 /// The Fig. 1 database.
 fn running_example_db() -> Database {
     let db = Database::new();
-    let mut b = OngoingRelation::new(
-        Schema::builder().int("BID").str("C").interval("VT").build(),
-    );
+    let mut b = OngoingRelation::new(Schema::builder().int("BID").str("C").interval("VT").build());
     b.insert(vec![
         Value::Int(500),
         Value::str("Spam filter"),
@@ -30,9 +28,7 @@ fn running_example_db() -> Database {
     .unwrap();
     db.create_table("B", b).unwrap();
 
-    let mut p = OngoingRelation::new(
-        Schema::builder().int("PID").str("C").interval("VT").build(),
-    );
+    let mut p = OngoingRelation::new(Schema::builder().int("PID").str("C").interval("VT").build());
     p.insert(vec![
         Value::Int(201),
         Value::str("Spam filter"),
@@ -109,8 +105,7 @@ fn clifford_results_differ_across_reference_times() {
 fn ongoing_view_replaces_all_clifford_reevaluations() {
     let db = running_example_db();
     let plan = before_patch_201(&db);
-    let view =
-        MaterializedView::create(&db, "v", plan.clone(), PlannerConfig::default()).unwrap();
+    let view = MaterializedView::create(&db, "v", plan.clone(), PlannerConfig::default()).unwrap();
     // One ongoing result serves every reference time Clifford would need a
     // fresh evaluation for.
     let mut day = md(1, 1);
@@ -218,13 +213,8 @@ fn selection_predicates_agree_with_ongoing_for_every_allen_relation() {
     // All 7 Table-II predicates: Clifford at rt equals ongoing-then-bind.
     let db = running_example_db();
     for pred in TemporalPredicate::ALL {
-        let plan = ongoingdb::engine::queries::selection(
-            &db,
-            "B",
-            pred,
-            (md(6, 1), md(9, 1)),
-        )
-        .unwrap();
+        let plan =
+            ongoingdb::engine::queries::selection(&db, "B", pred, (md(6, 1), md(9, 1))).unwrap();
         let ongoing = execute(&db, &plan).unwrap();
         for rt in [md(1, 1), md(6, 15), md(8, 22), md(11, 11)] {
             assert_eq!(

@@ -57,10 +57,7 @@ fn ongoing_int_saturation_at_extremes() {
 
 #[test]
 fn interval_set_infinite_ranges() {
-    let s = IntervalSet::from_ranges([
-        (TimePoint::NEG_INF, tp(0)),
-        (tp(10), TimePoint::POS_INF),
-    ]);
+    let s = IntervalSet::from_ranges([(TimePoint::NEG_INF, tp(0)), (tp(10), TimePoint::POS_INF)]);
     assert_eq!(s.cardinality(), 2);
     assert_eq!(s.complement(), IntervalSet::range(tp(0), tp(10)));
     assert_eq!(s.total_duration(), i64::MAX);
@@ -94,15 +91,16 @@ fn empty_db() -> Database {
 #[test]
 fn queries_over_empty_relations() {
     let db = empty_db();
-    let plan = QueryBuilder::scan(&db, "E")
-        .unwrap()
-        .filter(|s| {
-            Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
-                OngoingInterval::fixed(tp(0), tp(10)),
-            ))))
-        })
-        .unwrap()
-        .build();
+    let plan =
+        QueryBuilder::scan(&db, "E")
+            .unwrap()
+            .filter(|s| {
+                Ok(Expr::col(s, "VT")?.overlaps(Expr::lit(Value::Interval(
+                    OngoingInterval::fixed(tp(0), tp(10)),
+                ))))
+            })
+            .unwrap()
+            .build();
     let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
     assert!(phys.execute().unwrap().is_empty());
     assert!(phys.execute_at(tp(5)).unwrap().is_empty());
@@ -114,9 +112,7 @@ fn self_join_of_empty_is_empty() {
     let l = QueryBuilder::scan_as(&db, "E", "L").unwrap();
     let r = QueryBuilder::scan_as(&db, "E", "R").unwrap();
     let plan = l
-        .join(r, |s| {
-            Ok(Expr::col(s, "L.K")?.eq(Expr::col(s, "R.K")?))
-        })
+        .join(r, |s| Ok(Expr::col(s, "L.K")?.eq(Expr::col(s, "R.K")?)))
         .unwrap()
         .build();
     assert!(ongoingdb::engine::execute(&db, &plan).unwrap().is_empty());
@@ -180,8 +176,13 @@ fn selection_with_always_false_and_always_true() {
             .unwrap()
             .build()
     };
-    assert_eq!(ongoingdb::engine::execute(&db, &plan(true)).unwrap().len(), 1);
-    assert!(ongoingdb::engine::execute(&db, &plan(false)).unwrap().is_empty());
+    assert_eq!(
+        ongoingdb::engine::execute(&db, &plan(true)).unwrap().len(),
+        1
+    );
+    assert!(ongoingdb::engine::execute(&db, &plan(false))
+        .unwrap()
+        .is_empty());
 }
 
 // ---------------------------------------------------------------------
@@ -308,9 +309,12 @@ fn projection_of_intersection_instantiates_consistently() {
     let schema = b.schema().clone();
     let plan = b
         .project(vec![ongoing_relation::algebra::ProjItem::named(
-            Expr::col(&schema, "VT").unwrap().intersect(Expr::lit(
-                Value::Interval(OngoingInterval::fixed(tp(2), tp(8))),
-            )),
+            Expr::col(&schema, "VT")
+                .unwrap()
+                .intersect(Expr::lit(Value::Interval(OngoingInterval::fixed(
+                    tp(2),
+                    tp(8),
+                )))),
             "clipped",
         )])
         .unwrap()

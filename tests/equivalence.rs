@@ -199,7 +199,11 @@ fn physical_plans_match_reference_algebra() {
             join_strategy: strategy,
             ..PlannerConfig::default()
         };
-        let got = compile(&db, &plan, &cfg).unwrap().execute().unwrap().coalesce();
+        let got = compile(&db, &plan, &cfg)
+            .unwrap()
+            .execute()
+            .unwrap()
+            .coalesce();
         assert_eq!(
             sorted(&got),
             sorted(&reference),
@@ -215,8 +219,8 @@ fn ablation_configs_agree() {
     let db = small_db();
     let h = History::synthetic();
     let w = h.last_fraction(0.1);
-    let plan = queries::selection(&db, "Dex", TemporalPredicate::Overlaps, (w.start, w.end))
-        .unwrap();
+    let plan =
+        queries::selection(&db, "Dex", TemporalPredicate::Overlaps, (w.start, w.end)).unwrap();
     let base = compile(&db, &plan, &PlannerConfig::default())
         .unwrap()
         .execute()
@@ -241,11 +245,7 @@ fn ablation_configs_agree() {
 }
 
 fn sorted(rel: &OngoingRelation) -> Vec<String> {
-    let mut rows: Vec<String> = rel
-        .tuples()
-        .iter()
-        .map(|t| format!("{t}"))
-        .collect();
+    let mut rows: Vec<String> = rel.tuples().iter().map(|t| format!("{t}")).collect();
     rows.sort();
     rows
 }

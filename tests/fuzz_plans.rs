@@ -47,7 +47,7 @@ fn random_rt_set(rng: &mut SmallRng) -> IntervalSet {
     let n = rng.gen_range(1..3);
     IntervalSet::from_ranges((0..n).map(|_| {
         let s = rng.gen_range(LO..=HI);
-        (tp(s), tp(s + rng.gen_range(1..8)))
+        (tp(s), tp(s + rng.gen_range(1..8i64)))
     }))
 }
 
@@ -59,7 +59,7 @@ fn random_relation(rng: &mut SmallRng, rows: usize) -> OngoingRelation {
         r.insert_with_rt(
             vec![
                 Value::Int(rng.gen_range(0..4)),
-                Value::str(["x", "y", "z"][rng.gen_range(0..3)]),
+                Value::str(["x", "y", "z"][rng.gen_range(0..3usize)]),
                 Value::Interval(random_interval(rng)),
             ],
             random_rt_set(rng),
@@ -101,7 +101,7 @@ fn random_pred(rng: &mut SmallRng, schema: &Schema) -> Expr {
                 ongoing_relation::ValueType::Int => {
                     Expr::Col(i).eq(Expr::lit(rng.gen_range(0..4i64)))
                 }
-                _ => Expr::Col(i).eq(Expr::lit(["x", "y", "z"][rng.gen_range(0..3)])),
+                _ => Expr::Col(i).eq(Expr::lit(["x", "y", "z"][rng.gen_range(0..3usize)])),
             }
         }
         1 => {
@@ -150,14 +150,14 @@ fn random_pred(rng: &mut SmallRng, schema: &Schema) -> Expr {
 }
 
 fn random_plan(rng: &mut SmallRng, db: &Database, depth: usize) -> LogicalPlan {
-    let table = ["T0", "T1", "T2"][rng.gen_range(0..3)];
+    let table = ["T0", "T1", "T2"][rng.gen_range(0..3usize)];
     let alias = format!("A{}", rng.gen_range(0..100));
     let mut b = QueryBuilder::scan_as(db, table, &alias).unwrap();
     if depth > 0 {
         match rng.gen_range(0..6) {
             0 => {
                 // Nested join.
-                let rhs_table = ["T0", "T1", "T2"][rng.gen_range(0..3)];
+                let rhs_table = ["T0", "T1", "T2"][rng.gen_range(0..3usize)];
                 let rhs_alias = format!("B{}", rng.gen_range(0..100));
                 let rhs = QueryBuilder::scan_as(db, rhs_table, &rhs_alias).unwrap();
                 let schema = b.schema().product(rhs.schema());
@@ -184,7 +184,11 @@ fn random_plan(rng: &mut SmallRng, db: &Database, depth: usize) -> LogicalPlan {
             }
             4 => {
                 // Aggregate over the scan.
-                let group = if rng.gen_bool(0.5) { vec!["K"] } else { vec!["C"] };
+                let group = if rng.gen_bool(0.5) {
+                    vec!["K"]
+                } else {
+                    vec!["C"]
+                };
                 b = b
                     .aggregate(&group, vec![AggFn::CountStar], vec!["cnt".into()])
                     .unwrap();
@@ -224,7 +228,10 @@ fn random_plans_commute_with_bind() {
             let phys = compile(&db, &plan, &cfg).unwrap();
             let ongoing = match phys.execute() {
                 Ok(o) => o,
-                Err(e) => panic!("trial {trial} ({strategy:?}): {e}\nplan:\n{}", phys.explain()),
+                Err(e) => panic!(
+                    "trial {trial} ({strategy:?}): {e}\nplan:\n{}",
+                    phys.explain()
+                ),
             };
             for &rt in &rts {
                 let lhs = ongoing.bind(rt);

@@ -52,7 +52,9 @@ fn before_join_does_not_use_sweep() {
     let l = QueryBuilder::scan_as(&db, "Dex", "R").unwrap();
     let r = QueryBuilder::scan_as(&db, "Dex", "S").unwrap();
     let plan = l
-        .join(r, |s| Ok(Expr::col(s, "R.VT")?.before(Expr::col(s, "S.VT")?)))
+        .join(r, |s| {
+            Ok(Expr::col(s, "R.VT")?.before(Expr::col(s, "S.VT")?))
+        })
         .unwrap()
         .build();
     let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
@@ -106,8 +108,8 @@ fn index_scan_is_used_and_correct() {
     let db = db_with_dex(400);
     let h = History::synthetic();
     let w = h.last_fraction(0.1);
-    let plan = queries::selection(&db, "Dex", TemporalPredicate::Overlaps, (w.start, w.end))
-        .unwrap();
+    let plan =
+        queries::selection(&db, "Dex", TemporalPredicate::Overlaps, (w.start, w.end)).unwrap();
     let cfg = PlannerConfig {
         use_interval_index: true,
         ..PlannerConfig::default()
@@ -163,7 +165,11 @@ fn all_join_strategies_agree_on_mozilla_complex_join() {
     let db = ongoing_datasets::mozilla_database(40, 13);
     let plan = queries::complex_join(&db, TemporalPredicate::Overlaps).unwrap();
     let mut sizes = Vec::new();
-    for strategy in [JoinStrategy::Auto, JoinStrategy::NestedLoop, JoinStrategy::Sweep] {
+    for strategy in [
+        JoinStrategy::Auto,
+        JoinStrategy::NestedLoop,
+        JoinStrategy::Sweep,
+    ] {
         let cfg = PlannerConfig {
             join_strategy: strategy,
             ..PlannerConfig::default()

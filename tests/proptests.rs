@@ -38,11 +38,7 @@ fn arb_interval() -> impl Strategy<Value = OngoingInterval> {
 
 fn arb_set() -> impl Strategy<Value = IntervalSet> {
     proptest::collection::vec((LO..=HI, 1i64..=6), 0..5).prop_map(|ranges| {
-        IntervalSet::from_ranges(
-            ranges
-                .into_iter()
-                .map(|(s, len)| (tp(s), tp(s + len))),
-        )
+        IntervalSet::from_ranges(ranges.into_iter().map(|(s, len)| (tp(s), tp(s + len))))
     })
 }
 

@@ -1,0 +1,408 @@
+//! Minimal, offline stand-in for the crates.io `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! `proptest::collection::vec`, `any::<T>()`, simple string strategies,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_oneof!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports the seed and case number
+//!   instead of a minimized input. Tests are deterministic per test name,
+//!   so failures reproduce exactly.
+//! - **String strategies ignore the regex** and generate short lowercase
+//!   ASCII strings — every string-strategy use here only needs "some
+//!   arbitrary short string".
+//! - Case count defaults to 256; override with `PROPTEST_CASES`.
+//!
+//! Swap the `vendor/proptest` path dependency for the crates.io release
+//! when network access is available.
+
+#![forbid(unsafe_code)]
+
+/// Number of random cases per property (env `PROPTEST_CASES`, default 256).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+pub mod test_runner {
+    //! Deterministic PRNG driving case generation.
+
+    /// SplitMix64 generator, seeded from the test name for determinism.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test name.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits (SplitMix64 step).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`. Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String strategies: the pattern is treated as "a short lowercase
+    /// ASCII string" regardless of the regex (see crate docs).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.below(13) as usize;
+            (0..len)
+                .map(|_| (b'a' + rng.below(26) as u8) as char)
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    $(let $v = $s.generate(rng);)+
+                    ($($v,)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one value from the type's whole domain.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(strategy, range)`: random-length vectors of random elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => { assert_eq!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_eq!($l, $r, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => { assert_ne!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_ne!($l, $r, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over many random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..$crate::cases() {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {case} of {} failed (deterministic seed; \
+                         rerun reproduces it)",
+                        stringify!($name)
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in -7i64..=7, n in 0u8..4) {
+            prop_assert!((-7..=7).contains(&x));
+            prop_assert!(n < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0i64..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0i64..5).prop_map(|x| x * 2),
+            (10i64..15).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v % 2 == 0);
+        }
+
+        #[test]
+        fn strings_are_short_lowercase(s in "[a-z]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn any_generates_both_bools() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bools");
+        let vals: Vec<bool> = (0..64).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b) && vals.iter().any(|&b| !b));
+    }
+}

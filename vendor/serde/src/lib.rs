@@ -1,0 +1,21 @@
+//! Minimal, offline stand-in for the crates.io `serde` crate.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so they
+//! are wire-ready the moment the real serde is swapped in, but nothing in
+//! the repo serializes through serde yet (the storage layer has its own
+//! codec in `ongoing-engine`). This stub therefore only has to make the
+//! derives *compile*: `Serialize` and `Deserialize` are marker traits and
+//! the derive macros emit empty impls.
+//!
+//! When network access is available, replace the `vendor/serde` path
+//! dependency with the crates.io release — no source change needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
