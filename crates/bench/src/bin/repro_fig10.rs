@@ -3,9 +3,13 @@
 //! (a) runtime of the ongoing approach vs. Cliff_max as the input grows —
 //! both scale linearly; (b) the number of re-evaluations after which the
 //! ongoing approach wins — constant in the input size.
+//!
+//! Scaling and break-even *assertions* run on deterministic [`ExecStats`]
+//! work units, so they cannot flake under CPU contention; wall-clock
+//! durations stay in the table as informational output.
 
 use ongoing_bench::{
-    break_even_reevaluations, header, ms, row, scaled, time_clifford, time_ongoing,
+    header, ms, row, scaled, time_clifford_stats, time_ongoing_stats, work_break_even,
 };
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_datasets::synthetic::{generate, SyntheticConfig};
@@ -21,17 +25,19 @@ fn main() {
     let h = History::synthetic();
     let w = h.last_fraction(0.1);
 
-    let widths = [12, 14, 15, 16];
+    let widths = [12, 14, 16, 15, 16, 16];
     header(
         &[
             "# tuples",
             "ongoing [ms]",
+            "ongoing [work]",
             "Cliff_max [ms]",
+            "Cliff [work]",
             "# re-evaluations",
         ],
         &widths,
     );
-    let mut times = Vec::new();
+    let mut works = Vec::new();
     let mut breaks = Vec::new();
     for &n in &sizes {
         let db = Database::new();
@@ -40,35 +46,39 @@ fn main() {
         let plan =
             queries::selection(&db, "Dsc", TemporalPredicate::Overlaps, (w.start, w.end)).unwrap();
         let rt = clifford::cliff_max_reference_time(&db);
-        let (t_on, _) = time_ongoing(&db, &plan, &cfg, 9);
-        let (t_cl, _) = time_clifford(&db, &plan, &cfg, rt, 9);
-        let be = break_even_reevaluations(t_on, t_cl);
+        let (t_on, _, s_on) = time_ongoing_stats(&db, &plan, &cfg, 5);
+        let (t_cl, _, s_cl) = time_clifford_stats(&db, &plan, &cfg, rt, 5);
+        let be = work_break_even(s_on.total_work(), s_cl.total_work());
         row(
-            &[n.to_string(), ms(t_on), ms(t_cl), be.to_string()],
+            &[
+                n.to_string(),
+                ms(t_on),
+                s_on.total_work().to_string(),
+                ms(t_cl),
+                s_cl.total_work().to_string(),
+                be.to_string(),
+            ],
             &widths,
         );
-        times.push((t_on, t_cl));
+        works.push((s_on.total_work(), s_cl.total_work()));
         breaks.push(be);
     }
 
-    // Shape: linear scaling — 8x input within ~3x..20x of 1x time per
-    // unit (very coarse; guards against quadratic blowup), and a break-even
-    // count that stays small and flat.
-    let per_tuple_first = times[0].0.as_secs_f64() / sizes[0] as f64;
-    let per_tuple_last = times[3].0.as_secs_f64() / sizes[3] as f64;
+    // Shape (deterministic): work units scale linearly in the input —
+    // growing the input 8x keeps the per-tuple work within a factor of two
+    // of the smallest size — and the break-even count stays constant.
+    let per_tuple_first = works[0].0 as f64 / sizes[0] as f64;
+    let per_tuple_last = works[3].0 as f64 / sizes[3] as f64;
     assert!(
-        per_tuple_last < per_tuple_first * 4.0,
-        "ongoing runtime must scale ~linearly"
+        per_tuple_last < per_tuple_first * 2.0 && per_tuple_first < per_tuple_last * 2.0,
+        "ongoing work units must scale ~linearly: {per_tuple_first:.2} vs {per_tuple_last:.2} per tuple"
     );
-    // Wall-clock measurements on a shared machine are noisy; allow one
-    // extra step of slack beyond the paper's "constant ~2" before failing.
     let spread = breaks.iter().max().unwrap() - breaks.iter().min().unwrap();
     assert!(
-        spread <= 3,
-        "break-even count must stay ~constant, got {breaks:?}"
+        spread <= 1,
+        "work-unit break-even count must stay ~constant, got {breaks:?}"
     );
     println!(
-        "\nruntime grows linearly; break-even stays at {:?} re-evaluations (paper: ~2, constant).",
-        breaks
+        "\nwork units grow linearly; break-even stays at {breaks:?} re-evaluations (paper: ~2, constant)."
     );
 }

@@ -12,9 +12,14 @@
 //! log-linear merge join for the ongoing side vs. a linear hash join for
 //! Clifford — we reproduce that choice by forcing the sweep join for the
 //! ongoing side).
+//!
+//! Amortization *assertions* use deterministic [`ExecStats`] work units
+//! (one bind pass costs one visit per materialized tuple); wall-clock
+//! durations are printed for context only.
 
 use ongoing_bench::{
-    amortization_point, header, ms, row, scaled, time_bind, time_clifford, time_ongoing,
+    bind_work_units, header, ms, row, scaled, time_bind, time_clifford_stats, time_ongoing_stats,
+    work_amortization_point,
 };
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_datasets::{mozilla_database, History};
@@ -29,13 +34,14 @@ fn main() {
     let w = h.last_fraction(0.1);
 
     println!("(a) selection Qσ_ovlp(B):");
-    let widths = [12, 14, 12, 16, 16];
+    let widths = [12, 14, 12, 16, 14, 16];
     header(
         &[
             "# bugs",
             "ongoing [ms]",
             "bind [ms]",
             "Cliff_max [ms]",
+            "work on/cl",
             "# instantiations",
         ],
         &widths,
@@ -52,12 +58,24 @@ fn main() {
         )
         .unwrap();
         let rt = clifford::cliff_max_reference_time(&db);
-        let (t_on, on_res) = time_ongoing(&db, &plan, &cfg, 5);
+        let (t_on, on_res, s_on) = time_ongoing_stats(&db, &plan, &cfg, 5);
         let t_bind = time_bind(&on_res, rt, 5);
-        let (t_cl, _) = time_clifford(&db, &plan, &cfg, rt, 5);
-        let k = amortization_point(t_on, t_bind, t_cl).unwrap_or(u32::MAX);
+        let (t_cl, _, s_cl) = time_clifford_stats(&db, &plan, &cfg, rt, 5);
+        let k = work_amortization_point(
+            s_on.total_work(),
+            bind_work_units(&on_res),
+            s_cl.total_work(),
+        )
+        .unwrap_or(u32::MAX);
         row(
-            &[n.to_string(), ms(t_on), ms(t_bind), ms(t_cl), k.to_string()],
+            &[
+                n.to_string(),
+                ms(t_on),
+                ms(t_bind),
+                ms(t_cl),
+                format!("{}/{}", s_on.total_work(), s_cl.total_work()),
+                k.to_string(),
+            ],
             &widths,
         );
         sel_points.push(k);
@@ -71,6 +89,7 @@ fn main() {
             "ongoing [ms]",
             "bind [ms]",
             "Cliff_max [ms]",
+            "work on/cl",
             "# instantiations",
         ],
         &widths,
@@ -87,12 +106,24 @@ fn main() {
             ..PlannerConfig::default()
         };
         let clifford_cfg = PlannerConfig::default();
-        let (t_on, on_res) = time_ongoing(&db, &plan, &ongoing_cfg, 3);
+        let (t_on, on_res, s_on) = time_ongoing_stats(&db, &plan, &ongoing_cfg, 3);
         let t_bind = time_bind(&on_res, rt, 3);
-        let (t_cl, _) = time_clifford(&db, &plan, &clifford_cfg, rt, 3);
-        let k = amortization_point(t_on, t_bind, t_cl).unwrap_or(u32::MAX);
+        let (t_cl, _, s_cl) = time_clifford_stats(&db, &plan, &clifford_cfg, rt, 3);
+        let k = work_amortization_point(
+            s_on.total_work(),
+            bind_work_units(&on_res),
+            s_cl.total_work(),
+        )
+        .unwrap_or(u32::MAX);
         row(
-            &[n.to_string(), ms(t_on), ms(t_bind), ms(t_cl), k.to_string()],
+            &[
+                n.to_string(),
+                ms(t_on),
+                ms(t_bind),
+                ms(t_cl),
+                format!("{}/{}", s_on.total_work(), s_cl.total_work()),
+                k.to_string(),
+            ],
             &widths,
         );
         join_points.push(k);

@@ -13,7 +13,7 @@
 
 use ongoing_core::TimePoint;
 use ongoing_engine::plan::{compile, PlannerConfig};
-use ongoing_engine::{Database, LogicalPlan, PhysicalPlan};
+use ongoing_engine::{Database, ExecStats, LogicalPlan, PhysicalPlan};
 use ongoing_relation::{FixedRelation, OngoingRelation};
 use std::time::{Duration, Instant};
 
@@ -50,10 +50,22 @@ pub fn time_ongoing(
     cfg: &PlannerConfig,
     runs: usize,
 ) -> (Duration, OngoingRelation) {
-    let phys = compile(db, plan, cfg).expect("plan compiles");
-    let result = phys.execute().expect("ongoing execution");
-    let t = measure(runs, || phys.execute().expect("ongoing execution"));
+    let (t, result, _) = time_ongoing_stats(db, plan, cfg, runs);
     (t, result)
+}
+
+/// [`time_ongoing`] plus the run's deterministic [`ExecStats`] work units.
+pub fn time_ongoing_stats(
+    db: &Database,
+    plan: &LogicalPlan,
+    cfg: &PlannerConfig,
+    runs: usize,
+) -> (Duration, OngoingRelation, ExecStats) {
+    let phys = compile(db, plan, cfg).expect("plan compiles");
+    let ctx = cfg.exec_context();
+    let (result, stats) = phys.execute_with_stats(&ctx).expect("ongoing execution");
+    let t = measure(runs, || phys.execute_ctx(&ctx).expect("ongoing execution"));
+    (t, result, stats)
 }
 
 /// Compiles once and measures instantiated (Clifford) execution at `rt`.
@@ -66,10 +78,28 @@ pub fn time_clifford(
     rt: TimePoint,
     runs: usize,
 ) -> (Duration, FixedRelation) {
-    let phys = compile(db, plan, cfg).expect("plan compiles");
-    let result = phys.execute_at(rt).expect("instantiated execution");
-    let t = measure(runs, || phys.rows_at(rt).expect("instantiated execution"));
+    let (t, result, _) = time_clifford_stats(db, plan, cfg, rt, runs);
     (t, result)
+}
+
+/// [`time_clifford`] plus the per-evaluation [`ExecStats`] work units.
+pub fn time_clifford_stats(
+    db: &Database,
+    plan: &LogicalPlan,
+    cfg: &PlannerConfig,
+    rt: TimePoint,
+    runs: usize,
+) -> (Duration, FixedRelation, ExecStats) {
+    let phys = compile(db, plan, cfg).expect("plan compiles");
+    let ctx = cfg.exec_context();
+    let (result, stats) = phys
+        .execute_at_with_stats(rt, &ctx)
+        .expect("instantiated execution");
+    let t = measure(runs, || {
+        phys.rows_at_with_stats(rt, &ctx)
+            .expect("instantiated execution")
+    });
+    (t, result, stats)
 }
 
 /// Measures instantiating a materialized ongoing result at `rt` (a bind
@@ -111,6 +141,37 @@ pub fn break_even_reevaluations(t_ongoing: Duration, t_clifford: Duration) -> u3
     (t_ongoing.as_secs_f64() / t_clifford.as_secs_f64())
         .ceil()
         .max(1.0) as u32
+}
+
+// ----------------------------------------------------------------------
+// Deterministic work-unit arithmetic (ExecStats instead of wall clock).
+// ----------------------------------------------------------------------
+
+/// Work units of one bind pass over a materialized ongoing result: every
+/// stored tuple is visited once.
+pub fn bind_work_units(result: &OngoingRelation) -> u64 {
+    result.len() as u64
+}
+
+/// Break-even in re-evaluations on *work units*: smallest `n` with
+/// `w_ongoing <= n·w_clifford`. Deterministic — identical on every machine
+/// and at every thread count — so repro binaries can assert on it without
+/// flaking under CPU contention.
+pub fn work_break_even(w_ongoing: u64, w_clifford: u64) -> u32 {
+    if w_clifford == 0 {
+        return u32::MAX;
+    }
+    w_ongoing.div_ceil(w_clifford).max(1) as u32
+}
+
+/// Amortization point on work units: smallest `n` with
+/// `w_ongoing + n·w_bind <= n·w_clifford` (`None` when binding is not
+/// cheaper than re-evaluation).
+pub fn work_amortization_point(w_ongoing: u64, w_bind: u64, w_clifford: u64) -> Option<u32> {
+    if w_clifford <= w_bind {
+        return None;
+    }
+    Some(w_ongoing.div_ceil(w_clifford - w_bind).max(1) as u32)
 }
 
 /// Prints a fixed-width row.
@@ -168,5 +229,17 @@ mod tests {
     #[test]
     fn scaled_is_monotone() {
         assert!(scaled(100) >= 1);
+    }
+
+    #[test]
+    fn work_unit_math() {
+        // 100 work units ongoing vs 40 per re-evaluation → faster after 3.
+        assert_eq!(work_break_even(100, 40), 3);
+        assert_eq!(work_break_even(10, 40), 1);
+        assert_eq!(work_break_even(10, 0), u32::MAX);
+        // 100 + 10n <= 60n → n >= 2.
+        assert_eq!(work_amortization_point(100, 10, 60), Some(2));
+        assert_eq!(work_amortization_point(100, 60, 10), None);
+        assert_eq!(work_amortization_point(0, 0, 1), Some(1));
     }
 }

@@ -228,6 +228,67 @@ impl IntervalSet {
         IntervalSet { ranges: out }
     }
 
+    /// In-place set intersection: `*self = self ∩ other`, reusing the
+    /// receiver's `Vec` allocation. This is the executor hot-loop variant of
+    /// [`intersect`](Self::intersect): restricting a reference time per
+    /// tuple (pair) does not have to allocate a fresh range vector.
+    ///
+    /// The sweep writes results back into the receiver. Each input range is
+    /// only read once (it is copied into a register when the read cursor
+    /// reaches it), so in-place writes behind the read cursor are safe; in
+    /// the rare case where the output outgrows the consumed prefix (one
+    /// coarse receiver range split by many `other` ranges), the tail spills
+    /// into a temporary and is appended afterwards.
+    pub fn intersect_assign(&mut self, other: &IntervalSet) {
+        if self.ranges.is_empty() || other.is_full() {
+            return;
+        }
+        if other.ranges.is_empty() {
+            self.ranges.clear();
+            return;
+        }
+        let n = self.ranges.len();
+        let b2 = &other.ranges;
+        let (mut i1, mut i2) = (0usize, 0usize);
+        let mut w = 0usize;
+        let mut spill: Vec<TimeRange> = Vec::new();
+        let mut cur1 = self.ranges[0];
+        while i1 < n && i2 < b2.len() {
+            let r2 = b2[i2];
+            if cur1.te <= r2.ts {
+                i1 += 1;
+                if i1 < n {
+                    cur1 = self.ranges[i1];
+                }
+            } else if r2.te <= cur1.ts {
+                i2 += 1;
+            } else {
+                let piece = TimeRange {
+                    ts: cur1.ts.max_f(r2.ts),
+                    te: cur1.te.min_f(r2.te),
+                };
+                // Keep output order: once a piece spills, all later pieces
+                // spill too.
+                if spill.is_empty() && w <= i1 {
+                    self.ranges[w] = piece;
+                    w += 1;
+                } else {
+                    spill.push(piece);
+                }
+                if cur1.te < r2.te {
+                    i1 += 1;
+                    if i1 < n {
+                        cur1 = self.ranges[i1];
+                    }
+                } else {
+                    i2 += 1;
+                }
+            }
+        }
+        self.ranges.truncate(w);
+        self.ranges.extend(spill);
+    }
+
     /// Set union — the logical disjunction of ongoing booleans. Sweep-line
     /// merge of the two canonical inputs; each range is visited once.
     pub fn union(&self, other: &IntervalSet) -> IntervalSet {
@@ -258,6 +319,34 @@ impl IntervalSet {
             }
         }
         IntervalSet { ranges: out }
+    }
+
+    /// In-place set union: `*self = self ∪ other`, reusing the receiver's
+    /// `Vec` allocation (amortized: the vector only grows, it is never
+    /// reallocated from scratch). The hot-loop variant of
+    /// [`union`](Self::union) for accumulator patterns such as folding the
+    /// reference span of a relation.
+    pub fn union_assign(&mut self, other: &IntervalSet) {
+        if other.ranges.is_empty() {
+            return;
+        }
+        if self.ranges.is_empty() {
+            // `clone_from` on the inner Vec reuses the receiver's buffer.
+            self.ranges.clone_from(&other.ranges);
+            return;
+        }
+        // Fast path for the common accumulator case: `other` lies entirely
+        // after the receiver — append and merge the boundary.
+        let last = *self.ranges.last().expect("non-empty");
+        if other.ranges[0].ts >= last.ts {
+            let boundary = self.ranges.len() - 1;
+            self.ranges.extend_from_slice(&other.ranges);
+            coalesce_in_place(&mut self.ranges, boundary);
+            return;
+        }
+        self.ranges.extend_from_slice(&other.ranges);
+        self.ranges.sort_unstable();
+        coalesce_in_place(&mut self.ranges, 0);
     }
 
     /// Set complement — the logical negation `¬b[St, Sf] = b[Sf, St]`.
@@ -305,6 +394,28 @@ impl IntervalSet {
     }
 }
 
+/// Merges overlapping or adjacent ranges of a ts-sorted suffix `v[from..]`
+/// in place (write index never passes the read index). The prefix
+/// `v[..from]` must already be canonical and end before `v[from]` starts.
+fn coalesce_in_place(v: &mut Vec<TimeRange>, from: usize) {
+    if v.len().saturating_sub(from) < 2 {
+        return;
+    }
+    let mut w = from;
+    for i in from + 1..v.len() {
+        let r = v[i];
+        if r.ts <= v[w].te {
+            if r.te > v[w].te {
+                v[w].te = r.te;
+            }
+        } else {
+            w += 1;
+            v[w] = r;
+        }
+    }
+    v.truncate(w + 1);
+}
+
 impl FromIterator<(TimePoint, TimePoint)> for IntervalSet {
     fn from_iter<I: IntoIterator<Item = (TimePoint, TimePoint)>>(iter: I) -> Self {
         IntervalSet::from_ranges(iter)
@@ -334,6 +445,8 @@ impl fmt::Display for IntervalSet {
 mod tests {
     use super::*;
     use crate::time::tp;
+
+    type RangeCases = [(&'static [(i64, i64)], &'static [(i64, i64)])];
 
     fn set(ranges: &[(i64, i64)]) -> IntervalSet {
         IntervalSet::from_ranges(ranges.iter().map(|&(a, b)| (tp(a), tp(b))))
@@ -448,6 +561,79 @@ mod tests {
             a.union(&b).complement(),
             a.complement().intersect(&b.complement())
         );
+    }
+
+    #[test]
+    fn intersect_assign_matches_intersect() {
+        // Includes the spill case: one coarse receiver range split by many
+        // `other` fragments (output outgrows the consumed prefix).
+        let cases: &RangeCases = &[
+            (&[(0, 100)], &[(1, 2), (4, 5), (7, 8), (10, 11), (20, 30)]),
+            (&[(0, 10), (20, 30)], &[(5, 25)]),
+            (&[(0, 5), (10, 15), (20, 25)], &[(5, 10), (15, 20)]),
+            (&[(0, 5)], &[]),
+            (&[], &[(0, 5)]),
+            (&[(0, 3), (6, 9), (12, 40)], &[(2, 7), (8, 13), (30, 50)]),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (set(a), set(b));
+            let mut got = a.clone();
+            got.intersect_assign(&b);
+            assert_eq!(got, a.intersect(&b), "{a} ∩ {b}");
+            assert!(got.is_canonical());
+        }
+        let mut full = IntervalSet::full();
+        full.intersect_assign(&set(&[(1, 2), (3, 4)]));
+        assert_eq!(full, set(&[(1, 2), (3, 4)]));
+    }
+
+    #[test]
+    fn union_assign_matches_union() {
+        let cases: &RangeCases = &[
+            (&[(0, 5), (10, 15)], &[(5, 10)]),
+            (&[(0, 2)], &[(4, 6)]),
+            (&[(4, 6)], &[(0, 2)]),          // other strictly before self
+            (&[(0, 5)], &[(3, 8), (9, 12)]), // accumulator fast path
+            (&[(0, 5)], &[]),
+            (&[], &[(0, 5)]),
+            (&[(0, 3), (10, 12)], &[(2, 11)]),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (set(a), set(b));
+            let mut got = a.clone();
+            got.union_assign(&b);
+            assert_eq!(got, a.union(&b), "{a} ∪ {b}");
+            assert!(got.is_canonical());
+        }
+    }
+
+    #[test]
+    fn assign_ops_differential_sweep() {
+        // Deterministic pseudo-random differential test across many shapes.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..500 {
+            let mk = |next: &mut dyn FnMut() -> u64| {
+                let n = (next() % 5) as usize;
+                IntervalSet::from_ranges((0..n).map(|_| {
+                    let s = (next() % 40) as i64 - 20;
+                    (tp(s), tp(s + (next() % 9) as i64))
+                }))
+            };
+            let a = mk(&mut next);
+            let b = mk(&mut next);
+            let mut ia = a.clone();
+            ia.intersect_assign(&b);
+            assert_eq!(ia, a.intersect(&b), "{a} ∩ {b}");
+            let mut ua = a.clone();
+            ua.union_assign(&b);
+            assert_eq!(ua, a.union(&b), "{a} ∪ {b}");
+        }
     }
 
     #[test]

@@ -41,8 +41,13 @@ impl Table {
     /// Returns (building and caching on first use) the envelope interval
     /// index over the interval attribute at `col`. Tuple positions in the
     /// relation serve as index payload ids.
+    ///
+    /// The cache lock is held across the build: with partition-parallel
+    /// executors several workers can request the same index at once, and a
+    /// check-then-build race would make each of them build it.
     pub fn interval_index(&self, col: usize) -> Result<Arc<IntervalIndex>> {
-        if let Some(idx) = self.indexes.lock().get(&col) {
+        let mut indexes = self.indexes.lock();
+        if let Some(idx) = indexes.get(&col) {
             return Ok(Arc::clone(idx));
         }
         let attr = self.data.schema().attr(col)?;
@@ -62,7 +67,7 @@ impl Table {
             .enumerate()
             .filter_map(|(i, t)| t.value(col).as_interval().map(|iv| (iv, i)));
         let built = Arc::new(IntervalIndex::build(entries));
-        self.indexes.lock().insert(col, Arc::clone(&built));
+        indexes.insert(col, Arc::clone(&built));
         Ok(built)
     }
 }

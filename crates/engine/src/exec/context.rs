@@ -1,0 +1,86 @@
+//! Execution context: the parallelism knob for the physical executors.
+//!
+//! Every executor entry point takes an [`ExecContext`] describing *how* to
+//! run (number of worker threads); the operator tree describes *what* to
+//! run. Results and [`ExecStats`](crate::exec::ExecStats) work-unit counts
+//! are identical for every parallelism setting — partitioning is purely a
+//! wall-clock optimization.
+
+/// How many worker threads the executors may use.
+///
+/// Resolution order: an explicit knob (e.g.
+/// [`PlannerConfig::parallelism`](crate::PlannerConfig)) beats the
+/// `ONGOINGDB_THREADS` environment variable, which beats the machine's
+/// available parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecContext {
+    /// Number of worker threads partition-parallel operators may fan out
+    /// to. `1` executes every operator inline on the calling thread.
+    pub parallelism: usize,
+}
+
+/// Environment variable overriding the default executor parallelism.
+pub const THREADS_ENV: &str = "ONGOINGDB_THREADS";
+
+impl ExecContext {
+    /// A context with exactly `parallelism` workers (clamped to at least 1).
+    pub fn new(parallelism: usize) -> Self {
+        ExecContext {
+            parallelism: parallelism.max(1),
+        }
+    }
+
+    /// Single-threaded execution.
+    pub fn serial() -> Self {
+        ExecContext::new(1)
+    }
+
+    /// Resolves a knob value: `0` means "auto" (`ONGOINGDB_THREADS` if set
+    /// and positive, else the machine's available parallelism), anything
+    /// else is taken literally.
+    pub fn resolve(knob: usize) -> Self {
+        if knob > 0 {
+            return ExecContext::new(knob);
+        }
+        let from_env = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&p| p > 0);
+        let parallelism = from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        ExecContext::new(parallelism)
+    }
+
+    /// The auto-resolved context ([`resolve`](Self::resolve) with knob 0).
+    pub fn from_env() -> Self {
+        ExecContext::resolve(0)
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_knob_wins_and_is_clamped() {
+        assert_eq!(ExecContext::resolve(3).parallelism, 3);
+        assert_eq!(ExecContext::new(0).parallelism, 1);
+        assert_eq!(ExecContext::serial().parallelism, 1);
+    }
+
+    #[test]
+    fn auto_resolution_is_positive() {
+        // Whatever the environment says, the result is a usable worker
+        // count (≥ 1).
+        assert!(ExecContext::from_env().parallelism >= 1);
+    }
+}

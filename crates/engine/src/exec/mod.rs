@@ -1,5 +1,9 @@
-//! Execution helpers: interval index.
+//! Execution helpers: interval index, execution context, work-unit stats.
 
+pub mod context;
 pub mod index;
+pub mod stats;
 
+pub use context::{ExecContext, THREADS_ENV};
 pub use index::IntervalIndex;
+pub use stats::ExecStats;

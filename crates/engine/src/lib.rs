@@ -63,20 +63,25 @@ pub mod storage;
 
 pub use catalog::{Database, Table};
 pub use error::{EngineError, Result};
+pub use exec::{ExecContext, ExecStats, THREADS_ENV};
 pub use plan::{JoinStrategy, LogicalPlan, PhysicalPlan, PlannerConfig, QueryBuilder};
 
 use ongoing_core::TimePoint;
 use ongoing_relation::{FixedRelation, OngoingRelation};
 
 /// Compiles and executes a logical plan in ongoing mode with the default
-/// planner configuration.
+/// planner configuration (auto parallelism — see [`ExecContext`]).
 pub fn execute(db: &Database, plan: &LogicalPlan) -> Result<OngoingRelation> {
-    plan::optimizer::compile(db, plan, &PlannerConfig::default())?.execute()
+    let cfg = PlannerConfig::default();
+    plan::optimizer::compile(db, plan, &cfg)?.execute_ctx(&cfg.exec_context())
 }
 
 /// Compiles and executes a logical plan with the Clifford baseline:
 /// ongoing attributes are instantiated at `rt` when scanned; the result is
 /// valid only at `rt`.
 pub fn execute_at(db: &Database, plan: &LogicalPlan, rt: TimePoint) -> Result<FixedRelation> {
-    plan::optimizer::compile(db, plan, &PlannerConfig::default())?.execute_at(rt)
+    let cfg = PlannerConfig::default();
+    let phys = plan::optimizer::compile(db, plan, &cfg)?;
+    let (rel, _) = phys.execute_at_with_stats(rt, &cfg.exec_context())?;
+    Ok(rel)
 }

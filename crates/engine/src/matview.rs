@@ -27,14 +27,15 @@ pub struct MaterializedView {
 }
 
 impl MaterializedView {
-    /// Creates the view by executing `plan` in ongoing mode.
+    /// Creates the view by executing `plan` in ongoing mode under the
+    /// configuration's execution context (its `parallelism` knob applies).
     pub fn create(
         db: &Database,
         name: &str,
         plan: LogicalPlan,
         config: PlannerConfig,
     ) -> Result<Self> {
-        let result = compile(db, &plan, &config)?.execute()?;
+        let result = compile(db, &plan, &config)?.execute_ctx(&config.exec_context())?;
         Ok(MaterializedView {
             name: name.to_string(),
             plan,
@@ -62,7 +63,8 @@ impl MaterializedView {
 
     /// Re-computes the view after base-table modifications.
     pub fn refresh(&mut self, db: &Database) -> Result<()> {
-        self.result = compile(db, &self.plan, &self.config)?.execute()?;
+        self.result =
+            compile(db, &self.plan, &self.config)?.execute_ctx(&self.config.exec_context())?;
         Ok(())
     }
 

@@ -15,6 +15,7 @@
 
 use crate::catalog::Database;
 use crate::error::Result;
+use crate::exec::ExecContext;
 use crate::plan::logical::LogicalPlan;
 use crate::plan::physical::{indexable_selection, sweepable_columns, PhysicalPlan};
 use ongoing_relation::{Expr, Schema, ValueType};
@@ -50,6 +51,11 @@ pub struct PlannerConfig {
     pub join_strategy: JoinStrategy,
     /// Use the envelope interval index for selections over base tables.
     pub use_interval_index: bool,
+    /// Executor worker threads. `0` means auto: the `ONGOINGDB_THREADS`
+    /// environment variable if set, else the machine's available
+    /// parallelism. Results and work-unit counts are identical for every
+    /// setting.
+    pub parallelism: usize,
 }
 
 impl Default for PlannerConfig {
@@ -59,7 +65,17 @@ impl Default for PlannerConfig {
             split_predicates: true,
             join_strategy: JoinStrategy::Auto,
             use_interval_index: false,
+            parallelism: 0,
         }
+    }
+}
+
+impl PlannerConfig {
+    /// The execution context this configuration resolves to (explicit
+    /// [`parallelism`](Self::parallelism) knob, `ONGOINGDB_THREADS`, or
+    /// machine parallelism — in that order).
+    pub fn exec_context(&self) -> ExecContext {
+        ExecContext::resolve(self.parallelism)
     }
 }
 

@@ -16,15 +16,40 @@
 //! paper's runtime comparisons (Sec. IX) meaningful: both sides pay for the
 //! same scans, joins and projections; the ongoing mode additionally pays for
 //! interval-set arithmetic, the baseline instead pays once per re-evaluation.
+//!
+//! # Partition-parallel execution
+//!
+//! Both modes run morsel-style over row partitions: an [`ExecContext`]
+//! carries the worker budget, `Scan`/`Filter` pipelines split their input
+//! into contiguous chunks, the hash join builds its table once and probes
+//! partitions concurrently, and the sweep/nested-loop joins split the outer
+//! side across [`std::thread::scope`] workers. Partial results are merged
+//! in partition order, so the output — tuple order included — is identical
+//! for every parallelism setting. Each worker accumulates a local
+//! [`ExecStats`] that is folded at the merge point; since every work unit
+//! is counted exactly once no matter who performs it, the totals are
+//! deterministic across thread counts and can replace wall-clock durations
+//! in benchmark assertions.
 
 use crate::catalog::Table;
 use crate::error::{EngineError, Result};
+use crate::exec::{ExecContext, ExecStats};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_core::{IntervalSet, TimePoint};
 use ongoing_relation::algebra::{self, ProjItem};
 use ongoing_relation::{Expr, FixedRelation, OngoingRelation, Schema, Tuple, Value};
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Minimum number of per-tuple work items a worker must receive before a
+/// partition-parallel operator fans out — below this, thread-spawn overhead
+/// dwarfs the work.
+const MIN_MORSEL: usize = 256;
+
+/// Minimum number of candidate join pairs per worker for outer-partitioned
+/// joins.
+const MIN_PAIR_WORK: usize = 4096;
 
 /// A physical operator tree.
 #[derive(Debug)]
@@ -70,7 +95,8 @@ pub enum PhysicalPlan {
         /// Output schema.
         schema: Schema,
     },
-    /// Tuple-at-a-time nested-loop join.
+    /// Tuple-at-a-time nested-loop join (outer side partitioned across
+    /// workers).
     NestedLoopJoin {
         /// Left (outer) input.
         left: Box<PhysicalPlan>,
@@ -82,6 +108,7 @@ pub enum PhysicalPlan {
         ongoing: Option<Expr>,
     },
     /// Hash join on fixed-attribute equality keys, with residual conjuncts.
+    /// The build side is hashed once; probe partitions run concurrently.
     HashJoin {
         /// Left (probe) input.
         left: Box<PhysicalPlan>,
@@ -96,7 +123,9 @@ pub enum PhysicalPlan {
     },
     /// Sort-merge interval join: a forward-scan plane sweep over the
     /// instantiation envelopes of two interval columns, with the exact
-    /// predicate as residual.
+    /// predicate as residual. Parallel workers sweep contiguous slices of
+    /// the left envelope list against the full right list and emit
+    /// candidates in canonical `(left, right)` envelope order.
     SweepJoin {
         /// Left input.
         left: Box<PhysicalPlan>,
@@ -162,6 +191,12 @@ impl PhysicalPlan {
         let mut out = String::new();
         self.explain_into(0, &mut out);
         out
+    }
+
+    /// EXPLAIN rendering followed by a work-unit accounting line — the
+    /// `EXPLAIN ANALYZE` analogue for a finished execution.
+    pub fn explain_with_stats(&self, stats: &ExecStats) -> String {
+        format!("{}stats: {stats}\n", self.explain())
     }
 
     fn explain_into(&self, depth: usize, out: &mut String) {
@@ -276,15 +311,37 @@ impl PhysicalPlan {
     // Ongoing execution (the paper's approach).
     // ------------------------------------------------------------------
 
-    /// Executes in ongoing mode: the result is an ongoing relation that
+    /// Executes in ongoing mode with the ambient context
+    /// ([`ExecContext::from_env`]): the result is an ongoing relation that
     /// remains valid as time passes by.
     pub fn execute(&self) -> Result<OngoingRelation> {
+        self.execute_ctx(&ExecContext::from_env())
+    }
+
+    /// Executes in ongoing mode under an explicit execution context.
+    pub fn execute_ctx(&self, ctx: &ExecContext) -> Result<OngoingRelation> {
+        let mut stats = ExecStats::default();
+        self.execute_stats(ctx, &mut stats)
+    }
+
+    /// Executes in ongoing mode, returning the result together with the
+    /// deterministic work-unit accounting of the run.
+    pub fn execute_with_stats(&self, ctx: &ExecContext) -> Result<(OngoingRelation, ExecStats)> {
+        let mut stats = ExecStats::default();
+        let rel = self.execute_stats(ctx, &mut stats)?;
+        Ok((rel, stats))
+    }
+
+    fn execute_stats(&self, ctx: &ExecContext, stats: &mut ExecStats) -> Result<OngoingRelation> {
         match self {
-            PhysicalPlan::SeqScan { table, schema } => Ok(table
-                .data()
-                .clone()
-                .with_schema(schema.clone())
-                .expect("scan schema is a rename of the table schema")),
+            PhysicalPlan::SeqScan { table, schema } => {
+                stats.tuples_scanned += table.data().len() as u64;
+                Ok(table
+                    .data()
+                    .clone()
+                    .with_schema(schema.clone())
+                    .expect("scan schema is a rename of the table schema"))
+            }
             PhysicalPlan::IndexScan {
                 table,
                 schema,
@@ -295,31 +352,56 @@ impl PhysicalPlan {
             } => {
                 let idx = table.interval_index(*col)?;
                 let data = table.data();
-                let mut out = OngoingRelation::new(schema.clone());
-                for id in idx.query(range.0, range.1) {
-                    let t = &data.tuples()[id];
-                    push_filtered(&mut out, t, fixed.as_ref(), ongoing.as_ref())?;
-                }
-                Ok(out)
+                let ids = idx.query(range.0, range.1);
+                stats.index_candidates += ids.len() as u64;
+                stats.tuples_scanned += ids.len() as u64;
+                let parts = run_partitioned(ctx, ids.len(), MIN_MORSEL, |r| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for &id in &ids[r] {
+                        filter_into(
+                            &mut out,
+                            &data.tuples()[id],
+                            fixed.as_ref(),
+                            ongoing.as_ref(),
+                            &mut local,
+                        )?;
+                    }
+                    Ok((out, local))
+                })?;
+                Ok(assemble_tuples(schema.clone(), parts, stats))
             }
             PhysicalPlan::Filter {
                 input,
                 fixed,
                 ongoing,
             } => {
-                let rel = input.execute()?;
-                let mut out = OngoingRelation::new(rel.schema().clone());
-                for t in rel.tuples() {
-                    push_filtered(&mut out, t, fixed.as_ref(), ongoing.as_ref())?;
-                }
-                Ok(out)
+                let rel = input.execute_stats(ctx, stats)?;
+                let schema = rel.schema().clone();
+                // The input is owned here, so tuples move into the workers
+                // — surviving tuples are never cloned.
+                let parts = run_partitioned_owned(ctx, rel.into_tuples(), MIN_MORSEL, |chunk| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for t in chunk {
+                        filter_owned_into(
+                            &mut out,
+                            t,
+                            fixed.as_ref(),
+                            ongoing.as_ref(),
+                            &mut local,
+                        )?;
+                    }
+                    Ok((out, local))
+                })?;
+                Ok(assemble_tuples(schema, parts, stats))
             }
             PhysicalPlan::Project {
                 input,
                 items,
                 schema,
             } => {
-                let rel = input.execute()?;
+                let rel = input.execute_stats(ctx, stats)?;
                 let projected = algebra::project(&rel, items)?;
                 projected
                     .with_schema(schema.clone())
@@ -331,15 +413,28 @@ impl PhysicalPlan {
                 fixed,
                 ongoing,
             } => {
-                let l = left.execute()?;
-                let r = right.execute()?;
-                let mut out = OngoingRelation::new(l.schema().product(r.schema()));
-                for lt in l.tuples() {
-                    for rt_ in r.tuples() {
-                        join_pair(&mut out, lt, rt_, fixed.as_ref(), ongoing.as_ref())?;
+                let l = left.execute_stats(ctx, stats)?;
+                let r = right.execute_stats(ctx, stats)?;
+                let schema = l.schema().product(r.schema());
+                let min_chunk = outer_min_chunk(r.len());
+                let parts = run_partitioned(ctx, l.len(), min_chunk, |range| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for lt in &l.tuples()[range] {
+                        for rt_ in r.tuples() {
+                            join_pair_into(
+                                &mut out,
+                                lt,
+                                rt_,
+                                fixed.as_ref(),
+                                ongoing.as_ref(),
+                                &mut local,
+                            )?;
+                        }
                     }
-                }
-                Ok(out)
+                    Ok((out, local))
+                })?;
+                Ok(assemble_tuples(schema, parts, stats))
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -348,24 +443,37 @@ impl PhysicalPlan {
                 fixed,
                 ongoing,
             } => {
-                let l = left.execute()?;
-                let r = right.execute()?;
-                let mut out = OngoingRelation::new(l.schema().product(r.schema()));
-                // Build on the right side.
+                let l = left.execute_stats(ctx, stats)?;
+                let r = right.execute_stats(ctx, stats)?;
+                let schema = l.schema().product(r.schema());
+                // Build once on the right side; probe partitions share it.
                 let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(r.len());
                 for rt_ in r.tuples() {
                     let key: Vec<Value> = keys.iter().map(|&(_, j)| rt_.value(j).clone()).collect();
                     table.entry(key).or_default().push(rt_);
                 }
-                for lt in l.tuples() {
-                    let key: Vec<Value> = keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
-                    if let Some(matches) = table.get(&key) {
-                        for rt_ in matches {
-                            join_pair(&mut out, lt, rt_, fixed.as_ref(), ongoing.as_ref())?;
+                let parts = run_partitioned(ctx, l.len(), MIN_MORSEL, |range| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for lt in &l.tuples()[range] {
+                        let key: Vec<Value> =
+                            keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
+                        if let Some(matches) = table.get(&key) {
+                            for rt_ in matches {
+                                join_pair_into(
+                                    &mut out,
+                                    lt,
+                                    rt_,
+                                    fixed.as_ref(),
+                                    ongoing.as_ref(),
+                                    &mut local,
+                                )?;
+                            }
                         }
                     }
-                }
-                Ok(out)
+                    Ok((out, local))
+                })?;
+                Ok(assemble_tuples(schema, parts, stats))
             }
             PhysicalPlan::SweepJoin {
                 left,
@@ -375,30 +483,40 @@ impl PhysicalPlan {
                 fixed,
                 ongoing,
             } => {
-                let l = left.execute()?;
-                let r = right.execute()?;
-                let mut out = OngoingRelation::new(l.schema().product(r.schema()));
+                let l = left.execute_stats(ctx, stats)?;
+                let r = right.execute_stats(ctx, stats)?;
+                let schema = l.schema().product(r.schema());
                 let le = envelopes(l.tuples(), *l_col)?;
                 let re = envelopes(r.tuples(), *r_col)?;
-                sweep_pairs(&le, &re, |li, ri| {
-                    join_pair(
-                        &mut out,
-                        &l.tuples()[li],
-                        &r.tuples()[ri],
-                        fixed.as_ref(),
-                        ongoing.as_ref(),
-                    )
+                let min_chunk = sweep_min_chunk(re.len(), ctx.parallelism);
+                let parts = run_partitioned(ctx, le.len(), min_chunk, |range| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    let mut pairs = Vec::new();
+                    sweep_positions(&le, range, &re, &mut pairs);
+                    pairs.sort_unstable();
+                    for &(lp, rp) in &pairs {
+                        join_pair_into(
+                            &mut out,
+                            &l.tuples()[le[lp].2],
+                            &r.tuples()[re[rp].2],
+                            fixed.as_ref(),
+                            ongoing.as_ref(),
+                            &mut local,
+                        )?;
+                    }
+                    Ok((out, local))
                 })?;
-                Ok(out)
+                Ok(assemble_tuples(schema, parts, stats))
             }
             PhysicalPlan::Union { left, right } => {
-                let l = left.execute()?;
-                let r = right.execute()?;
+                let l = left.execute_stats(ctx, stats)?;
+                let r = right.execute_stats(ctx, stats)?;
                 algebra::union(&l, &r).map_err(EngineError::Schema)
             }
             PhysicalPlan::Difference { left, right } => {
-                let l = left.execute()?;
-                let r = right.execute()?;
+                let l = left.execute_stats(ctx, stats)?;
+                let r = right.execute_stats(ctx, stats)?;
                 algebra::difference(&l, &r).map_err(EngineError::Schema)
             }
             PhysicalPlan::Aggregate {
@@ -407,7 +525,7 @@ impl PhysicalPlan {
                 aggs,
                 schema,
             } => {
-                let rel = input.execute()?;
+                let rel = input.execute_stats(ctx, stats)?;
                 let names: Vec<String> = schema
                     .attrs()
                     .iter()
@@ -433,16 +551,56 @@ impl PhysicalPlan {
         Ok(FixedRelation::from_rows(self.rows_at(rt)?))
     }
 
+    /// Instantiated execution under an explicit context, returning the
+    /// result together with the work-unit accounting (note
+    /// `intervals_merged` stays 0 here: the baseline never touches
+    /// interval sets).
+    pub fn execute_at_with_stats(
+        &self,
+        rt: TimePoint,
+        ctx: &ExecContext,
+    ) -> Result<(FixedRelation, ExecStats)> {
+        let (rows, stats) = self.rows_at_with_stats(rt, ctx)?;
+        Ok((FixedRelation::from_rows(rows), stats))
+    }
+
     /// Instantiated execution returning the raw row bag (deduplicated by
-    /// [`FixedRelation`] in `execute_at`).
+    /// [`FixedRelation`] in `execute_at`), with the ambient context.
     pub fn rows_at(&self, rt: TimePoint) -> Result<Vec<Vec<Value>>> {
+        let mut stats = ExecStats::default();
+        self.rows_at_stats(rt, &ExecContext::from_env(), &mut stats)
+    }
+
+    /// Raw instantiated rows plus work-unit accounting.
+    pub fn rows_at_with_stats(
+        &self,
+        rt: TimePoint,
+        ctx: &ExecContext,
+    ) -> Result<(Vec<Vec<Value>>, ExecStats)> {
+        let mut stats = ExecStats::default();
+        let rows = self.rows_at_stats(rt, ctx, &mut stats)?;
+        Ok((rows, stats))
+    }
+
+    fn rows_at_stats(
+        &self,
+        rt: TimePoint,
+        ctx: &ExecContext,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Vec<Value>>> {
         match self {
-            PhysicalPlan::SeqScan { table, .. } => Ok(table
-                .data()
-                .tuples()
-                .iter()
-                .filter_map(|t| t.bind(rt))
-                .collect()),
+            PhysicalPlan::SeqScan { table, .. } => {
+                let data = table.data();
+                stats.tuples_scanned += data.len() as u64;
+                let parts = run_partitioned(ctx, data.len(), MIN_MORSEL, |range| {
+                    let rows: Vec<Vec<Value>> = data.tuples()[range]
+                        .iter()
+                        .filter_map(|t| t.bind(rt))
+                        .collect();
+                    Ok((rows, ExecStats::default()))
+                })?;
+                Ok(assemble_rows(parts, stats))
+            }
             PhysicalPlan::IndexScan {
                 table,
                 col,
@@ -453,39 +611,53 @@ impl PhysicalPlan {
             } => {
                 let idx = table.interval_index(*col)?;
                 let data = table.data();
+                let ids = idx.query(range.0, range.1);
+                stats.index_candidates += ids.len() as u64;
+                stats.tuples_scanned += ids.len() as u64;
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let mut out = Vec::new();
-                for id in idx.query(range.0, range.1) {
-                    if let Some(row) = data.tuples()[id].bind(rt) {
-                        if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())?
-                        {
-                            out.push(row);
+                let parts = run_partitioned(ctx, ids.len(), MIN_MORSEL, |r| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for &id in &ids[r] {
+                        local.tuples_filtered += 1;
+                        if let Some(row) = data.tuples()[id].bind(rt) {
+                            if pass_fixed(&row, fixed.as_ref())?
+                                && pass_fixed(&row, ongoing.as_ref())?
+                            {
+                                out.push(row);
+                            }
                         }
                     }
-                }
-                Ok(out)
+                    Ok((out, local))
+                })?;
+                Ok(assemble_rows(parts, stats))
             }
             PhysicalPlan::Filter {
                 input,
                 fixed,
                 ongoing,
             } => {
-                let rows = input.rows_at(rt)?;
+                let rows = input.rows_at_stats(rt, ctx, stats)?;
+                stats.tuples_filtered += rows.len() as u64;
                 // Instantiate ongoing literals in the predicates (the bind
                 // operator applies to the query, not only the data).
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let mut out = Vec::with_capacity(rows.len() / 2);
-                for row in rows {
-                    if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())? {
-                        out.push(row);
+                let parts = run_partitioned_owned(ctx, rows, MIN_MORSEL, |chunk| {
+                    let mut out = Vec::with_capacity(chunk.len() / 2);
+                    for row in chunk {
+                        if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())?
+                        {
+                            out.push(row);
+                        }
                     }
-                }
-                Ok(out)
+                    Ok((out, ExecStats::default()))
+                })?;
+                Ok(assemble_rows(parts, stats))
             }
             PhysicalPlan::Project { input, items, .. } => {
-                let rows = input.rows_at(rt)?;
+                let rows = input.rows_at_stats(rt, ctx, stats)?;
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
                     let mut vals = Vec::with_capacity(items.len());
@@ -509,17 +681,29 @@ impl PhysicalPlan {
                 fixed,
                 ongoing,
             } => {
-                let l = left.rows_at(rt)?;
-                let r = right.rows_at(rt)?;
+                let l = left.rows_at_stats(rt, ctx, stats)?;
+                let r = right.rows_at_stats(rt, ctx, stats)?;
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let mut out = Vec::new();
-                for lr in &l {
-                    for rr in &r {
-                        join_rows(&mut out, lr, rr, fixed.as_ref(), ongoing.as_ref())?;
+                let min_chunk = outer_min_chunk(r.len());
+                let parts = run_partitioned(ctx, l.len(), min_chunk, |range| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for lr in &l[range] {
+                        for rr in &r {
+                            join_rows_into(
+                                &mut out,
+                                lr,
+                                rr,
+                                fixed.as_ref(),
+                                ongoing.as_ref(),
+                                &mut local,
+                            )?;
+                        }
                     }
-                }
-                Ok(out)
+                    Ok((out, local))
+                })?;
+                Ok(assemble_rows(parts, stats))
             }
             PhysicalPlan::HashJoin {
                 left,
@@ -528,8 +712,8 @@ impl PhysicalPlan {
                 fixed,
                 ongoing,
             } => {
-                let l = left.rows_at(rt)?;
-                let r = right.rows_at(rt)?;
+                let l = left.rows_at_stats(rt, ctx, stats)?;
+                let r = right.rows_at_stats(rt, ctx, stats)?;
                 let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> =
                     HashMap::with_capacity(r.len());
                 for rr in &r {
@@ -538,16 +722,27 @@ impl PhysicalPlan {
                 }
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let mut out = Vec::new();
-                for lr in &l {
-                    let key: Vec<Value> = keys.iter().map(|&(i, _)| lr[i].clone()).collect();
-                    if let Some(matches) = table.get(&key) {
-                        for rr in matches {
-                            join_rows(&mut out, lr, rr, fixed.as_ref(), ongoing.as_ref())?;
+                let parts = run_partitioned(ctx, l.len(), MIN_MORSEL, |range| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for lr in &l[range] {
+                        let key: Vec<Value> = keys.iter().map(|&(i, _)| lr[i].clone()).collect();
+                        if let Some(matches) = table.get(&key) {
+                            for rr in matches {
+                                join_rows_into(
+                                    &mut out,
+                                    lr,
+                                    rr,
+                                    fixed.as_ref(),
+                                    ongoing.as_ref(),
+                                    &mut local,
+                                )?;
+                            }
                         }
                     }
-                }
-                Ok(out)
+                    Ok((out, local))
+                })?;
+                Ok(assemble_rows(parts, stats))
             }
             PhysicalPlan::SweepJoin {
                 left,
@@ -557,26 +752,41 @@ impl PhysicalPlan {
                 fixed,
                 ongoing,
             } => {
-                let l = left.rows_at(rt)?;
-                let r = right.rows_at(rt)?;
+                let l = left.rows_at_stats(rt, ctx, stats)?;
+                let r = right.rows_at_stats(rt, ctx, stats)?;
                 let le = row_envelopes(&l, *l_col)?;
                 let re = row_envelopes(&r, *r_col)?;
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let mut out = Vec::new();
-                sweep_pairs(&le, &re, |li, ri| {
-                    join_rows(&mut out, &l[li], &r[ri], fixed.as_ref(), ongoing.as_ref())
+                let min_chunk = sweep_min_chunk(re.len(), ctx.parallelism);
+                let parts = run_partitioned(ctx, le.len(), min_chunk, |range| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    let mut pairs = Vec::new();
+                    sweep_positions(&le, range, &re, &mut pairs);
+                    pairs.sort_unstable();
+                    for &(lp, rp) in &pairs {
+                        join_rows_into(
+                            &mut out,
+                            &l[le[lp].2],
+                            &r[re[rp].2],
+                            fixed.as_ref(),
+                            ongoing.as_ref(),
+                            &mut local,
+                        )?;
+                    }
+                    Ok((out, local))
                 })?;
-                Ok(out)
+                Ok(assemble_rows(parts, stats))
             }
             PhysicalPlan::Union { left, right } => {
-                let mut l = left.rows_at(rt)?;
-                l.extend(right.rows_at(rt)?);
+                let mut l = left.rows_at_stats(rt, ctx, stats)?;
+                l.extend(right.rows_at_stats(rt, ctx, stats)?);
                 Ok(l)
             }
             PhysicalPlan::Difference { left, right } => {
-                let l = left.rows_at(rt)?;
-                let r = FixedRelation::from_rows(right.rows_at(rt)?);
+                let l = left.rows_at_stats(rt, ctx, stats)?;
+                let r = FixedRelation::from_rows(right.rows_at_stats(rt, ctx, stats)?);
                 Ok(l.into_iter().filter(|row| !r.contains(row)).collect())
             }
             PhysicalPlan::Aggregate {
@@ -588,7 +798,7 @@ impl PhysicalPlan {
                 // Fixed grouped aggregation over the instantiated rows —
                 // the semantics the ongoing operator must instantiate to.
                 use ongoing_relation::aggregate::AggFn;
-                let rows = FixedRelation::from_rows(input.rows_at(rt)?);
+                let rows = FixedRelation::from_rows(input.rows_at_stats(rt, ctx, stats)?);
                 let mut order: Vec<Vec<Value>> = Vec::new();
                 let mut groups: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
                 for row in rows.rows() {
@@ -623,17 +833,197 @@ impl PhysicalPlan {
 }
 
 // ----------------------------------------------------------------------
+// Partition-parallel infrastructure.
+// ----------------------------------------------------------------------
+
+/// Effective worker count for `len` items with at least `min_chunk` items
+/// per worker. Never exceeds the context's parallelism; never 0.
+fn worker_count(parallelism: usize, len: usize, min_chunk: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    parallelism.clamp(1, len.div_ceil(min_chunk.max(1)))
+}
+
+/// Contiguous, deterministic chunk bounds covering `0..len` (sizes differ
+/// by at most one; earlier chunks take the remainder).
+fn chunk_bounds(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let base = len / workers;
+    let rem = len % workers;
+    let mut bounds = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for w in 0..workers {
+        let size = base + usize::from(w < rem);
+        bounds.push(start..start + size);
+        start += size;
+    }
+    bounds
+}
+
+/// Outer-side chunk floor for pair-at-a-time joins: enough outer tuples
+/// that each worker sees at least [`MIN_PAIR_WORK`] candidate pairs.
+fn outer_min_chunk(inner_len: usize) -> usize {
+    (MIN_PAIR_WORK / inner_len.max(1)).max(1)
+}
+
+/// Left-side chunk floor for the sweep join. Every worker merge-scans the
+/// full right envelope list, so fanning out costs `workers × |right|`
+/// redundant advances; requiring at least `|right| / parallelism` left
+/// envelopes per chunk keeps that overhead proportional to the left-side
+/// work a chunk actually carries (a tiny left side against a huge right
+/// side stays serial).
+fn sweep_min_chunk(right_len: usize, parallelism: usize) -> usize {
+    (right_len / parallelism.max(1)).max(MIN_MORSEL)
+}
+
+/// Runs `run` over contiguous index partitions of `0..len` — inline when
+/// one worker suffices, else on [`std::thread::scope`] workers — and
+/// returns the per-partition results *in partition order*. Concatenating
+/// them reproduces the serial output exactly; folding the per-partition
+/// [`ExecStats`] reproduces the serial counts exactly.
+fn run_partitioned<T, F>(
+    ctx: &ExecContext,
+    len: usize,
+    min_chunk: usize,
+    run: F,
+) -> Result<Vec<(T, ExecStats)>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Result<(T, ExecStats)> + Sync,
+{
+    let workers = worker_count(ctx.parallelism, len, min_chunk);
+    if workers <= 1 {
+        return Ok(vec![run(0..len)?]);
+    }
+    let mut bounds = chunk_bounds(len, workers).into_iter();
+    let first = bounds.next().expect("workers >= 1");
+    std::thread::scope(|scope| {
+        // Workers take chunks 1.., the calling thread runs chunk 0 inline
+        // instead of idling in the scope.
+        let handles: Vec<_> = bounds
+            .map(|range| {
+                let run = &run;
+                scope.spawn(move || run(range))
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(workers);
+        parts.push(run(first));
+        parts.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked")),
+        );
+        parts.into_iter().collect()
+    })
+}
+
+/// Like [`run_partitioned`], but moves ownership of the items into the
+/// workers (chunk vectors are split off in order), so surviving items need
+/// not be cloned.
+fn run_partitioned_owned<I, T, F>(
+    ctx: &ExecContext,
+    items: Vec<I>,
+    min_chunk: usize,
+    run: F,
+) -> Result<Vec<(T, ExecStats)>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(Vec<I>) -> Result<(T, ExecStats)> + Sync,
+{
+    let workers = worker_count(ctx.parallelism, items.len(), min_chunk);
+    if workers <= 1 {
+        return Ok(vec![run(items)?]);
+    }
+    let bounds = chunk_bounds(items.len(), workers);
+    // Split from the back so every element moves at most once
+    // (front-first splitting would re-move the shrinking tail per chunk).
+    let mut rest = items;
+    let mut chunks = Vec::with_capacity(workers);
+    for range in bounds.iter().rev() {
+        chunks.push(rest.split_off(range.start));
+    }
+    chunks.reverse();
+    let mut chunks = chunks.into_iter();
+    let first = chunks.next().expect("workers >= 1");
+    std::thread::scope(|scope| {
+        // Workers take chunks 1.., the calling thread runs chunk 0 inline.
+        let handles: Vec<_> = chunks
+            .map(|chunk| {
+                let run = &run;
+                scope.spawn(move || run(chunk))
+            })
+            .collect();
+        let mut parts = Vec::with_capacity(workers);
+        parts.push(run(first));
+        parts.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked")),
+        );
+        parts.into_iter().collect()
+    })
+}
+
+/// Concatenates ordered tuple partitions into a relation and folds their
+/// work-unit counters.
+fn assemble_tuples(
+    schema: Schema,
+    parts: Vec<(Vec<Tuple>, ExecStats)>,
+    stats: &mut ExecStats,
+) -> OngoingRelation {
+    let total: usize = parts.iter().map(|(p, _)| p.len()).sum();
+    let mut tuples = Vec::with_capacity(total);
+    for (part, local) in parts {
+        stats.merge(&local);
+        tuples.extend(part);
+    }
+    OngoingRelation::from_tuples(schema, tuples)
+        .expect("partition outputs match the operator schema")
+}
+
+/// Concatenates ordered row partitions and folds their counters.
+fn assemble_rows(
+    parts: Vec<(Vec<Vec<Value>>, ExecStats)>,
+    stats: &mut ExecStats,
+) -> Vec<Vec<Value>> {
+    let total: usize = parts.iter().map(|(p, _)| p.len()).sum();
+    let mut rows = Vec::with_capacity(total);
+    for (part, local) in parts {
+        stats.merge(&local);
+        rows.extend(part);
+    }
+    rows
+}
+
+// ----------------------------------------------------------------------
 // Shared helpers.
 // ----------------------------------------------------------------------
 
-/// Ongoing-mode filter application: fixed conjunct gates, ongoing conjunct
-/// restricts `RT`.
-fn push_filtered(
-    out: &mut OngoingRelation,
+/// Ongoing-mode filter application over a borrowed tuple (index-scan
+/// candidates stay in the table): delegates to [`filter_owned_into`] with a
+/// cheap clone (the payload is behind an `Arc`).
+fn filter_into(
+    out: &mut Vec<Tuple>,
     t: &Tuple,
     fixed: Option<&Expr>,
     ongoing: Option<&Expr>,
+    stats: &mut ExecStats,
 ) -> Result<()> {
+    filter_owned_into(out, t.clone(), fixed, ongoing, stats)
+}
+
+/// Ongoing-mode filter application: fixed conjunct gates, ongoing conjunct
+/// restricts `RT` (in place, reusing the predicate true-set's allocation).
+/// Takes the tuple by value so passing tuples are moved, not cloned.
+fn filter_owned_into(
+    out: &mut Vec<Tuple>,
+    t: Tuple,
+    fixed: Option<&Expr>,
+    ongoing: Option<&Expr>,
+    stats: &mut ExecStats,
+) -> Result<()> {
+    stats.tuples_filtered += 1;
     if let Some(f) = fixed {
         if !f.eval_bool(t.values())? {
             return Ok(());
@@ -642,25 +1032,33 @@ fn push_filtered(
     match ongoing {
         Some(o) => {
             let theta = o.eval_predicate(t.values())?;
-            let rt = t.rt().intersect(theta.true_set());
+            // One merge for the true-set construction, one for the RT
+            // restriction.
+            stats.intervals_merged += 2;
+            let mut rt = theta.into_true_set();
+            rt.intersect_assign(t.rt());
             if !rt.is_empty() {
                 out.push(t.restricted(rt));
             }
         }
-        None => out.push(t.clone()),
+        None => out.push(t),
     }
     Ok(())
 }
 
 /// Ongoing-mode join pair: concat (intersecting `RT`s), gate on the fixed
 /// conjunct, restrict by the ongoing conjunct.
-fn join_pair(
-    out: &mut OngoingRelation,
+fn join_pair_into(
+    out: &mut Vec<Tuple>,
     lt: &Tuple,
     rt_: &Tuple,
     fixed: Option<&Expr>,
     ongoing: Option<&Expr>,
+    stats: &mut ExecStats,
 ) -> Result<()> {
+    stats.pairs_compared += 1;
+    // `concat` intersects the two reference times.
+    stats.intervals_merged += 1;
     let t = lt.concat(rt_);
     if t.rt().is_empty() {
         return Ok(());
@@ -673,7 +1071,9 @@ fn join_pair(
     match ongoing {
         Some(o) => {
             let theta = o.eval_predicate(t.values())?;
-            let rt = t.rt().intersect(theta.true_set());
+            stats.intervals_merged += 2;
+            let mut rt = theta.into_true_set();
+            rt.intersect_assign(t.rt());
             if !rt.is_empty() {
                 out.push(t.restricted(rt));
             }
@@ -692,13 +1092,15 @@ fn pass_fixed(row: &[Value], pred: Option<&Expr>) -> Result<bool> {
 }
 
 /// Instantiated-mode join pair.
-fn join_rows(
+fn join_rows_into(
     out: &mut Vec<Vec<Value>>,
     l: &[Value],
     r: &[Value],
     fixed: Option<&Expr>,
     ongoing: Option<&Expr>,
+    stats: &mut ExecStats,
 ) -> Result<()> {
+    stats.pairs_compared += 1;
     let mut row = Vec::with_capacity(l.len() + r.len());
     row.extend_from_slice(l);
     row.extend_from_slice(r);
@@ -743,38 +1145,44 @@ fn row_envelopes(rows: &[Vec<Value>], col: usize) -> Result<Vec<(TimePoint, Time
 }
 
 /// Forward-scan plane sweep (Bouros & Mamoulis style) enumerating all pairs
-/// with overlapping envelopes, in O(sorted inputs + output).
-fn sweep_pairs<E>(
+/// with overlapping envelopes between the `l_range` slice of `l` and all of
+/// `r`, in O(sorted inputs + output). Emits `(left position, right
+/// position)` pairs into the *global* envelope arrays; callers sort them to
+/// get the canonical candidate order, which makes partitioned sweeps emit
+/// exactly the serial candidate sequence after concatenation.
+fn sweep_positions(
     l: &[(TimePoint, TimePoint, usize)],
+    l_range: Range<usize>,
     r: &[(TimePoint, TimePoint, usize)],
-    mut emit: impl FnMut(usize, usize) -> std::result::Result<(), E>,
-) -> std::result::Result<(), E> {
+    out: &mut Vec<(usize, usize)>,
+) {
+    let offset = l_range.start;
+    let l = &l[l_range];
     let (mut i, mut j) = (0usize, 0usize);
     while i < l.len() && j < r.len() {
         if l[i].0 <= r[j].0 {
             // Scan forward on the right while it starts before l[i] ends.
-            let (ls, le, li) = l[i];
+            let (ls, le, _) = l[i];
             let mut k = j;
             while k < r.len() && r[k].0 < le {
                 if r[k].1 > ls {
-                    emit(li, r[k].2)?;
+                    out.push((offset + i, k));
                 }
                 k += 1;
             }
             i += 1;
         } else {
-            let (rs, re, ri) = r[j];
+            let (rs, re, _) = r[j];
             let mut k = i;
             while k < l.len() && l[k].0 < re {
                 if l[k].1 > rs {
-                    emit(l[k].2, ri)?;
+                    out.push((offset + k, j));
                 }
                 k += 1;
             }
             j += 1;
         }
     }
-    Ok(())
 }
 
 /// Extracts the left/right interval columns of a temporal conjunct suitable
@@ -838,7 +1246,7 @@ pub fn indexable_selection(conjunct: &Expr) -> Option<(usize, (TimePoint, TimePo
 pub fn reference_span(rel: &OngoingRelation) -> IntervalSet {
     let mut acc = IntervalSet::empty();
     for t in rel.tuples() {
-        acc = acc.union(t.rt());
+        acc.union_assign(t.rt());
     }
     acc
 }

@@ -84,6 +84,13 @@ impl OngoingRelation {
         &self.tuples
     }
 
+    /// Consumes the relation, yielding its tuples — the move-semantics
+    /// counterpart of [`tuples`](Self::tuples) for executors that own
+    /// their input and want to avoid per-tuple clones.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
