@@ -18,6 +18,7 @@ const BINS: &[&str] = &[
     "repro_fig12",
     "repro_fig13",
     "repro_table5",
+    "repro_costmodel",
 ];
 
 fn main() {

@@ -1,0 +1,122 @@
+//! Cost-model calibration: estimated vs. measured work units.
+//!
+//! Not a figure from the paper — this binary validates the statistics &
+//! cost subsystem the optimizer uses to make the paper's join-strategy
+//! choices (Sec. VIII) from data instead of hints. For the calibration
+//! grid of [`ongoing_bench::shapes`] (interval length × start-point spread
+//! × key skew × ongoing mix) it runs the key-equality + `overlaps` join
+//! under every strategy and prints the cost model's estimated work units
+//! next to the deterministic [`ExecStats`](ongoing_engine::ExecStats)
+//! counters of the actual run, plus the strategy the cost-based `Auto`
+//! mode picks and the analyzed interval summary that drove the choice.
+//!
+//! Asserted shape: every estimate stays within a bounded factor of the
+//! measurement, and the chosen plan never measures worse than 2x the best
+//! enumerated alternative. Everything is deterministic — identical output
+//! at every thread count.
+
+use ongoing_bench::shapes::{database, grid, key_overlap_join};
+use ongoing_bench::{header, row, scaled};
+use ongoing_engine::plan::{compile, JoinStrategy, PlannerConfig};
+use ongoing_engine::stats::cost;
+use ongoing_engine::{Database, LogicalPlan};
+
+fn run(db: &Database, plan: &LogicalPlan, strategy: JoinStrategy) -> (f64, u64, String) {
+    let cfg = PlannerConfig {
+        join_strategy: strategy,
+        ..PlannerConfig::default()
+    };
+    let phys = compile(db, plan, &cfg).expect("plan compiles");
+    let est = cost::estimate(&phys).work.total();
+    let (_, stats) = phys
+        .execute_with_stats(&cfg.exec_context())
+        .expect("execution");
+    let op = if phys.explain().contains("HashJoin") {
+        "hash"
+    } else if phys.explain().contains("SweepJoin") {
+        "sweep"
+    } else {
+        "nested"
+    };
+    (est, stats.total_work(), op.to_string())
+}
+
+fn main() {
+    let rows = scaled(240);
+    println!(
+        "Cost-model calibration: estimated vs. measured work units \
+         (key+overlaps join, {rows} rows per side).\n"
+    );
+    let widths = [26, 8, 12, 12, 7, 9];
+    header(
+        &["shape", "strategy", "est work", "actual", "ratio", "chosen"],
+        &widths,
+    );
+    let mut worst: f64 = 1.0;
+    let mut bad_choices = 0usize;
+    for shape in grid(rows) {
+        let db = database(&shape);
+        db.analyze_all();
+        let plan = key_overlap_join(&db);
+        let (_, auto_actual, auto_op) = run(&db, &plan, JoinStrategy::Auto);
+        let mut best = u64::MAX;
+        for (label, strategy) in [
+            ("nested", JoinStrategy::NestedLoop),
+            ("hash", JoinStrategy::Hash),
+            ("sweep", JoinStrategy::Sweep),
+        ] {
+            let (est, actual, _) = run(&db, &plan, strategy);
+            best = best.min(actual);
+            let ratio = est / actual.max(1) as f64;
+            worst = worst.max(ratio.max(1.0 / ratio));
+            row(
+                &[
+                    shape.name.to_string(),
+                    label.to_string(),
+                    format!("{est:.0}"),
+                    actual.to_string(),
+                    format!("{ratio:.2}"),
+                    if label == auto_op {
+                        "<= auto".into()
+                    } else {
+                        String::new()
+                    },
+                ],
+                &widths,
+            );
+        }
+        let vt = db
+            .table("L")
+            .unwrap()
+            .statistics()
+            .unwrap()
+            .interval(2)
+            .cloned()
+            .expect("VT summary");
+        println!(
+            "  VT stats: overlap-density={:.4} median-envelope={} ongoing={:.0}%",
+            vt.overlap_density,
+            vt.median_envelope_days()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "∞".into()),
+            vt.ongoing_frac() * 100.0
+        );
+        if auto_actual > best.saturating_mul(2) {
+            bad_choices += 1;
+            println!(
+                "  !! auto choice measured {auto_actual} > 2x best {best} on {}",
+                shape.name
+            );
+        }
+    }
+    println!(
+        "\nworst est/actual factor: {worst:.2} (bound 8.0); \
+         choices worse than 2x best: {bad_choices}"
+    );
+    assert!(
+        worst <= 8.0,
+        "estimate accuracy degraded: worst factor {worst:.2}"
+    );
+    assert!(bad_choices == 0, "{bad_choices} poor strategy choices");
+    println!("→ estimates calibrated; cost-based choices within 2x of best.");
+}

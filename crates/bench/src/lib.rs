@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod shapes;
+
 use ongoing_core::TimePoint;
 use ongoing_engine::plan::{compile, PlannerConfig};
 use ongoing_engine::{Database, ExecStats, LogicalPlan, PhysicalPlan};

@@ -56,6 +56,7 @@
 pub mod allen;
 pub mod boolean;
 pub mod date;
+pub mod hist;
 pub mod interval;
 pub mod ongoing_int;
 pub mod ops;
@@ -64,6 +65,7 @@ pub mod set;
 pub mod time;
 
 pub use boolean::OngoingBool;
+pub use hist::PointHistogram;
 pub use interval::{Emptiness, IntervalKind, OngoingInterval};
 pub use ongoing_int::OngoingInt;
 pub use point::{InvalidOngoingPoint, OngoingPoint, PointKind};

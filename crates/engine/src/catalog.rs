@@ -8,10 +8,39 @@
 
 use crate::error::{EngineError, Result};
 use crate::exec::index::IntervalIndex;
+use crate::stats::{analyze_relation, TableStatistics};
 use ongoing_relation::{OngoingRelation, Schema};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Minimum number of modified rows before an analyzed table is considered
+/// stale (PostgreSQL's autovacuum-style floor).
+const AUTO_ANALYZE_MIN: u64 = 50;
+/// Additional stale fraction of the analyzed row count.
+const AUTO_ANALYZE_FRAC: f64 = 0.1;
+
+/// Statistics bookkeeping per table: the collected statistics (if any) plus
+/// the modification volume since they were collected.
+#[derive(Debug, Default, Clone)]
+struct StatsState {
+    stats: Option<Arc<TableStatistics>>,
+    mods_since_analyze: u64,
+}
+
+impl StatsState {
+    /// Are the collected statistics stale relative to the modifications
+    /// that happened since?
+    fn stale(&self) -> bool {
+        match &self.stats {
+            Some(s) => {
+                self.mods_since_analyze
+                    > AUTO_ANALYZE_MIN + (AUTO_ANALYZE_FRAC * s.rows as f64) as u64
+            }
+            None => false,
+        }
+    }
+}
 
 /// A registered table.
 #[derive(Debug)]
@@ -20,6 +49,8 @@ pub struct Table {
     data: OngoingRelation,
     /// Lazily built interval indexes, keyed by interval column.
     indexes: Mutex<HashMap<usize, Arc<IntervalIndex>>>,
+    /// `ANALYZE` statistics and staleness accounting.
+    stats: Mutex<StatsState>,
 }
 
 impl Table {
@@ -36,6 +67,22 @@ impl Table {
     /// The schema.
     pub fn schema(&self) -> &Schema {
         self.data.schema()
+    }
+
+    /// The collected `ANALYZE` statistics, if any.
+    pub fn statistics(&self) -> Option<Arc<TableStatistics>> {
+        self.stats.lock().stats.clone()
+    }
+
+    /// Collects (or refreshes) statistics over the stored relation and
+    /// resets the staleness counter — the `ANALYZE` primitive.
+    pub fn analyze(&self) -> Arc<TableStatistics> {
+        let stats = Arc::new(analyze_relation(&self.data));
+        *self.stats.lock() = StatsState {
+            stats: Some(Arc::clone(&stats)),
+            mods_since_analyze: 0,
+        };
+        stats
     }
 
     /// Returns (building and caching on first use) the envelope interval
@@ -70,6 +117,15 @@ impl Table {
         indexes.insert(col, Arc::clone(&built));
         Ok(built)
     }
+
+    fn with_state(name: &str, data: OngoingRelation, stats: StatsState) -> Arc<Table> {
+        Arc::new(Table {
+            name: name.to_string(),
+            data,
+            indexes: Mutex::new(HashMap::new()),
+            stats: Mutex::new(stats),
+        })
+    }
 }
 
 /// An in-memory database of ongoing relations.
@@ -92,26 +148,111 @@ impl Database {
         }
         tables.insert(
             name.to_string(),
-            Arc::new(Table {
-                name: name.to_string(),
-                data,
-                indexes: Mutex::new(HashMap::new()),
-            }),
+            Table::with_state(name, data, StatsState::default()),
         );
         Ok(())
     }
 
-    /// Replaces (or creates) a table.
+    /// Replaces (or creates) a table. Any previously collected statistics
+    /// are discarded (the new data is unknown to the subsystem).
     pub fn put_table(&self, name: &str, data: OngoingRelation) {
         let mut tables = self.tables.write();
         tables.insert(
             name.to_string(),
-            Arc::new(Table {
-                name: name.to_string(),
-                data,
-                indexes: Mutex::new(HashMap::new()),
-            }),
+            Table::with_state(name, data, StatsState::default()),
         );
+    }
+
+    /// Applies a modification to a catalog-resident table. Callers run
+    /// [`Modifier`](crate::modify::Modifier) operations (or any other
+    /// rewrite) inside the closure; the catalog swaps in the modified
+    /// snapshot, invalidates the interval indexes, and advances the
+    /// statistics staleness counter by the number of rows that changed (a
+    /// positional diff of the tuple lists, so in-place updates count every
+    /// rewritten row, not just the length delta). Once an *analyzed* table
+    /// crosses the staleness threshold (50 rows + 10 % of the analyzed row
+    /// count) its statistics are refreshed automatically; never-analyzed
+    /// tables stay that way until an explicit `ANALYZE`. Statistics
+    /// collected concurrently against the pre-modification snapshot are
+    /// superseded by the swap (they described the old data).
+    ///
+    /// The modification runs on a clone of the relation so concurrent
+    /// readers keep their immutable snapshot — O(table) per call; batch
+    /// row-level edits into one closure.
+    ///
+    /// ```
+    /// use ongoing_engine::{modify::Modifier, Database};
+    /// use ongoing_core::{date::md, OngoingInterval};
+    /// use ongoing_relation::{Expr, OngoingRelation, Schema, Value};
+    ///
+    /// let db = Database::new();
+    /// let mut bugs = OngoingRelation::new(
+    ///     Schema::builder().int("BID").interval("VT").build(),
+    /// );
+    /// bugs.insert(vec![
+    ///     Value::Int(500),
+    ///     Value::Interval(OngoingInterval::from_until_now(md(1, 25))),
+    /// ])
+    /// .unwrap();
+    /// db.create_table("B", bugs).unwrap();
+    ///
+    /// // Terminate bug 500 effective 09/01, through the catalog.
+    /// let n = db
+    ///     .modify_table("B", |rel| {
+    ///         Modifier::new(rel, "VT")?.terminate(&Expr::Col(0).eq(Expr::lit(500i64)), md(9, 1))
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(n, 1);
+    /// ```
+    pub fn modify_table<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut OngoingRelation) -> Result<T>,
+    ) -> Result<T> {
+        let mut tables = self.tables.write();
+        let table = tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        let mut data = table.data.clone();
+        let out = f(&mut data)?;
+        let (old, new) = (table.data.tuples(), data.tuples());
+        let shared = old.len().min(new.len());
+        let touched = (old.len().abs_diff(new.len())
+            + old[..shared]
+                .iter()
+                .zip(&new[..shared])
+                .filter(|(a, b)| a != b)
+                .count()) as u64;
+        let touched = touched.max(1);
+        let mut state = table.stats.lock().clone();
+        state.mods_since_analyze += touched;
+        if state.stale() {
+            state = StatsState {
+                stats: Some(Arc::new(analyze_relation(&data))),
+                mods_since_analyze: 0,
+            };
+        }
+        tables.insert(name.to_string(), Table::with_state(name, data, state));
+        Ok(out)
+    }
+
+    /// Collects statistics for one table (`ANALYZE <table>`).
+    pub fn analyze(&self, name: &str) -> Result<Arc<TableStatistics>> {
+        Ok(self.table(name)?.analyze())
+    }
+
+    /// Collects statistics for every table (bare `ANALYZE`), returning the
+    /// per-table results in name order.
+    pub fn analyze_all(&self) -> Vec<(String, Arc<TableStatistics>)> {
+        let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
+        tables
+            .into_iter()
+            .map(|t| {
+                let s = t.analyze();
+                (t.name.clone(), s)
+            })
+            .collect()
     }
 
     /// Drops a table; errors if it does not exist.
@@ -183,5 +324,33 @@ mod tests {
     fn drop_missing_fails() {
         let db = Database::new();
         assert!(db.drop_table("nope").is_err());
+    }
+
+    #[test]
+    fn analyze_attaches_statistics_and_put_table_clears_them() {
+        let db = Database::new();
+        db.create_table("t", rel()).unwrap();
+        assert!(db.table("t").unwrap().statistics().is_none());
+        let stats = db.analyze("t").unwrap();
+        assert_eq!(stats.rows, 1);
+        assert!(db.table("t").unwrap().statistics().is_some());
+        // Replacing the data discards the now-unrelated statistics.
+        db.put_table("t", rel());
+        assert!(db.table("t").unwrap().statistics().is_none());
+    }
+
+    #[test]
+    fn modify_table_applies_and_counts() {
+        let db = Database::new();
+        db.create_table("t", rel()).unwrap();
+        let n = db
+            .modify_table("t", |r| {
+                r.insert(vec![Value::Int(2)]).unwrap();
+                Ok(r.len())
+            })
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.table("t").unwrap().data().len(), 2);
+        assert!(db.modify_table("nope", |_| Ok(())).is_err());
     }
 }

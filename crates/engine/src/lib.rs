@@ -12,6 +12,10 @@
 //! * physical executors running in two modes — **ongoing** (results remain
 //!   valid as time passes by) and **instantiated at `rt`** (the Clifford
 //!   baseline),
+//! * a [`stats`] subsystem — `ANALYZE`-collected per-table statistics
+//!   (distinct counts, interval histograms, overlap density) feeding a
+//!   work-unit cost model that drives the optimizer's join-strategy and
+//!   index-scan choices,
 //! * the state-of-the-art [`baseline`]s the evaluation compares against,
 //! * [`matview`] materialized ongoing views with cheap instantiation, and
 //! * the [`queries`] of the paper's evaluation section.
@@ -59,12 +63,14 @@ pub mod modify;
 pub mod plan;
 pub mod queries;
 pub mod sql;
+pub mod stats;
 pub mod storage;
 
 pub use catalog::{Database, Table};
 pub use error::{EngineError, Result};
 pub use exec::{ExecContext, ExecStats, THREADS_ENV};
 pub use plan::{JoinStrategy, LogicalPlan, PhysicalPlan, PlannerConfig, QueryBuilder};
+pub use stats::TableStatistics;
 
 use ongoing_core::TimePoint;
 use ongoing_relation::{FixedRelation, OngoingRelation};

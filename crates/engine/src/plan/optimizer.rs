@@ -12,28 +12,44 @@
 //! [`rewrite`] performs the logical rewrites; [`compile`] picks physical
 //! operators under a [`PlannerConfig`]. Every knob exists so the ablation
 //! benches can measure the value of each technique.
+//!
+//! # Cost-based strategy choice
+//!
+//! Under [`JoinStrategy::Auto`], joins over **analyzed** inputs (every base
+//! table below both sides has `ANALYZE` statistics) are planned by
+//! enumeration: the optimizer estimates the work units of each applicable
+//! candidate — hash join on the fixed equality keys, envelope sweep join on
+//! a sweep-sound temporal conjunct, nested loops — with the
+//! [cost model](crate::stats::cost) and picks the cheapest. Without
+//! statistics it falls back to the classic fixed priority
+//! (hash > sweep > nested loops). Likewise, an
+//! [index scan](PhysicalPlan::IndexScan) opportunity is taken
+//! unconditionally without statistics, but cost-gated against the
+//! sequential scan + filter alternative once the table is analyzed.
 
 use crate::catalog::Database;
 use crate::error::Result;
 use crate::exec::ExecContext;
 use crate::plan::logical::LogicalPlan;
 use crate::plan::physical::{indexable_selection, sweepable_columns, PhysicalPlan};
+use crate::stats::cost;
 use ongoing_relation::{Expr, Schema, ValueType};
 
 /// Join algorithm selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JoinStrategy {
-    /// Hash join when fixed equality keys exist, else envelope sweep join
-    /// when a sweepable temporal conjunct exists, else nested loops.
+    /// Cost-based choice from collected statistics (see the
+    /// [module docs](self)); classic heuristic priority (hash, then sweep,
+    /// then nested loops) when the inputs are not analyzed.
     #[default]
     Auto,
     /// Always nested loops (the ablation baseline).
     NestedLoop,
-    /// Prefer the envelope sweep join whenever possible (the paper's
-    /// optimizer picks a merge join for the ongoing approach in the
-    /// Fig. 11 complex-join experiment).
+    /// Force the envelope sweep join whenever a sweep-sound temporal
+    /// conjunct exists (explicit override; nested loops otherwise).
     Sweep,
-    /// Prefer hash joins; fall back to nested loops.
+    /// Force hash joins on fixed equality keys (explicit override; nested
+    /// loops otherwise).
     Hash,
 }
 
@@ -272,15 +288,37 @@ fn compile_node(db: &Database, plan: LogicalPlan, cfg: &PlannerConfig) -> Result
                         .find_map(indexable_selection);
                     if let Some((col, range)) = hit {
                         let (fixed, ongoing) =
-                            split_pred(Some(pred), &schema, cfg.split_predicates);
-                        return Ok(PhysicalPlan::IndexScan {
+                            split_pred(Some(pred.clone()), &schema, cfg.split_predicates);
+                        let index_plan = PhysicalPlan::IndexScan {
                             table: db.table(table)?,
                             schema: scan_schema.clone(),
                             col,
                             range,
                             fixed,
                             ongoing,
-                        });
+                        };
+                        let idx_est = cost::estimate(&index_plan);
+                        if !idx_est.analyzed {
+                            // No statistics: take the index unconditionally
+                            // (the pre-statistics behaviour).
+                            return Ok(index_plan);
+                        }
+                        // Cost gate: a non-selective envelope query can
+                        // visit more candidates than a plain scan filters.
+                        let (fixed, ongoing) =
+                            split_pred(Some(pred), &schema, cfg.split_predicates);
+                        let seq_plan = PhysicalPlan::Filter {
+                            input: Box::new(PhysicalPlan::SeqScan {
+                                table: db.table(table)?,
+                                schema: scan_schema.clone(),
+                            }),
+                            fixed,
+                            ongoing,
+                        };
+                        if idx_est.work.total() <= cost::estimate(&seq_plan).work.total() {
+                            return Ok(index_plan);
+                        }
+                        return Ok(seq_plan);
                     }
                 }
             }
@@ -338,6 +376,14 @@ fn compile_node(db: &Database, plan: LogicalPlan, cfg: &PlannerConfig) -> Result
     }
 }
 
+/// The physical join operators the optimizer enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinChoice {
+    Hash,
+    Sweep,
+    Nested,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn compile_join(
     db: &Database,
@@ -353,68 +399,146 @@ fn compile_join(
 
     let fixed_type =
         |i: usize| -> bool { schema.attr(i).map(|a| !a.ty.is_ongoing()).unwrap_or(false) };
+    let interval_type = |i: usize| -> bool {
+        schema
+            .attr(i)
+            .map(|a| matches!(a.ty, ValueType::OngoingInterval | ValueType::Span))
+            .unwrap_or(false)
+    };
 
-    // Hash keys: fixed-attribute equality conjuncts across the split.
-    let want_hash = matches!(cfg.join_strategy, JoinStrategy::Auto | JoinStrategy::Hash);
+    // Candidate features, computed regardless of the strategy knob:
+    // hash keys (fixed-attribute equality conjuncts across the split, the
+    // rest as residual) and a sweep-sound temporal conjunct over two
+    // interval columns.
     let mut keys = Vec::new();
-    let mut residual = Vec::new();
-    if want_hash {
-        for c in &conjuncts {
-            match c.as_equi_key(split_at) {
-                Some((i, j)) if fixed_type(i) && fixed_type(split_at + j) => {
-                    keys.push((i, j));
-                }
-                _ => residual.push(c.clone()),
-            }
+    let mut hash_residual = Vec::new();
+    for c in &conjuncts {
+        match c.as_equi_key(split_at) {
+            Some((i, j)) if fixed_type(i) && fixed_type(split_at + j) => keys.push((i, j)),
+            _ => hash_residual.push(c.clone()),
         }
-    } else {
-        residual = conjuncts.clone();
     }
+    let sweep = conjuncts
+        .iter()
+        .find_map(|c| sweepable_columns(c, split_at))
+        .filter(|&(i, j)| interval_type(i) && interval_type(split_at + j));
 
-    if want_hash && !keys.is_empty() {
-        let (fixed, ongoing) = split_pred(and_all(residual), schema, cfg.split_predicates);
-        return Ok(PhysicalPlan::HashJoin {
-            left: Box::new(l),
-            right: Box::new(r),
-            keys,
-            fixed,
-            ongoing,
-        });
-    }
+    let choice = match cfg.join_strategy {
+        JoinStrategy::NestedLoop => JoinChoice::Nested,
+        JoinStrategy::Hash if !keys.is_empty() => JoinChoice::Hash,
+        JoinStrategy::Hash => JoinChoice::Nested,
+        JoinStrategy::Sweep if sweep.is_some() => JoinChoice::Sweep,
+        JoinStrategy::Sweep => JoinChoice::Nested,
+        JoinStrategy::Auto => choose_join(
+            &l,
+            &r,
+            &keys,
+            sweep,
+            &conjuncts,
+            &hash_residual,
+            schema,
+            cfg.split_predicates,
+        ),
+    };
 
-    // Sweep join: a sweep-sound temporal conjunct over two interval columns.
-    let want_sweep = matches!(cfg.join_strategy, JoinStrategy::Auto | JoinStrategy::Sweep);
-    if want_sweep {
-        let interval_type = |i: usize| -> bool {
-            schema
-                .attr(i)
-                .map(|a| matches!(a.ty, ValueType::OngoingInterval | ValueType::Span))
-                .unwrap_or(false)
-        };
-        let sweep = conjuncts
-            .iter()
-            .find_map(|c| sweepable_columns(c, split_at))
-            .filter(|&(i, j)| interval_type(i) && interval_type(split_at + j));
-        if let Some((l_col, r_col)) = sweep {
+    match choice {
+        JoinChoice::Hash => {
+            let (fixed, ongoing) = split_pred(and_all(hash_residual), schema, cfg.split_predicates);
+            Ok(PhysicalPlan::HashJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                keys,
+                fixed,
+                ongoing,
+            })
+        }
+        JoinChoice::Sweep => {
+            let (l_col, r_col) = sweep.expect("sweep choice implies a sweepable conjunct");
             // The envelope pass is a pre-filter; the complete predicate
             // stays as residual.
             let (fixed, ongoing) = split_pred(and_all(conjuncts), schema, cfg.split_predicates);
-            return Ok(PhysicalPlan::SweepJoin {
+            Ok(PhysicalPlan::SweepJoin {
                 left: Box::new(l),
                 right: Box::new(r),
                 l_col,
                 r_col,
                 fixed,
                 ongoing,
-            });
+            })
+        }
+        JoinChoice::Nested => {
+            let (fixed, ongoing) = split_pred(and_all(conjuncts), schema, cfg.split_predicates);
+            Ok(PhysicalPlan::NestedLoopJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                fixed,
+                ongoing,
+            })
         }
     }
+}
 
-    let (fixed, ongoing) = split_pred(and_all(conjuncts), schema, cfg.split_predicates);
-    Ok(PhysicalPlan::NestedLoopJoin {
-        left: Box::new(l),
-        right: Box::new(r),
-        fixed,
-        ongoing,
-    })
+/// `Auto` strategy choice: cost-based enumeration over analyzed inputs,
+/// classic heuristic priority otherwise.
+#[allow(clippy::too_many_arguments)]
+fn choose_join(
+    l: &PhysicalPlan,
+    r: &PhysicalPlan,
+    keys: &[(usize, usize)],
+    sweep: Option<(usize, usize)>,
+    conjuncts: &[Expr],
+    hash_residual: &[Expr],
+    schema: &Schema,
+    split_predicates: bool,
+) -> JoinChoice {
+    if keys.is_empty() && sweep.is_none() {
+        return JoinChoice::Nested;
+    }
+    let le = cost::estimate(l);
+    let re = cost::estimate(r);
+    if !(le.analyzed && re.analyzed) {
+        // Without statistics the estimates are defaults; keep the
+        // pre-statistics priority so un-analyzed databases plan exactly as
+        // before.
+        return if keys.is_empty() {
+            JoinChoice::Sweep
+        } else {
+            JoinChoice::Hash
+        };
+    }
+    let cols = cost::product_cols(&le, &re);
+    let (nl_fixed, nl_ongoing) = split_pred(and_all(conjuncts.to_vec()), schema, split_predicates);
+    let nl = cost::nested_loop_work(&le, &re, nl_fixed.as_ref(), nl_ongoing.as_ref(), &cols)
+        .1
+        .total();
+    let mut best = (JoinChoice::Nested, nl);
+    if let Some((l_col, r_col)) = sweep {
+        let w = cost::sweep_join_work(
+            &le,
+            &re,
+            l_col,
+            r_col,
+            nl_fixed.as_ref(),
+            nl_ongoing.as_ref(),
+            &cols,
+        )
+        .1
+        .total();
+        if w < best.1 {
+            best = (JoinChoice::Sweep, w);
+        }
+    }
+    if !keys.is_empty() {
+        let (h_fixed, h_ongoing) =
+            split_pred(and_all(hash_residual.to_vec()), schema, split_predicates);
+        let w = cost::hash_join_work(&le, &re, keys, h_fixed.as_ref(), h_ongoing.as_ref(), &cols)
+            .1
+            .total();
+        // Ties go to the hash join: its un-counted constants (building the
+        // table) are cheaper than the sweep's envelope sort.
+        if w <= best.1 {
+            best = (JoinChoice::Hash, w);
+        }
+    }
+    best.0
 }

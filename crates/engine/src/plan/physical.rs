@@ -189,18 +189,72 @@ impl PhysicalPlan {
     /// EXPLAIN-style rendering (one operator per line).
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(0, &mut out);
+        self.explain_into(0, None, &mut out);
         out
     }
 
-    /// EXPLAIN rendering followed by a work-unit accounting line — the
-    /// `EXPLAIN ANALYZE` analogue for a finished execution.
-    pub fn explain_with_stats(&self, stats: &ExecStats) -> String {
-        format!("{}stats: {stats}\n", self.explain())
+    /// EXPLAIN rendering with the cost model's per-operator estimates
+    /// (`est rows≈…  self work≈…`) attached — the `EXPLAIN` analogue
+    /// before execution. Estimates come from the catalog statistics of the
+    /// scanned tables (defaults when un-analyzed).
+    pub fn explain_with_estimates(&self) -> String {
+        let est = crate::stats::cost::estimate(self);
+        let mut out = String::new();
+        self.explain_into(0, Some(&est), &mut out);
+        out
     }
 
-    fn explain_into(&self, depth: usize, out: &mut String) {
+    /// EXPLAIN rendering followed by work-unit accounting — the
+    /// `EXPLAIN ANALYZE` analogue for a finished execution. Each operator
+    /// line carries its *estimated* rows and work; the trailing lines put
+    /// the measured [`ExecStats`] next to the estimated totals so estimate
+    /// quality is visible at a glance.
+    pub fn explain_with_stats(&self, stats: &ExecStats) -> String {
+        let est = crate::stats::cost::estimate(self);
+        let mut out = String::new();
+        self.explain_into(0, Some(&est), &mut out);
+        format!("{out}stats: {stats}\nest:   {}\n", est.work)
+    }
+
+    fn explain_into(
+        &self,
+        depth: usize,
+        est: Option<&crate::stats::cost::NodeEstimate>,
+        out: &mut String,
+    ) {
         let pad = "  ".repeat(depth);
+        let annot = est
+            .map(|e| {
+                format!(
+                    "  (est rows≈{:.0} self work≈{:.0})",
+                    e.rows,
+                    e.self_work.total()
+                )
+            })
+            .unwrap_or_default();
+        out.push_str(&format!("{pad}{}{annot}\n", self.node_line()));
+        for (i, child) in self.inputs().into_iter().enumerate() {
+            child.explain_into(depth + 1, est.and_then(|e| e.children.get(i)), out);
+        }
+    }
+
+    /// The operator's children in `explain` order.
+    fn inputs(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => Vec::new(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Aggregate { input, .. } => vec![input],
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::SweepJoin { left, right, .. }
+            | PhysicalPlan::Union { left, right }
+            | PhysicalPlan::Difference { left, right } => vec![left, right],
+        }
+    }
+
+    /// One-line rendering of this operator (no indentation, no children).
+    fn node_line(&self) -> String {
         let preds = |fixed: &Option<Expr>, ongoing: &Option<Expr>| {
             let mut s = String::new();
             if let Some(f) = fixed {
@@ -212,9 +266,7 @@ impl PhysicalPlan {
             s
         };
         match self {
-            PhysicalPlan::SeqScan { table, .. } => {
-                out.push_str(&format!("{pad}SeqScan {}\n", table.name()));
-            }
+            PhysicalPlan::SeqScan { table, .. } => format!("SeqScan {}", table.name()),
             PhysicalPlan::IndexScan {
                 table,
                 col,
@@ -222,88 +274,41 @@ impl PhysicalPlan {
                 fixed,
                 ongoing,
                 ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}IndexScan {} col #{col} env [{}, {}){}\n",
-                    table.name(),
-                    range.0,
-                    range.1,
-                    preds(fixed, ongoing)
-                ));
+            } => format!(
+                "IndexScan {} col #{col} env [{}, {}){}",
+                table.name(),
+                range.0,
+                range.1,
+                preds(fixed, ongoing)
+            ),
+            PhysicalPlan::Filter { fixed, ongoing, .. } => {
+                format!("Filter{}", preds(fixed, ongoing))
             }
-            PhysicalPlan::Filter {
-                input,
-                fixed,
-                ongoing,
-            } => {
-                out.push_str(&format!("{pad}Filter{}\n", preds(fixed, ongoing)));
-                input.explain_into(depth + 1, out);
-            }
-            PhysicalPlan::Project { input, items, .. } => {
-                out.push_str(&format!("{pad}Project [{} cols]\n", items.len()));
-                input.explain_into(depth + 1, out);
-            }
-            PhysicalPlan::NestedLoopJoin {
-                left,
-                right,
-                fixed,
-                ongoing,
-            } => {
-                out.push_str(&format!("{pad}NestedLoopJoin{}\n", preds(fixed, ongoing)));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
+            PhysicalPlan::Project { items, .. } => format!("Project [{} cols]", items.len()),
+            PhysicalPlan::NestedLoopJoin { fixed, ongoing, .. } => {
+                format!("NestedLoopJoin{}", preds(fixed, ongoing))
             }
             PhysicalPlan::HashJoin {
-                left,
-                right,
                 keys,
                 fixed,
                 ongoing,
-            } => {
-                out.push_str(&format!(
-                    "{pad}HashJoin on {keys:?}{}\n",
-                    preds(fixed, ongoing)
-                ));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
+                ..
+            } => format!("HashJoin on {keys:?}{}", preds(fixed, ongoing)),
             PhysicalPlan::SweepJoin {
-                left,
-                right,
                 l_col,
                 r_col,
                 fixed,
                 ongoing,
-            } => {
-                out.push_str(&format!(
-                    "{pad}SweepJoin envelopes #{l_col} x #{r_col}{}\n",
-                    preds(fixed, ongoing)
-                ));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            PhysicalPlan::Union { left, right } => {
-                out.push_str(&format!("{pad}Union\n"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            PhysicalPlan::Difference { left, right } => {
-                out.push_str(&format!("{pad}Difference\n"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            PhysicalPlan::Aggregate {
-                input,
-                group_cols,
-                aggs,
                 ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}Aggregate group by {group_cols:?} [{} aggs]\n",
-                    aggs.len()
-                ));
-                input.explain_into(depth + 1, out);
-            }
+            } => format!(
+                "SweepJoin envelopes #{l_col} x #{r_col}{}",
+                preds(fixed, ongoing)
+            ),
+            PhysicalPlan::Union { .. } => "Union".to_string(),
+            PhysicalPlan::Difference { .. } => "Difference".to_string(),
+            PhysicalPlan::Aggregate {
+                group_cols, aggs, ..
+            } => format!("Aggregate group by {group_cols:?} [{} aggs]", aggs.len()),
         }
     }
 

@@ -76,3 +76,13 @@ pub enum Query {
     /// `EXCEPT` (difference) of two queries.
     Except(Box<Query>, Box<Query>),
 }
+
+/// A top-level OngoingQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query.
+    Query(Query),
+    /// `ANALYZE [table]`: collect optimizer statistics for one table, or
+    /// for every table when the name is omitted.
+    Analyze(Option<String>),
+}

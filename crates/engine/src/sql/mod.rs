@@ -18,6 +18,9 @@
 //! predicates are infix keywords (`BEFORE`, `MEETS`, `OVERLAPS`, `STARTS`,
 //! `FINISHES`, `DURING`, `EQUALS`); `INTERSECTION(a, b)`, `START(iv)` and
 //! `END(iv)` are scalar functions.
+//!
+//! Beyond queries, [`run_statement`] also accepts `ANALYZE [table]`, which
+//! collects the optimizer statistics of the [`crate::stats`] subsystem.
 
 pub mod ast;
 pub mod parser;
@@ -26,9 +29,11 @@ pub mod token;
 use crate::catalog::Database;
 use crate::error::{EngineError, Result};
 use crate::plan::{LogicalPlan, QueryBuilder};
-use ast::{AstExpr, Query, SelectStmt};
+use crate::stats::TableStatistics;
+use ast::{AstExpr, Query, SelectStmt, Statement};
 use ongoing_relation::algebra::ProjItem;
 use ongoing_relation::{Expr, Schema};
+use std::sync::Arc;
 
 /// Parses and plans an OngoingQL query against a database.
 ///
@@ -43,6 +48,33 @@ pub fn plan_query(db: &Database, sql: &str) -> Result<LogicalPlan> {
 pub fn query(db: &Database, sql: &str) -> Result<ongoing_relation::OngoingRelation> {
     let plan = plan_query(db, sql)?;
     crate::execute(db, &plan)
+}
+
+/// The outcome of executing a top-level statement.
+#[derive(Debug)]
+pub enum StatementResult {
+    /// The rows of a query.
+    Rows(ongoing_relation::OngoingRelation),
+    /// The tables analyzed by an `ANALYZE` statement, with their collected
+    /// statistics, in name order.
+    Analyzed(Vec<(String, Arc<TableStatistics>)>),
+}
+
+/// Parses and executes a top-level statement: queries run in ongoing mode,
+/// `ANALYZE [table]` collects optimizer statistics through the catalog.
+pub fn run_statement(db: &Database, sql: &str) -> Result<StatementResult> {
+    let stmt = parser::parse_statement(sql).map_err(|e| EngineError::Plan(e.to_string()))?;
+    match stmt {
+        Statement::Query(q) => {
+            let plan = plan(db, &q)?;
+            Ok(StatementResult::Rows(crate::execute(db, &plan)?))
+        }
+        Statement::Analyze(Some(table)) => {
+            let stats = db.analyze(&table)?;
+            Ok(StatementResult::Analyzed(vec![(table, stats)]))
+        }
+        Statement::Analyze(None) => Ok(StatementResult::Analyzed(db.analyze_all())),
+    }
 }
 
 fn plan(db: &Database, q: &Query) -> Result<LogicalPlan> {
@@ -305,6 +337,38 @@ mod tests {
         assert!(e.to_string().contains("nope"), "{e}");
         let e = plan_query(&db, "SELECT * FROM B WHERE").unwrap_err();
         assert!(e.to_string().contains("parse error"), "{e}");
+    }
+
+    #[test]
+    fn analyze_statement_collects_statistics() {
+        let db = fig1_db();
+        assert!(db.table("B").unwrap().statistics().is_none());
+        // Targeted ANALYZE touches only the named table.
+        match run_statement(&db, "ANALYZE B").unwrap() {
+            StatementResult::Analyzed(v) => {
+                assert_eq!(v.len(), 1);
+                assert_eq!(v[0].0, "B");
+                assert_eq!(v[0].1.rows, 2);
+            }
+            other => panic!("expected Analyzed, got {other:?}"),
+        }
+        assert!(db.table("B").unwrap().statistics().is_some());
+        assert!(db.table("P").unwrap().statistics().is_none());
+        // Bare ANALYZE covers every table.
+        match run_statement(&db, "ANALYZE").unwrap() {
+            StatementResult::Analyzed(v) => {
+                let names: Vec<&str> = v.iter().map(|(n, _)| n.as_str()).collect();
+                assert_eq!(names, ["B", "L", "P"]);
+            }
+            other => panic!("expected Analyzed, got {other:?}"),
+        }
+        assert!(db.table("P").unwrap().statistics().is_some());
+        // Unknown tables error; queries still run through the same entry.
+        assert!(run_statement(&db, "ANALYZE nope").is_err());
+        match run_statement(&db, "SELECT BID FROM B").unwrap() {
+            StatementResult::Rows(r) => assert_eq!(r.len(), 2),
+            other => panic!("expected Rows, got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! `PERIOD(a, b)` builds an ongoing interval literal from two constant time
 //! points (dates or `NOW`); temporal keywords are the Table II predicates.
 
-use crate::sql::ast::{AstExpr, Query, SelectItem, SelectStmt, TableRef};
+use crate::sql::ast::{AstExpr, Query, SelectItem, SelectStmt, Statement, TableRef};
 use crate::sql::token::{lex, Token, TokenKind};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_core::date::days_from_civil;
@@ -62,6 +62,28 @@ pub fn parse(input: &str) -> PResult<Query> {
     let q = p.query()?;
     p.expect_eof()?;
     Ok(q)
+}
+
+/// Parses a top-level OngoingQL statement: a query, or
+/// `ANALYZE [table]`.
+pub fn parse_statement(input: &str) -> PResult<Statement> {
+    let tokens = lex(input).map_err(|e| ParseError {
+        message: e.message,
+        at: e.at,
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    if p.eat_kw("ANALYZE") {
+        let table = if matches!(p.peek().kind, TokenKind::Eof) {
+            None
+        } else {
+            Some(p.ident()?)
+        };
+        p.expect_eof()?;
+        return Ok(Statement::Analyze(table));
+    }
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(Statement::Query(q))
 }
 
 impl Parser {
@@ -424,6 +446,24 @@ fn is_reserved(w: &str) -> bool {
 mod tests {
     use super::*;
     use ongoing_core::date::date;
+
+    #[test]
+    fn parses_analyze_statements() {
+        assert_eq!(
+            parse_statement("ANALYZE").unwrap(),
+            Statement::Analyze(None)
+        );
+        assert_eq!(
+            parse_statement("analyze BugInfo").unwrap(),
+            Statement::Analyze(Some("BugInfo".to_string()))
+        );
+        assert!(matches!(
+            parse_statement("SELECT * FROM t").unwrap(),
+            Statement::Query(_)
+        ));
+        // Trailing garbage after the table name is rejected.
+        assert!(parse_statement("ANALYZE a b").is_err());
+    }
 
     #[test]
     fn parses_the_running_example_query() {
