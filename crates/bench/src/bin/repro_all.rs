@@ -19,6 +19,7 @@ const BINS: &[&str] = &[
     "repro_fig13",
     "repro_table5",
     "repro_costmodel",
+    "repro_churn",
 ];
 
 fn main() {

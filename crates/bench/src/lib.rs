@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod naive;
 pub mod shapes;
 
 use ongoing_core::TimePoint;
@@ -183,6 +184,26 @@ pub fn row(cells: &[String], widths: &[usize]) {
         line.push_str(&format!("{c:<w$}  ", w = w));
     }
     println!("{}", line.trim_end());
+}
+
+/// The storage layer's O(delta)-vs-O(table) write contract, shared by
+/// `benches/storage.rs` and `repro_churn` so the thresholds cannot drift:
+/// across a 10x table-size step, a fixed-size edit's deterministic write
+/// units must stay flat (<= 1.1x) while the pre-refactor clone path (one
+/// unit per tuple snapshotted) must grow with the table (>= 8x).
+/// `cow` and `clone_path` hold the measured units at the small and large
+/// size, in order. Panics on violation.
+pub fn assert_odelta_contract(cow: &[u64; 2], clone_path: &[u64; 2]) {
+    let flat = cow[1] as f64 / cow[0] as f64;
+    assert!(
+        flat <= 1.1,
+        "fixed-size edit must stay flat across a 10x table-size step (got {flat:.2}x: {cow:?})"
+    );
+    let growth = clone_path[1] as f64 / clone_path[0] as f64;
+    assert!(
+        growth >= 8.0,
+        "the clone path must grow with the table (got {growth:.2}x: {clone_path:?})"
+    );
 }
 
 /// Prints a header row plus separator.

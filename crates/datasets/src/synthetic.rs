@@ -132,7 +132,7 @@ pub fn generate(cfg: &SyntheticConfig) -> OngoingRelation {
 /// intervals").
 pub fn defuse(rel: &OngoingRelation, vt_col: usize, fixed_end: TimePoint) -> OngoingRelation {
     let mut out = OngoingRelation::new(rel.schema().clone());
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let mut values = t.values().to_vec();
         if let Value::Interval(iv) = &values[vt_col] {
             if iv.is_ongoing() {
@@ -196,7 +196,7 @@ pub fn stats(rel: &OngoingRelation, vt_col: usize) -> DatasetStats {
         first_start: None,
         last_end: None,
     };
-    for t in rel.tuples() {
+    for t in rel.iter() {
         if let Some(iv) = t.value(vt_col).as_interval() {
             if iv.is_ongoing() {
                 s.ongoing += 1;
@@ -227,7 +227,7 @@ pub fn cumulative_ongoing_anchors(
 ) -> Vec<(TimePoint, usize)> {
     let mut counts = vec![0usize; buckets];
     let len = history.days();
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let Some(iv) = t.value(vt_col).as_interval() else {
             continue;
         };

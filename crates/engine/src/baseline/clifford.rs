@@ -35,7 +35,7 @@ pub fn latest_time_point(rel: &OngoingRelation) -> Option<TimePoint> {
             latest = Some(latest.map_or(t, |l| l.max_f(t)));
         }
     };
-    for t in rel.tuples() {
+    for t in rel.iter() {
         for v in t.values() {
             match v {
                 Value::Time(x) => bump(*x),

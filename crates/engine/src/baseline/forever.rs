@@ -30,7 +30,7 @@ pub fn rewrite_point(p: OngoingPoint) -> OngoingPoint {
 /// evaluator can process it — incorrectly.
 pub fn rewrite_relation(rel: &OngoingRelation) -> OngoingRelation {
     let mut out = OngoingRelation::new(rel.schema().clone());
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let values: Vec<Value> = t
             .values()
             .iter()

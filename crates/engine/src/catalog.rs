@@ -109,7 +109,6 @@ impl Table {
         }
         let entries = self
             .data
-            .tuples()
             .iter()
             .enumerate()
             .filter_map(|(i, t)| t.value(col).as_interval().map(|iv| (iv, i)));
@@ -118,7 +117,10 @@ impl Table {
         Ok(built)
     }
 
-    fn with_state(name: &str, data: OngoingRelation, stats: StatsState) -> Arc<Table> {
+    /// Publishes a relation version as a table: the pending insert tail is
+    /// sealed so readers' forks are pure reference bumps.
+    fn with_state(name: &str, mut data: OngoingRelation, stats: StatsState) -> Arc<Table> {
+        data.seal_pending();
         Arc::new(Table {
             name: name.to_string(),
             data,
@@ -126,6 +128,24 @@ impl Table {
             stats: Mutex::new(stats),
         })
     }
+}
+
+/// Positional tuple diff between two relation versions — the staleness
+/// fallback when a `modify_table` closure replaced the relation wholesale
+/// instead of editing the fork (in-place rewrites count every rewritten
+/// row, not just the length delta).
+fn positional_diff(old: &OngoingRelation, new: &OngoingRelation) -> u64 {
+    let mut a = old.iter();
+    let mut b = new.iter();
+    let mut changed = 0u64;
+    loop {
+        match (a.next(), b.next()) {
+            (None, None) => break,
+            (Some(x), Some(y)) => changed += u64::from(x != y),
+            _ => changed += 1,
+        }
+    }
+    changed
 }
 
 /// An in-memory database of ongoing relations.
@@ -166,19 +186,30 @@ impl Database {
     /// Applies a modification to a catalog-resident table. Callers run
     /// [`Modifier`](crate::modify::Modifier) operations (or any other
     /// rewrite) inside the closure; the catalog swaps in the modified
-    /// snapshot, invalidates the interval indexes, and advances the
-    /// statistics staleness counter by the number of rows that changed (a
-    /// positional diff of the tuple lists, so in-place updates count every
-    /// rewritten row, not just the length delta). Once an *analyzed* table
-    /// crosses the staleness threshold (50 rows + 10 % of the analyzed row
-    /// count) its statistics are refreshed automatically; never-analyzed
-    /// tables stay that way until an explicit `ANALYZE`. Statistics
-    /// collected concurrently against the pre-modification snapshot are
-    /// superseded by the swap (they described the old data).
+    /// version, invalidates the interval indexes, and advances the
+    /// statistics staleness counter by the *logical row-write delta* the
+    /// closure produced — exact, straight from the copy-on-write store, so
+    /// a one-row edit counts one row no matter where in the table it sits
+    /// (and no matter how much copy-on-write bookkeeping it triggered).
+    /// Once an *analyzed* table crosses the staleness threshold (50 rows +
+    /// 10 % of the analyzed row count) its statistics are refreshed
+    /// automatically; never-analyzed tables stay that way until an
+    /// explicit `ANALYZE`. Statistics collected concurrently against the
+    /// pre-modification snapshot are superseded by the swap (they
+    /// described the old data).
     ///
-    /// The modification runs on a clone of the relation so concurrent
-    /// readers keep their immutable snapshot — O(table) per call; batch
-    /// row-level edits into one closure.
+    /// **Locking**: the heavy work — the closure, any statistics refresh,
+    /// any compaction — runs entirely *off-lock* against a pinned fork of
+    /// the current version; readers are never blocked by a writer. The
+    /// write lock is taken only for a final pointer-equality
+    /// compare-and-swap. If another writer replaced the table in between,
+    /// nothing is applied and
+    /// [`EngineError::ConcurrentModification`] is returned (retry against
+    /// the new version). The fork shares all untouched chunks with the
+    /// published version, so a modification costs O(rows touched), not
+    /// O(table); when the accumulated delta outgrows the storage policy
+    /// ([`ongoing_relation::store`]) the new version is compacted before
+    /// publication.
     ///
     /// ```
     /// use ongoing_engine::{modify::Modifier, Database};
@@ -209,32 +240,53 @@ impl Database {
         name: &str,
         f: impl FnOnce(&mut OngoingRelation) -> Result<T>,
     ) -> Result<T> {
-        let mut tables = self.tables.write();
-        let table = tables
-            .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        // Pin the current version (short read lock) and fork it: the fork
+        // shares every sealed chunk, so this is O(#chunks), not O(rows).
+        let table = self.table(name)?;
         let mut data = table.data.clone();
+        let base_writes = data.logical_writes();
+        // The user closure runs off-lock against the private fork.
         let out = f(&mut data)?;
-        let (old, new) = (table.data.tuples(), data.tuples());
-        let shared = old.len().min(new.len());
-        let touched = (old.len().abs_diff(new.len())
-            + old[..shared]
-                .iter()
-                .zip(&new[..shared])
-                .filter(|(a, b)| a != b)
-                .count()) as u64;
-        let touched = touched.max(1);
+        // Touched rows, exactly: the logical rows the closure wrote on
+        // the fork (inserts, replacements, tombstones — not physical
+        // bookkeeping like overlay copy-on-write). A closure that
+        // *replaced* the relation wholesale (`*rel = built`) severs the
+        // storage lineage (O(1) first-chunk probe) and resets the
+        // counter; it already paid O(table) to rebuild, so falling back
+        // to a positional diff stays within its own cost. The probe can
+        // be fooled by swapping in an *older* pinned version (it shares
+        // the first chunk but its counter ran backwards), so a counter
+        // regression also falls back to the diff.
+        let touched = if data.derives_from(&table.data) && data.logical_writes() >= base_writes {
+            (data.logical_writes() - base_writes).max(1)
+        } else {
+            positional_diff(&table.data, &data).max(1)
+        };
         let mut state = table.stats.lock().clone();
         state.mods_since_analyze += touched;
         if state.stale() {
+            // Statistics refresh also runs off-lock, on the fork.
             state = StatsState {
                 stats: Some(Arc::new(analyze_relation(&data))),
                 mods_since_analyze: 0,
             };
         }
-        tables.insert(name.to_string(), Table::with_state(name, data, state));
-        Ok(out)
+        if data.should_compact() {
+            // Fold the accumulated delta before publication (off-lock;
+            // amortized O(1) per written row under the storage policy).
+            data.compact();
+        }
+        let new_table = Table::with_state(name, data, state);
+        // Publication: short write lock, pointer-equality compare-and-swap.
+        let mut tables = self.tables.write();
+        match tables.get(name) {
+            Some(current) if Arc::ptr_eq(current, &table) => {
+                tables.insert(name.to_string(), new_table);
+                Ok(out)
+            }
+            Some(_) => Err(EngineError::ConcurrentModification(name.to_string())),
+            None => Err(EngineError::UnknownTable(name.to_string())),
+        }
     }
 
     /// Collects statistics for one table (`ANALYZE <table>`).

@@ -14,6 +14,10 @@ pub enum EngineError {
     Schema(SchemaError),
     /// Expression evaluation failure.
     Eval(EvalError),
+    /// A `modify_table` snapshot was superseded by a concurrent writer
+    /// before its compare-and-swap: the modification was *not* applied and
+    /// can be retried against the new current version.
+    ConcurrentModification(String),
     /// Planner rejected the query.
     Plan(String),
     /// Storage-layer failure (encode/decode, page overflow).
@@ -27,6 +31,9 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
             EngineError::DuplicateTable(n) => write!(f, "table `{n}` already exists"),
+            EngineError::ConcurrentModification(n) => {
+                write!(f, "table `{n}` was modified concurrently; retry")
+            }
             EngineError::Schema(e) => write!(f, "{e}"),
             EngineError::Eval(e) => write!(f, "{e}"),
             EngineError::Plan(m) => write!(f, "plan error: {m}"),

@@ -22,10 +22,15 @@
 //! (modifications address tuples by key); predicates over ongoing
 //! attributes would make *which tuple is modified* depend on the reference
 //! time, which the paper leaves to query processing.
+//!
+//! All operations write through the relation's copy-on-write store
+//! ([`OngoingRelation::edit_tuples`]): the qualification scan reads every
+//! row, but the *write* cost — and therefore the physical delta a new
+//! version carries — is O(rows modified), not O(table).
 
 use crate::error::{EngineError, Result};
 use ongoing_core::{ops, OngoingInterval, OngoingPoint, TimePoint};
-use ongoing_relation::{Expr, OngoingRelation, Tuple, Value};
+use ongoing_relation::{Expr, OngoingRelation, RowEdit, Tuple, Value};
 
 /// Edits an ongoing relation's valid-time attribute with now-relative
 /// semantics.
@@ -82,11 +87,9 @@ impl<'a> Modifier<'a> {
         let vt_col = self.vt_col;
         let cap = OngoingPoint::fixed(at);
         let mut modified = 0usize;
-        let mut out = OngoingRelation::new(self.rel.schema().clone());
-        for t in self.rel.tuples() {
+        self.rel.edit_tuples(|t| -> Result<RowEdit> {
             if !pred.eval_bool(t.values())? {
-                out.push(t.clone());
-                continue;
+                return Ok(RowEdit::Keep);
             }
             modified += 1;
             let iv = t
@@ -95,13 +98,15 @@ impl<'a> Modifier<'a> {
                 .ok_or_else(|| EngineError::Plan("valid-time value is not an interval".into()))?;
             let capped = OngoingInterval::new(iv.ts(), ops::min(iv.te(), cap));
             if capped.nonempty_set().is_empty() {
-                continue; // never valid anywhere: physically gone
+                return Ok(RowEdit::Remove); // never valid anywhere: physically gone
             }
             let mut values = t.values().to_vec();
             values[vt_col] = Value::Interval(capped);
-            out.push(Tuple::with_rt(values, t.rt().clone()));
-        }
-        *self.rel = out;
+            Ok(RowEdit::Replace(vec![Tuple::with_rt(
+                values,
+                t.rt().clone(),
+            )]))
+        })?;
         Ok(modified)
     }
 
@@ -127,23 +132,24 @@ impl<'a> Modifier<'a> {
         let vt_col = self.vt_col;
         let split = OngoingPoint::fixed(at);
         let mut modified = 0usize;
-        let mut out = OngoingRelation::new(self.rel.schema().clone());
-        for t in self.rel.tuples() {
+        self.rel.edit_tuples(|t| -> Result<RowEdit> {
             if !pred.eval_bool(t.values())? {
-                out.push(t.clone());
-                continue;
+                return Ok(RowEdit::Keep);
             }
             modified += 1;
             let iv = t
                 .value(vt_col)
                 .as_interval()
                 .ok_or_else(|| EngineError::Plan("valid-time value is not an interval".into()))?;
+            // The split replaces the row in place: old version first, new
+            // version right behind it, exactly where the tuple stood.
+            let mut versions = Vec::with_capacity(2);
             // Old version: [ts, min(te, at)).
             let old_iv = OngoingInterval::new(iv.ts(), ops::min(iv.te(), split));
             if !old_iv.nonempty_set().is_empty() {
                 let mut values = t.values().to_vec();
                 values[vt_col] = Value::Interval(old_iv);
-                out.push(Tuple::with_rt(values, t.rt().clone()));
+                versions.push(Tuple::with_rt(values, t.rt().clone()));
             }
             // New version: [max(ts, at), te) with assignments applied.
             let new_iv = OngoingInterval::new(ops::max(iv.ts(), split), iv.te());
@@ -153,10 +159,14 @@ impl<'a> Modifier<'a> {
                     values[*col] = v.clone();
                 }
                 values[vt_col] = Value::Interval(new_iv);
-                out.push(Tuple::with_rt(values, t.rt().clone()));
+                versions.push(Tuple::with_rt(values, t.rt().clone()));
             }
-        }
-        *self.rel = out;
+            Ok(if versions.is_empty() {
+                RowEdit::Remove
+            } else {
+                RowEdit::Replace(versions)
+            })
+        })?;
         Ok(modified)
     }
 
@@ -164,15 +174,14 @@ impl<'a> Modifier<'a> {
     pub fn delete(&mut self, pred: &Expr) -> Result<usize> {
         self.check_fixed_pred(pred)?;
         let mut removed = 0usize;
-        let mut out = OngoingRelation::new(self.rel.schema().clone());
-        for t in self.rel.tuples() {
-            if pred.eval_bool(t.values())? {
+        self.rel.edit_tuples(|t| -> Result<RowEdit> {
+            Ok(if pred.eval_bool(t.values())? {
                 removed += 1;
+                RowEdit::Remove
             } else {
-                out.push(t.clone());
-            }
-        }
-        *self.rel = out;
+                RowEdit::Keep
+            })
+        })?;
         Ok(removed)
     }
 }

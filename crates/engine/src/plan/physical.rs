@@ -19,17 +19,20 @@
 //!
 //! # Partition-parallel execution
 //!
-//! Both modes run morsel-style over row partitions: an [`ExecContext`]
-//! carries the worker budget, `Scan`/`Filter` pipelines split their input
-//! into contiguous chunks, the hash join builds its table once and probes
-//! partitions concurrently, and the sweep/nested-loop joins split the outer
-//! side across [`std::thread::scope`] workers. Partial results are merged
-//! in partition order, so the output — tuple order included — is identical
-//! for every parallelism setting. Each worker accumulates a local
-//! [`ExecStats`] that is folded at the merge point; since every work unit
-//! is counted exactly once no matter who performs it, the totals are
-//! deterministic across thread counts and can replace wall-clock durations
-//! in benchmark assertions.
+//! Both modes run morsel-style: an [`ExecContext`] carries the worker
+//! budget, and relation-valued inputs are partitioned along the
+//! copy-on-write store's natural chunk boundaries
+//! ([`OngoingRelation::chunk_views`]) — `Scan`/`Filter` pipelines and the
+//! probe/outer sides of the joins each take a contiguous run of chunks,
+//! the hash join builds its table once and probes runs concurrently, and
+//! the sweep join splits its (sorted) envelope list across
+//! [`std::thread::scope`] workers. Partial results are merged in partition
+//! order, so the output — tuple order included — is identical for every
+//! parallelism setting. Each worker accumulates a local [`ExecStats`] that
+//! is folded at the merge point; since every work unit is counted exactly
+//! once no matter who performs it, the totals are deterministic across
+//! thread counts and can replace wall-clock durations in benchmark
+//! assertions.
 
 use crate::catalog::Table;
 use crate::error::{EngineError, Result};
@@ -37,7 +40,7 @@ use crate::exec::{ExecContext, ExecStats};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_core::{IntervalSet, TimePoint};
 use ongoing_relation::algebra::{self, ProjItem};
-use ongoing_relation::{Expr, FixedRelation, OngoingRelation, Schema, Tuple, Value};
+use ongoing_relation::{ChunkView, Expr, FixedRelation, OngoingRelation, Schema, Tuple, Value};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -341,6 +344,8 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::SeqScan { table, schema } => {
                 stats.tuples_scanned += table.data().len() as u64;
+                // A version fork: every sealed chunk is shared, so this is
+                // O(#chunks) reference bumps, not a row copy.
                 Ok(table
                     .data()
                     .clone()
@@ -364,13 +369,8 @@ impl PhysicalPlan {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
                     for &id in &ids[r] {
-                        filter_into(
-                            &mut out,
-                            &data.tuples()[id],
-                            fixed.as_ref(),
-                            ongoing.as_ref(),
-                            &mut local,
-                        )?;
+                        let t = data.tuple_at(id).expect("index ids are live positions");
+                        filter_into(&mut out, t, fixed.as_ref(), ongoing.as_ref(), &mut local)?;
                     }
                     Ok((out, local))
                 })?;
@@ -383,19 +383,14 @@ impl PhysicalPlan {
             } => {
                 let rel = input.execute_stats(ctx, stats)?;
                 let schema = rel.schema().clone();
-                // The input is owned here, so tuples move into the workers
-                // — surviving tuples are never cloned.
-                let parts = run_partitioned_owned(ctx, rel.into_tuples(), MIN_MORSEL, |chunk| {
+                // Morsels follow the store's chunk boundaries; surviving
+                // tuples are shallow-cloned (payloads are `Arc`-shared).
+                let views = rel.chunk_views();
+                let parts = run_partitioned_views(ctx, &views, MIN_MORSEL, |run| {
                     let mut local = ExecStats::default();
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for t in chunk {
-                        filter_owned_into(
-                            &mut out,
-                            t,
-                            fixed.as_ref(),
-                            ongoing.as_ref(),
-                            &mut local,
-                        )?;
+                    let mut out = Vec::new();
+                    for t in run.iter().flat_map(ChunkView::iter) {
+                        filter_into(&mut out, t, fixed.as_ref(), ongoing.as_ref(), &mut local)?;
                     }
                     Ok((out, local))
                 })?;
@@ -421,12 +416,14 @@ impl PhysicalPlan {
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
-                let min_chunk = outer_min_chunk(r.len());
-                let parts = run_partitioned(ctx, l.len(), min_chunk, |range| {
+                let inner: Vec<&Tuple> = r.iter().collect();
+                let min_chunk = outer_min_chunk(inner.len());
+                let views = l.chunk_views();
+                let parts = run_partitioned_views(ctx, &views, min_chunk, |run| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
-                    for lt in &l.tuples()[range] {
-                        for rt_ in r.tuples() {
+                    for lt in run.iter().flat_map(ChunkView::iter) {
+                        for rt_ in &inner {
                             join_pair_into(
                                 &mut out,
                                 lt,
@@ -453,14 +450,15 @@ impl PhysicalPlan {
                 let schema = l.schema().product(r.schema());
                 // Build once on the right side; probe partitions share it.
                 let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(r.len());
-                for rt_ in r.tuples() {
+                for rt_ in r.iter() {
                     let key: Vec<Value> = keys.iter().map(|&(_, j)| rt_.value(j).clone()).collect();
                     table.entry(key).or_default().push(rt_);
                 }
-                let parts = run_partitioned(ctx, l.len(), MIN_MORSEL, |range| {
+                let views = l.chunk_views();
+                let parts = run_partitioned_views(ctx, &views, MIN_MORSEL, |run| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
-                    for lt in &l.tuples()[range] {
+                    for lt in run.iter().flat_map(ChunkView::iter) {
                         let key: Vec<Value> =
                             keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
                         if let Some(matches) = table.get(&key) {
@@ -491,8 +489,10 @@ impl PhysicalPlan {
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
-                let le = envelopes(l.tuples(), *l_col)?;
-                let re = envelopes(r.tuples(), *r_col)?;
+                let l_rows: Vec<&Tuple> = l.iter().collect();
+                let r_rows: Vec<&Tuple> = r.iter().collect();
+                let le = envelopes(&l_rows, *l_col)?;
+                let re = envelopes(&r_rows, *r_col)?;
                 let min_chunk = sweep_min_chunk(re.len(), ctx.parallelism);
                 let parts = run_partitioned(ctx, le.len(), min_chunk, |range| {
                     let mut local = ExecStats::default();
@@ -503,8 +503,8 @@ impl PhysicalPlan {
                     for &(lp, rp) in &pairs {
                         join_pair_into(
                             &mut out,
-                            &l.tuples()[le[lp].2],
-                            &r.tuples()[re[rp].2],
+                            l_rows[le[lp].2],
+                            r_rows[re[rp].2],
                             fixed.as_ref(),
                             ongoing.as_ref(),
                             &mut local,
@@ -597,9 +597,11 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan { table, .. } => {
                 let data = table.data();
                 stats.tuples_scanned += data.len() as u64;
-                let parts = run_partitioned(ctx, data.len(), MIN_MORSEL, |range| {
-                    let rows: Vec<Vec<Value>> = data.tuples()[range]
+                let views = data.chunk_views();
+                let parts = run_partitioned_views(ctx, &views, MIN_MORSEL, |run| {
+                    let rows: Vec<Vec<Value>> = run
                         .iter()
+                        .flat_map(ChunkView::iter)
                         .filter_map(|t| t.bind(rt))
                         .collect();
                     Ok((rows, ExecStats::default()))
@@ -626,7 +628,8 @@ impl PhysicalPlan {
                     let mut out = Vec::new();
                     for &id in &ids[r] {
                         local.tuples_filtered += 1;
-                        if let Some(row) = data.tuples()[id].bind(rt) {
+                        let t = data.tuple_at(id).expect("index ids are live positions");
+                        if let Some(row) = t.bind(rt) {
                             if pass_fixed(&row, fixed.as_ref())?
                                 && pass_fixed(&row, ongoing.as_ref())?
                             {
@@ -881,11 +884,47 @@ fn sweep_min_chunk(right_len: usize, parallelism: usize) -> usize {
     (right_len / parallelism.max(1)).max(MIN_MORSEL)
 }
 
-/// Runs `run` over contiguous index partitions of `0..len` — inline when
-/// one worker suffices, else on [`std::thread::scope`] workers — and
-/// returns the per-partition results *in partition order*. Concatenating
-/// them reproduces the serial output exactly; folding the per-partition
+/// Runs `run` once per partition — inline when there is a single
+/// partition, else on [`std::thread::scope`] workers (the calling thread
+/// takes partition 0 instead of idling in the scope) — and returns the
+/// per-partition results *in partition order*. Concatenating them
+/// reproduces the serial output exactly; folding the per-partition
 /// [`ExecStats`] reproduces the serial counts exactly.
+fn scope_run<P, T, F>(parts: Vec<P>, run: F) -> Result<Vec<(T, ExecStats)>>
+where
+    P: Send,
+    T: Send,
+    F: Fn(P) -> Result<(T, ExecStats)> + Sync,
+{
+    let mut parts = parts.into_iter();
+    let Some(first) = parts.next() else {
+        return Ok(Vec::new());
+    };
+    if parts.len() == 0 {
+        return Ok(vec![run(first)?]);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .map(|part| {
+                let run = &run;
+                scope.spawn(move || run(part))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(run(first));
+        out.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked")),
+        );
+        out.into_iter().collect()
+    })
+}
+
+/// Partitions `0..len` into contiguous index ranges with at least
+/// `min_chunk` items per worker and runs them via [`scope_run`] — for
+/// inputs that are positional lists (index-candidate ids, sorted envelope
+/// lists, instantiated row vectors).
 fn run_partitioned<T, F>(
     ctx: &ExecContext,
     len: usize,
@@ -900,26 +939,7 @@ where
     if workers <= 1 {
         return Ok(vec![run(0..len)?]);
     }
-    let mut bounds = chunk_bounds(len, workers).into_iter();
-    let first = bounds.next().expect("workers >= 1");
-    std::thread::scope(|scope| {
-        // Workers take chunks 1.., the calling thread runs chunk 0 inline
-        // instead of idling in the scope.
-        let handles: Vec<_> = bounds
-            .map(|range| {
-                let run = &run;
-                scope.spawn(move || run(range))
-            })
-            .collect();
-        let mut parts = Vec::with_capacity(workers);
-        parts.push(run(first));
-        parts.extend(
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked")),
-        );
-        parts.into_iter().collect()
-    })
+    scope_run(chunk_bounds(len, workers), run)
 }
 
 /// Like [`run_partitioned`], but moves ownership of the items into the
@@ -949,25 +969,45 @@ where
         chunks.push(rest.split_off(range.start));
     }
     chunks.reverse();
-    let mut chunks = chunks.into_iter();
-    let first = chunks.next().expect("workers >= 1");
-    std::thread::scope(|scope| {
-        // Workers take chunks 1.., the calling thread runs chunk 0 inline.
-        let handles: Vec<_> = chunks
-            .map(|chunk| {
-                let run = &run;
-                scope.spawn(move || run(chunk))
-            })
-            .collect();
-        let mut parts = Vec::with_capacity(workers);
-        parts.push(run(first));
-        parts.extend(
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked")),
-        );
-        parts.into_iter().collect()
-    })
+    scope_run(chunks, run)
+}
+
+/// Partitions a relation's chunk views into contiguous runs — the store's
+/// chunk boundaries are the morsel boundaries, so no flat copy of the
+/// table is ever sliced — and runs them via [`scope_run`]. Runs are packed
+/// toward even live-row counts with at least `min_chunk` rows per worker;
+/// concatenating the per-run outputs reproduces the serial scan order for
+/// every parallelism setting.
+fn run_partitioned_views<'v, T, F>(
+    ctx: &ExecContext,
+    views: &'v [ChunkView<'v>],
+    min_chunk: usize,
+    run: F,
+) -> Result<Vec<(T, ExecStats)>>
+where
+    T: Send,
+    F: Fn(&'v [ChunkView<'v>]) -> Result<(T, ExecStats)> + Sync,
+{
+    let total: usize = views.iter().map(|v| v.len()).sum();
+    let workers = worker_count(ctx.parallelism, total, min_chunk);
+    if workers <= 1 || views.len() <= 1 {
+        return Ok(vec![run(views)?]);
+    }
+    let target = total.div_ceil(workers);
+    let mut runs: Vec<&'v [ChunkView<'v>]> = Vec::with_capacity(workers);
+    let (mut start, mut acc) = (0usize, 0usize);
+    for (i, v) in views.iter().enumerate() {
+        acc += v.len();
+        if acc >= target && runs.len() + 1 < workers {
+            runs.push(&views[start..=i]);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < views.len() {
+        runs.push(&views[start..]);
+    }
+    scope_run(runs, run)
 }
 
 /// Concatenates ordered tuple partitions into a relation and folds their
@@ -1005,25 +1045,13 @@ fn assemble_rows(
 // Shared helpers.
 // ----------------------------------------------------------------------
 
-/// Ongoing-mode filter application over a borrowed tuple (index-scan
-/// candidates stay in the table): delegates to [`filter_owned_into`] with a
-/// cheap clone (the payload is behind an `Arc`).
+/// Ongoing-mode filter application over a borrowed tuple (candidates stay
+/// in their chunk): fixed conjunct gates, ongoing conjunct restricts `RT`
+/// (in place, reusing the predicate true-set's allocation). Only passing
+/// tuples are cloned, and the clone is shallow (payloads are `Arc`-shared).
 fn filter_into(
     out: &mut Vec<Tuple>,
     t: &Tuple,
-    fixed: Option<&Expr>,
-    ongoing: Option<&Expr>,
-    stats: &mut ExecStats,
-) -> Result<()> {
-    filter_owned_into(out, t.clone(), fixed, ongoing, stats)
-}
-
-/// Ongoing-mode filter application: fixed conjunct gates, ongoing conjunct
-/// restricts `RT` (in place, reusing the predicate true-set's allocation).
-/// Takes the tuple by value so passing tuples are moved, not cloned.
-fn filter_owned_into(
-    out: &mut Vec<Tuple>,
-    t: Tuple,
     fixed: Option<&Expr>,
     ongoing: Option<&Expr>,
     stats: &mut ExecStats,
@@ -1046,7 +1074,7 @@ fn filter_owned_into(
                 out.push(t.restricted(rt));
             }
         }
-        None => out.push(t),
+        None => out.push(t.clone()),
     }
     Ok(())
 }
@@ -1118,9 +1146,9 @@ fn join_rows_into(
 /// `(envelope start, envelope end, position)` for a tuple list, skipping
 /// always-empty intervals (no predicate with a non-empty check can match
 /// them).
-fn envelopes(tuples: &[Tuple], col: usize) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
+fn envelopes(tuples: &[&Tuple], col: usize) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
     let mut out = Vec::with_capacity(tuples.len());
-    for (i, t) in tuples.iter().enumerate() {
+    for (i, &t) in tuples.iter().enumerate() {
         let iv = t.value(col).as_interval().ok_or_else(|| {
             EngineError::Plan(format!("sweep join column #{col} is not an interval"))
         })?;
@@ -1250,7 +1278,7 @@ pub fn indexable_selection(conjunct: &Expr) -> Option<(usize, (TimePoint, TimePo
 /// the harness to pick representative instantiation points.
 pub fn reference_span(rel: &OngoingRelation) -> IntervalSet {
     let mut acc = IntervalSet::empty();
-    for t in rel.tuples() {
+    for t in rel.iter() {
         acc.union_assign(t.rt());
     }
     acc

@@ -214,20 +214,16 @@ fn envelope(v: &Value) -> Option<(i64, i64)> {
 
 fn analyze_fixed(rel: &OngoingRelation, col: usize, ty: ValueType) -> FixedSummary {
     let mut distinct: HashSet<&Value> = HashSet::new();
-    for t in rel.tuples() {
+    for t in rel.iter() {
         distinct.insert(t.value(col));
     }
     let histogram = match ty {
         ValueType::Int => Some(PointHistogram::build(
-            rel.tuples()
-                .iter()
-                .filter_map(|t| t.value(col).as_int())
-                .collect(),
+            rel.iter().filter_map(|t| t.value(col).as_int()).collect(),
             DEFAULT_BUCKETS,
         )),
         ValueType::Time => Some(PointHistogram::build(
-            rel.tuples()
-                .iter()
+            rel.iter()
                 .filter_map(|t| match t.value(col) {
                     Value::Time(p) => Some(p.ticks()),
                     _ => None,
@@ -236,8 +232,7 @@ fn analyze_fixed(rel: &OngoingRelation, col: usize, ty: ValueType) -> FixedSumma
             DEFAULT_BUCKETS,
         )),
         ValueType::Bool => Some(PointHistogram::build(
-            rel.tuples()
-                .iter()
+            rel.iter()
                 .filter_map(|t| t.value(col).as_bool().map(i64::from))
                 .collect(),
             2,
@@ -256,7 +251,7 @@ fn analyze_interval(rel: &OngoingRelation, col: usize) -> IntervalSummary {
     let mut lengths = Vec::new();
     let mut envelopes = Vec::new();
     let mut ongoing = 0u64;
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let Some(iv) = t.value(col).as_interval() else {
             continue;
         };

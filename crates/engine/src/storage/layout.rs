@@ -151,7 +151,7 @@ impl RelationFootprint {
 /// Measures every tuple of a relation.
 pub fn measure_relation(rel: &OngoingRelation) -> RelationFootprint {
     let mut out = RelationFootprint::default();
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let f = measure_tuple(t);
         let g = measure_tuple_fixed(t);
         out.tuples += 1;

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 /// duplicated payloads coalesce, so callers wanting `COUNT(DISTINCT …)`
 /// semantics should [`OngoingRelation::coalesce`] first.
 pub fn count(rel: &OngoingRelation) -> OngoingInt {
-    count_over(rel.tuples().iter().map(|t| t.rt()))
+    count_over(rel.iter().map(|t| t.rt()))
 }
 
 /// The reference-time-resolved `SUM(col)` over an integer attribute: at
@@ -39,7 +39,7 @@ pub fn sum(rel: &OngoingRelation, col: usize) -> Result<OngoingInt, SchemaError>
         )));
     }
     let mut acc = OngoingInt::constant(0);
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let w = t.value(col).as_int().expect("type-checked above");
         acc = acc.add(&OngoingInt::indicator(t.rt()).scale(w));
     }
@@ -64,7 +64,7 @@ pub fn count_by(
     }
     let mut groups: HashMap<Vec<Value>, OngoingInt> = HashMap::new();
     let mut order: Vec<Vec<Value>> = Vec::new();
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let key: Vec<Value> = group_cols.iter().map(|&c| t.value(c).clone()).collect();
         let ind = OngoingInt::indicator(t.rt());
         match groups.get_mut(&key) {
@@ -169,7 +169,7 @@ pub fn aggregate_relation(
     // Group members (preserving first-seen order).
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut groups: HashMap<Vec<Value>, Vec<&crate::tuple::Tuple>> = HashMap::new();
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let key: Vec<Value> = group_cols.iter().map(|&c| t.value(c).clone()).collect();
         match groups.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(t),

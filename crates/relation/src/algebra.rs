@@ -63,7 +63,7 @@ pub fn project(rel: &OngoingRelation, items: &[ProjItem]) -> Result<OngoingRelat
         }
     }
     let mut out = OngoingRelation::new(Schema::new(attrs));
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let mut values = Vec::with_capacity(items.len());
         for item in items {
             match item {
@@ -80,7 +80,7 @@ pub fn project(rel: &OngoingRelation, items: &[ProjItem]) -> Result<OngoingRelat
 /// to `r.RT ∧ θ(r)`; tuples with an empty reference time are deleted.
 pub fn select(rel: &OngoingRelation, pred: &Expr) -> Result<OngoingRelation, EvalError> {
     let mut out = OngoingRelation::new(rel.schema().clone());
-    for t in rel.tuples() {
+    for t in rel.iter() {
         let theta = pred.eval_predicate(t.values())?;
         let rt = restrict(t, &theta);
         if !rt.is_empty() {
@@ -103,8 +103,8 @@ pub fn restrict(t: &Tuple, theta: &OngoingBool) -> ongoing_core::IntervalSet {
 pub fn product(l: &OngoingRelation, r: &OngoingRelation) -> OngoingRelation {
     let schema = l.schema().product(r.schema());
     let mut out = OngoingRelation::new(schema);
-    for lt in l.tuples() {
-        for rt_ in r.tuples() {
+    for lt in l.iter() {
+        for rt_ in r.iter() {
             let t = lt.concat(rt_);
             out.push(t); // push drops empty-RT tuples
         }
@@ -121,8 +121,8 @@ pub fn join(
 ) -> Result<OngoingRelation, EvalError> {
     let schema = l.schema().product(r.schema());
     let mut out = OngoingRelation::new(schema);
-    for lt in l.tuples() {
-        for rt_ in r.tuples() {
+    for lt in l.iter() {
+        for rt_ in r.iter() {
             let t = lt.concat(rt_);
             if t.rt().is_empty() {
                 continue;
@@ -147,7 +147,7 @@ pub fn union(l: &OngoingRelation, r: &OngoingRelation) -> Result<OngoingRelation
         ));
     }
     let mut out = OngoingRelation::new(l.schema().clone());
-    for t in l.tuples().iter().chain(r.tuples()) {
+    for t in l.iter().chain(r.iter()) {
         out.push(t.clone());
     }
     Ok(out.coalesce())
@@ -173,9 +173,9 @@ pub fn difference(
         ));
     }
     let mut out = OngoingRelation::new(l.schema().clone());
-    for lt in l.tuples() {
+    for lt in l.iter() {
         let mut removed = OngoingBool::always_false();
-        for st in r.tuples() {
+        for st in r.iter() {
             if removed.is_always_true() {
                 break;
             }

@@ -50,12 +50,14 @@ pub mod algebra;
 pub mod expr;
 pub mod relation;
 pub mod schema;
+pub mod store;
 pub mod tuple;
 pub mod value;
 
 pub use expr::{CmpOp, EvalError, Expr};
 pub use relation::{FixedRelation, OngoingRelation};
 pub use schema::{Attribute, Schema, SchemaError};
+pub use store::{ChunkView, RowEdit, StoreSummary, TupleStore, TARGET_CHUNK_ROWS};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
 

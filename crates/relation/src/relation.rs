@@ -1,31 +1,72 @@
 //! Ongoing relations (Definition 5) and their bind operator.
 
 use crate::schema::{Schema, SchemaError};
+use crate::store::{ChunkView, RowEdit, StoreIter, StoreSummary, TupleStore};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use ongoing_core::{IntervalSet, TimePoint};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// An ongoing relation: a schema plus a finite set of tuples, each carrying
 /// a reference-time attribute `RT`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Tuples live in a versioned, chunked copy-on-write [`TupleStore`]
+/// (see [`crate::store`]): cloning a relation shares all sealed chunks, and
+/// row-level edits through [`edit_tuples`](Self::edit_tuples) cost
+/// O(rows touched) instead of O(table). Hot paths iterate the store
+/// ([`iter`](Self::iter), [`chunk_views`](Self::chunk_views));
+/// [`tuples`](Self::tuples) remains as a contiguous-slice view for
+/// compatibility, materializing a dense copy only when the store is
+/// fragmented across chunks.
+#[derive(Debug)]
 pub struct OngoingRelation {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    store: TupleStore,
+    /// Lazily materialized dense view backing [`tuples`](Self::tuples) when
+    /// the store spans several chunks; invalidated by every mutation.
+    dense: OnceLock<Box<[Tuple]>>,
 }
+
+impl Clone for OngoingRelation {
+    fn clone(&self) -> Self {
+        OngoingRelation {
+            schema: self.schema.clone(),
+            store: self.store.clone(),
+            dense: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for OngoingRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.store.len() == other.store.len()
+            && self.store.iter().eq(other.store.iter())
+    }
+}
+
+// The vendored serde is a marker-trait stand-in (nothing serializes through
+// it yet); when the real crate is swapped in these two impls must become a
+// `(schema, Vec<Tuple>)` proxy implementation (see vendor/serde's crate
+// docs) — the chunked storage layout is not a wire format.
+impl serde::Serialize for OngoingRelation {}
+impl<'de> serde::Deserialize<'de> for OngoingRelation {}
 
 impl OngoingRelation {
     /// An empty relation over `schema`.
     pub fn new(schema: Schema) -> Self {
         OngoingRelation {
             schema,
-            tuples: Vec::new(),
+            store: TupleStore::new(),
+            dense: OnceLock::new(),
         }
     }
 
-    /// Builds a relation from pre-made tuples (arity-checked).
+    /// Builds a relation from pre-made tuples (arity-checked), sealed into
+    /// dense chunks.
     pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Result<Self, SchemaError> {
         for t in &tuples {
             if t.arity() != schema.len() {
@@ -36,7 +77,11 @@ impl OngoingRelation {
                 )));
             }
         }
-        Ok(OngoingRelation { schema, tuples })
+        Ok(OngoingRelation {
+            schema,
+            store: TupleStore::from_tuples(tuples),
+            dense: OnceLock::new(),
+        })
     }
 
     /// Inserts a base tuple with the trivial reference time `{(-∞, ∞)}` —
@@ -62,7 +107,8 @@ impl OngoingRelation {
         if rt.is_empty() {
             return Ok(());
         }
-        self.tuples.push(Tuple::with_rt(values, rt));
+        self.dense = OnceLock::new();
+        self.store.push(Tuple::with_rt(values, rt));
         Ok(())
     }
 
@@ -70,7 +116,8 @@ impl OngoingRelation {
     pub fn push(&mut self, tuple: Tuple) {
         debug_assert_eq!(tuple.arity(), self.schema.len());
         if !tuple.rt().is_empty() {
-            self.tuples.push(tuple);
+            self.dense = OnceLock::new();
+            self.store.push(tuple);
         }
     }
 
@@ -79,26 +126,126 @@ impl OngoingRelation {
         &self.schema
     }
 
-    /// The tuples.
+    /// The tuples as one contiguous slice.
+    ///
+    /// Free while the relation occupies a single chunk (anything built by
+    /// `insert`/`push` below [`crate::store::TARGET_CHUNK_ROWS`] rows, or a
+    /// compacted single-chunk store); a store fragmented across chunks or
+    /// carrying edit overlays materializes — and caches — a dense copy.
+    /// Hot paths should prefer [`iter`](Self::iter) or
+    /// [`chunk_views`](Self::chunk_views), which never copy.
     pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+        if let Some(slice) = self.store.as_single_slice() {
+            return slice;
+        }
+        self.dense
+            .get_or_init(|| self.store.iter().cloned().collect())
+    }
+
+    /// The tuples in storage order, straight off the chunks (no
+    /// materialization, unlike [`tuples`](Self::tuples) on fragmented
+    /// stores).
+    pub fn iter(&self) -> StoreIter<'_> {
+        self.store.iter()
+    }
+
+    /// The tuple at live position `pos` (positions are [`iter`](Self::iter)
+    /// ordinals — what interval-index payloads refer to).
+    pub fn tuple_at(&self, pos: usize) -> Option<&Tuple> {
+        self.store.tuple_at(pos)
+    }
+
+    /// The store's chunk views — the natural morsel boundaries for
+    /// partition-parallel executors.
+    pub fn chunk_views(&self) -> Vec<ChunkView<'_>> {
+        self.store.chunk_views()
+    }
+
+    /// Applies row-level edits: `f` visits every live tuple in storage
+    /// order and returns what should happen to it ([`RowEdit`]). The write
+    /// cost is O(rows touched) — untouched chunks stay shared with other
+    /// versions of this relation. Returns the number of storage entries
+    /// written; an error from `f` leaves the relation untouched.
+    pub fn edit_tuples<E>(
+        &mut self,
+        f: impl FnMut(&Tuple) -> Result<RowEdit, E>,
+    ) -> Result<usize, E> {
+        let plan = self.store.plan_edits(f)?;
+        self.dense = OnceLock::new();
+        Ok(self.store.apply_edits(plan))
+    }
+
+    /// Folds delta overlays and fragmented chunks into dense chunks — a
+    /// semantic no-op that resets fork cost and scan fragmentation.
+    pub fn compact(&mut self) {
+        self.dense = OnceLock::new();
+        self.store.compact();
+    }
+
+    /// Seals the pending insert tail into an immutable chunk so clones of
+    /// this relation are pure reference bumps.
+    pub fn seal_pending(&mut self) {
+        self.dense = OnceLock::new();
+        self.store.seal_pending();
+    }
+
+    /// Does the storage policy recommend folding this version (see
+    /// [`crate::store::TupleStore::should_compact`])?
+    pub fn should_compact(&self) -> bool {
+        self.store.should_compact()
+    }
+
+    /// Cumulative physical write work units of the underlying store; the
+    /// difference between a fork and its base is the exact physical cost
+    /// of the modifications between them.
+    pub fn write_work(&self) -> u64 {
+        self.store.write_work()
+    }
+
+    /// Cumulative logical row writes (rows appended, replaced or
+    /// tombstoned — no physical bookkeeping); the difference between a
+    /// fork and its base is exactly the number of rows the modifications
+    /// between them touched.
+    pub fn logical_writes(&self) -> u64 {
+        self.store.logical_writes()
+    }
+
+    /// O(1) lineage probe: is this relation's store a direct descendant
+    /// of `base`'s (sharing its first sealed chunk)? See
+    /// [`crate::store::TupleStore::derives_from`].
+    pub fn derives_from(&self, base: &OngoingRelation) -> bool {
+        self.store.derives_from(&base.store)
+    }
+
+    /// Physical-layout summary of the underlying store.
+    pub fn storage_summary(&self) -> StoreSummary {
+        self.store.summary()
+    }
+
+    /// Number of sealed chunks physically shared with `other` — how much
+    /// storage a version re-uses from the version it was forked off.
+    pub fn shares_chunks_with(&self, other: &OngoingRelation) -> usize {
+        self.store.shared_chunks(&other.store)
     }
 
     /// Consumes the relation, yielding its tuples — the move-semantics
-    /// counterpart of [`tuples`](Self::tuples) for executors that own
-    /// their input and want to avoid per-tuple clones.
+    /// counterpart of [`tuples`](Self::tuples). Rows held in shared chunks
+    /// are cloned (cheap: payloads are `Arc`-shared); owned rows move.
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        if let Some(dense) = self.dense.into_inner() {
+            return dense.into_vec();
+        }
+        self.store.into_tuples()
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
     /// Replaces the schema (names only — used by `qualify`/rename).
@@ -110,7 +257,8 @@ impl OngoingRelation {
         }
         Ok(OngoingRelation {
             schema,
-            tuples: self.tuples,
+            store: self.store,
+            dense: self.dense,
         })
     }
 
@@ -119,7 +267,8 @@ impl OngoingRelation {
         let schema = self.schema.qualify(rel);
         OngoingRelation {
             schema,
-            tuples: self.tuples,
+            store: self.store,
+            dense: self.dense,
         }
     }
 
@@ -136,7 +285,7 @@ impl OngoingRelation {
     /// harness times, so the comparison against re-evaluation does not
     /// charge either side for canonicalization).
     pub fn bind_rows(&self, rt: TimePoint) -> Vec<Vec<Value>> {
-        self.tuples.iter().filter_map(|t| t.bind(rt)).collect()
+        self.iter().filter_map(|t| t.bind(rt)).collect()
     }
 
     /// Merges tuples with identical attribute values by unioning their
@@ -145,7 +294,7 @@ impl OngoingRelation {
     pub fn coalesce(&self) -> OngoingRelation {
         let mut groups: HashMap<&[Value], IntervalSet> = HashMap::with_capacity(self.len());
         let mut order: Vec<&Tuple> = Vec::with_capacity(self.len());
-        for t in &self.tuples {
+        for t in self.iter() {
             match groups.entry(t.values()) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     let merged = e.get().union(t.rt());
@@ -163,7 +312,8 @@ impl OngoingRelation {
             .collect();
         OngoingRelation {
             schema: self.schema.clone(),
-            tuples,
+            store: TupleStore::from_tuples(tuples),
+            dense: OnceLock::new(),
         }
     }
 
@@ -199,7 +349,7 @@ impl OngoingRelation {
         let mut head: Vec<String> = self.schema.attrs().iter().map(|a| a.name.clone()).collect();
         head.push("RT".to_string());
         let mut rows: Vec<Vec<String>> = vec![head];
-        for t in &self.tuples {
+        for t in self.iter() {
             let mut row: Vec<String> = t.values().iter().map(&fmt_value).collect();
             row.push(fmt_rt(t.rt()));
             rows.push(row);

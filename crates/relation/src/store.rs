@@ -1,0 +1,898 @@
+//! Versioned, chunked copy-on-write tuple storage.
+//!
+//! An ongoing database exists to *absorb change*: tuples are inserted,
+//! terminated and updated continuously while readers keep pinned snapshots
+//! (Sec. III / VII of the paper). A flat `Vec<Tuple>` forces every
+//! modification to clone the whole relation — O(table) per write. This
+//! module replaces it with a version tree over immutable chunks:
+//!
+//! * **Chunks** — immutable `Arc<[Tuple]>` runs of rows. Versions share
+//!   them; nobody ever mutates a sealed chunk.
+//! * **Edit overlays** — a per-chunk `BTreeMap<row offset, replacements>`
+//!   (an empty replacement list is a tombstone; a multi-tuple list is a
+//!   split, e.g. a sequenced update's old/new versions). Overlays are
+//!   themselves `Arc`-shared and copied only by the first version that
+//!   touches the chunk.
+//! * **Pending tail** — an owned `Vec<Tuple>` absorbing inserts; it is
+//!   sealed into a chunk when it reaches [`TARGET_CHUNK_ROWS`] (or when the
+//!   catalog freezes the version for publication).
+//!
+//! Cloning a [`TupleStore`] is the *fork* operation: O(#chunks) reference
+//! bumps plus a copy of the (bounded) pending tail. A modification then
+//! touches only the chunks holding edited rows, so a writer costs
+//! O(rows touched), not O(table) — the property the write-path benchmarks
+//! assert. [`TupleStore::compact`] folds overlays and fragmented chunks
+//! back into dense chunks; it changes the physical layout only, never the
+//! logical tuple sequence.
+//!
+//! All physical write work (tuples appended, overlay entries written,
+//! overlay copy-on-write, tail copies on fork, compaction copies) is
+//! metered in [`TupleStore::write_work`] — the deterministic work-unit
+//! counter the storage benchmarks and the catalog's statistics-staleness
+//! accounting consume.
+
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Rows a sealed chunk aims to hold; also the pending-tail seal threshold.
+///
+/// Chunk boundaries double as the executors' natural morsel boundaries, so
+/// the target balances fork cost (smaller chunks ⇒ more `Arc` bumps per
+/// clone) against scan fan-out granularity.
+pub const TARGET_CHUNK_ROWS: usize = 512;
+
+/// Compaction trigger: dead rows (tombstoned or superseded base rows)
+/// exceeding this fraction of the live row count.
+pub const COMPACT_DEAD_FRAC: f64 = 0.5;
+
+/// Compaction trigger: minimum chunk-count slack beyond the dense ideal
+/// (`ceil(live / TARGET_CHUNK_ROWS)`). Every small insert batch seals into
+/// its own chunk, so sustained churn grows the chunk list until a compact
+/// folds it. The effective slack is `max(COMPACT_CHUNK_SLACK, ideal)`:
+/// letting the slack scale with the dense ideal means an O(table) fold
+/// happens at most once per ~ideal chunk-producing modifications, i.e.
+/// amortized O(TARGET_CHUNK_ROWS) = O(1) per modification regardless of
+/// table size (a constant slack would make it O(table / slack)). The
+/// floor keeps small tables from folding on every other insert batch.
+pub const COMPACT_CHUNK_SLACK: usize = 64;
+
+/// The outcome of visiting one live row during [`TupleStore::apply_edits`]
+/// planning (see [`TupleStore::plan_edits`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowEdit {
+    /// Leave the row untouched.
+    Keep,
+    /// Physically remove the row (tombstone).
+    Remove,
+    /// Replace the row with the given tuples, in order (one tuple is an
+    /// in-place update; two is a sequenced split, old version first).
+    Replace(Vec<Tuple>),
+}
+
+/// One immutable chunk plus its shared edit overlay.
+#[derive(Debug, Clone)]
+struct Chunk {
+    base: Arc<[Tuple]>,
+    /// `base` offset → replacement rows (empty = tombstone). `None` means
+    /// the chunk is clean. Shared between versions; copied on first write.
+    edits: Option<Arc<BTreeMap<usize, Vec<Tuple>>>>,
+    /// Live rows the chunk contributes (base minus edited, plus
+    /// replacements) — cached so partitioning and `len` stay O(#chunks).
+    live: usize,
+}
+
+impl Chunk {
+    fn dense(base: Arc<[Tuple]>) -> Chunk {
+        let live = base.len();
+        Chunk {
+            base,
+            edits: None,
+            live,
+        }
+    }
+
+    /// Base rows superseded by the overlay.
+    fn edited_base_rows(&self) -> usize {
+        self.edits.as_ref().map_or(0, |e| e.len())
+    }
+}
+
+/// A planned physical edit: `(chunk index, base offset, edit, touched)`,
+/// where `touched` is the *logical* row count the edit represents — for a
+/// rebuild of an existing replacement list it counts only the members the
+/// caller actually changed, not the untouched ones carried along.
+///
+/// Produced by [`TupleStore::plan_edits`], consumed by
+/// [`TupleStore::apply_edits`]; splitting the scan from the write keeps a
+/// failed planning pass (e.g. a predicate evaluation error) from leaving
+/// the store half-modified.
+pub type PlannedEdit = (usize, usize, RowEdit, u64);
+
+/// Read-only view of one chunk (or the pending tail) — the executors'
+/// morsel unit. Iteration yields the chunk's live rows in storage order.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkView<'a> {
+    base: &'a [Tuple],
+    edits: Option<&'a BTreeMap<usize, Vec<Tuple>>>,
+    live: usize,
+}
+
+impl<'a> ChunkView<'a> {
+    /// Number of live rows in the view.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The live rows in storage order.
+    pub fn iter(&self) -> ChunkRows<'a> {
+        ChunkRows {
+            base: self.base,
+            edits: self.edits,
+            offset: 0,
+            replacement: None,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &ChunkView<'a> {
+    type Item = &'a Tuple;
+    type IntoIter = ChunkRows<'a>;
+    fn into_iter(self) -> ChunkRows<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over one chunk's live rows (base rows with the overlay
+/// spliced in).
+#[derive(Debug, Clone)]
+pub struct ChunkRows<'a> {
+    base: &'a [Tuple],
+    edits: Option<&'a BTreeMap<usize, Vec<Tuple>>>,
+    offset: usize,
+    /// In-flight replacement list for the current offset.
+    replacement: Option<std::slice::Iter<'a, Tuple>>,
+}
+
+impl<'a> Iterator for ChunkRows<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        loop {
+            if let Some(rep) = &mut self.replacement {
+                match rep.next() {
+                    Some(t) => return Some(t),
+                    None => self.replacement = None,
+                }
+            }
+            if self.offset >= self.base.len() {
+                return None;
+            }
+            let i = self.offset;
+            self.offset += 1;
+            match self.edits.and_then(|e| e.get(&i)) {
+                Some(rep) => self.replacement = Some(rep.iter()),
+                None => return Some(&self.base[i]),
+            }
+        }
+    }
+}
+
+/// Iterator over every live row of a store, in storage order.
+#[derive(Debug, Clone)]
+pub struct StoreIter<'a> {
+    store: &'a TupleStore,
+    chunk: usize,
+    rows: Option<ChunkRows<'a>>,
+}
+
+impl<'a> Iterator for StoreIter<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        loop {
+            if let Some(rows) = &mut self.rows {
+                if let Some(t) = rows.next() {
+                    return Some(t);
+                }
+            }
+            let views = self.store.total_views();
+            if self.chunk >= views {
+                return None;
+            }
+            self.rows = Some(self.store.view_at(self.chunk).iter());
+            self.chunk += 1;
+        }
+    }
+}
+
+/// Physical-layout observability: what a version is made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreSummary {
+    /// Sealed chunks in the version.
+    pub chunks: usize,
+    /// Live rows (what [`TupleStore::len`] reports).
+    pub live_rows: usize,
+    /// Rows held in sealed chunk bases (including superseded ones).
+    pub base_rows: usize,
+    /// Replacement rows held in edit overlays.
+    pub overlay_rows: usize,
+    /// Base rows superseded by an overlay entry (tombstoned or replaced).
+    pub dead_rows: usize,
+    /// Rows in the open pending tail.
+    pub pending_rows: usize,
+}
+
+/// A version of a relation's tuple sequence: shared immutable chunks, a
+/// per-version edit overlay, and an owned pending tail. See the module
+/// docs for the design.
+#[derive(Debug)]
+pub struct TupleStore {
+    chunks: Vec<Chunk>,
+    pending: Vec<Tuple>,
+    live: usize,
+    write_work: u64,
+    logical_writes: u64,
+    /// Cumulative live-row counts per view (chunks then pending), built
+    /// lazily for positional access and invalidated by any mutation.
+    offsets: OnceLock<Vec<usize>>,
+}
+
+impl Clone for TupleStore {
+    fn clone(&self) -> TupleStore {
+        TupleStore {
+            chunks: self.chunks.clone(),
+            pending: self.pending.clone(),
+            live: self.live,
+            // The fork physically copies the pending tail (bounded by
+            // TARGET_CHUNK_ROWS for sealed stores); meter it. Logically
+            // nothing changed, so `logical_writes` carries over as-is.
+            write_work: self.write_work + self.pending.len() as u64,
+            logical_writes: self.logical_writes,
+            offsets: OnceLock::new(),
+        }
+    }
+}
+
+impl Default for TupleStore {
+    fn default() -> TupleStore {
+        TupleStore::new()
+    }
+}
+
+impl TupleStore {
+    /// An empty store.
+    pub fn new() -> TupleStore {
+        TupleStore {
+            chunks: Vec::new(),
+            pending: Vec::new(),
+            live: 0,
+            write_work: 0,
+            logical_writes: 0,
+            offsets: OnceLock::new(),
+        }
+    }
+
+    /// Builds a store from a tuple sequence, sealed into dense chunks.
+    pub fn from_tuples(tuples: Vec<Tuple>) -> TupleStore {
+        let live = tuples.len();
+        let mut chunks = Vec::with_capacity(live.div_ceil(TARGET_CHUNK_ROWS.max(1)));
+        let mut rest = tuples;
+        while rest.len() > TARGET_CHUNK_ROWS {
+            let tail = rest.split_off(TARGET_CHUNK_ROWS);
+            chunks.push(Chunk::dense(rest.into()));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            chunks.push(Chunk::dense(rest.into()));
+        }
+        TupleStore {
+            chunks,
+            pending: Vec::new(),
+            live,
+            write_work: live as u64,
+            logical_writes: live as u64,
+            offsets: OnceLock::new(),
+        }
+    }
+
+    /// Live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Cumulative physical write work units (tuples appended or copied,
+    /// overlay entries written, fork/compaction copies). Deterministic:
+    /// depends only on the operation sequence, never on timing or thread
+    /// count. The delta between two versions of a table is the exact
+    /// physical cost of the modifications between them.
+    pub fn write_work(&self) -> u64 {
+        self.write_work
+    }
+
+    /// Cumulative *logical* row writes: rows appended, replaced or
+    /// tombstoned. Unlike [`write_work`](Self::write_work) this excludes
+    /// physical bookkeeping (overlay copy-on-write, fork tail copies,
+    /// compaction), so the delta between two versions is exactly the
+    /// number of rows the modifications between them touched — what the
+    /// catalog's statistics-staleness accounting needs.
+    pub fn logical_writes(&self) -> u64 {
+        self.logical_writes
+    }
+
+    fn invalidate(&mut self) {
+        self.offsets = OnceLock::new();
+    }
+
+    /// Appends a row to the pending tail, sealing the tail into a chunk at
+    /// [`TARGET_CHUNK_ROWS`].
+    pub fn push(&mut self, tuple: Tuple) {
+        self.invalidate();
+        self.pending.push(tuple);
+        self.live += 1;
+        self.write_work += 1;
+        self.logical_writes += 1;
+        if self.pending.len() >= TARGET_CHUNK_ROWS {
+            self.seal_pending();
+        }
+    }
+
+    /// Seals the pending tail into an immutable chunk (no copies: the tail
+    /// buffer is moved). Catalog registration seals so that forking a
+    /// published version never copies rows.
+    pub fn seal_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.invalidate();
+        let tail = std::mem::take(&mut self.pending);
+        self.chunks.push(Chunk::dense(tail.into()));
+    }
+
+    /// The whole store as one contiguous slice, when its layout allows it
+    /// without copying: either everything still sits in the pending tail,
+    /// or in exactly one clean sealed chunk.
+    pub fn as_single_slice(&self) -> Option<&[Tuple]> {
+        if self.chunks.is_empty() {
+            return Some(&self.pending);
+        }
+        if self.pending.is_empty() && self.chunks.len() == 1 && self.chunks[0].edits.is_none() {
+            return Some(&self.chunks[0].base);
+        }
+        None
+    }
+
+    /// Consumes the store, yielding the live rows. Rows in shared chunks
+    /// are cloned (payloads are `Arc`-shared, so this is shallow); the
+    /// pending tail moves.
+    pub fn into_tuples(mut self) -> Vec<Tuple> {
+        if self.chunks.is_empty() {
+            return std::mem::take(&mut self.pending);
+        }
+        let mut out = Vec::with_capacity(self.live);
+        for ci in 0..self.chunks.len() {
+            out.extend(self.view_at(ci).iter().cloned());
+        }
+        out.append(&mut self.pending);
+        out
+    }
+
+    /// Live rows in storage order.
+    pub fn iter(&self) -> StoreIter<'_> {
+        StoreIter {
+            store: self,
+            chunk: 0,
+            rows: None,
+        }
+    }
+
+    fn total_views(&self) -> usize {
+        self.chunks.len() + usize::from(!self.pending.is_empty())
+    }
+
+    fn view_at(&self, i: usize) -> ChunkView<'_> {
+        if i < self.chunks.len() {
+            let c = &self.chunks[i];
+            ChunkView {
+                base: &c.base,
+                edits: c.edits.as_deref(),
+                live: c.live,
+            }
+        } else {
+            ChunkView {
+                base: &self.pending,
+                edits: None,
+                live: self.pending.len(),
+            }
+        }
+    }
+
+    /// The store's chunk views (sealed chunks, then the pending tail) —
+    /// the natural morsel boundaries for partition-parallel scans.
+    pub fn chunk_views(&self) -> Vec<ChunkView<'_>> {
+        (0..self.total_views()).map(|i| self.view_at(i)).collect()
+    }
+
+    fn offsets(&self) -> &[usize] {
+        self.offsets.get_or_init(|| {
+            let mut acc = 0usize;
+            let mut out = Vec::with_capacity(self.total_views());
+            for i in 0..self.total_views() {
+                acc += self.view_at(i).len();
+                out.push(acc);
+            }
+            out
+        })
+    }
+
+    /// The live row at position `pos` (positions are the `iter` ordinals —
+    /// what index payloads refer to). O(log #chunks) to find the chunk,
+    /// O(1) within clean chunks, O(overlay entries of the chunk) within
+    /// edited ones (the walk skips over clean runs, it never visits rows).
+    pub fn tuple_at(&self, pos: usize) -> Option<&Tuple> {
+        if pos >= self.live {
+            return None;
+        }
+        let offsets = self.offsets();
+        let chunk = offsets.partition_point(|&end| end <= pos);
+        let start = if chunk == 0 { 0 } else { offsets[chunk - 1] };
+        let view = self.view_at(chunk);
+        let rem = pos - start;
+        let Some(edits) = view.edits else {
+            return view.base.get(rem);
+        };
+        // Map the chunk-local live ordinal to a base offset (or into a
+        // replacement list) by walking the overlay entries only: clean
+        // rows between entries contribute one live row per base row.
+        let mut live_before = 0usize;
+        let mut clean_start = 0usize;
+        for (&off, rep) in edits {
+            let clean = off - clean_start;
+            if rem < live_before + clean {
+                return view.base.get(clean_start + (rem - live_before));
+            }
+            live_before += clean;
+            if rem < live_before + rep.len() {
+                return rep.get(rem - live_before);
+            }
+            live_before += rep.len();
+            clean_start = off + 1;
+        }
+        view.base.get(clean_start + (rem - live_before))
+    }
+
+    /// Scans the live rows in order, collecting the edits `f` requests —
+    /// without touching the store. Apply the plan with
+    /// [`apply_edits`](Self::apply_edits). Errors from `f` abort the scan
+    /// and leave no trace.
+    pub fn plan_edits<E>(
+        &self,
+        mut f: impl FnMut(&Tuple) -> Result<RowEdit, E>,
+    ) -> Result<Vec<PlannedEdit>, E> {
+        let mut plan = Vec::new();
+        for ci in 0..self.total_views() {
+            let view = self.view_at(ci);
+            // Offsets address *base* rows; replacement rows re-use their
+            // base offset (a replacement list is edited as a unit).
+            for off in 0..view.base.len() {
+                match view.edits.and_then(|e| e.get(&off)) {
+                    None => {
+                        let edit = f(&view.base[off])?;
+                        if !matches!(edit, RowEdit::Keep) {
+                            let touched = match &edit {
+                                RowEdit::Replace(ts) => (ts.len() as u64).max(1),
+                                _ => 1,
+                            };
+                            plan.push((ci, off, edit, touched));
+                        }
+                    }
+                    Some(reps) => {
+                        let mut edits = Vec::with_capacity(reps.len());
+                        let mut touched = 0u64;
+                        for t in reps {
+                            let edit = f(t)?;
+                            touched += match &edit {
+                                RowEdit::Keep => 0,
+                                RowEdit::Remove => 1,
+                                RowEdit::Replace(ts) => (ts.len() as u64).max(1),
+                            };
+                            edits.push(edit);
+                        }
+                        if touched == 0 {
+                            continue;
+                        }
+                        // Rebuild the replacement list with the edits
+                        // applied, keeping untouched members as-is (they
+                        // are carried physically but not counted as
+                        // logically touched).
+                        let mut rebuilt = Vec::with_capacity(reps.len());
+                        for (t, edit) in reps.iter().zip(edits) {
+                            match edit {
+                                RowEdit::Keep => rebuilt.push(t.clone()),
+                                RowEdit::Remove => {}
+                                RowEdit::Replace(ts) => rebuilt.extend(ts),
+                            }
+                        }
+                        plan.push((ci, off, RowEdit::Replace(rebuilt), touched));
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Applies a plan from [`plan_edits`](Self::plan_edits): copies the
+    /// overlay of every touched chunk (copy-on-write; untouched chunks stay
+    /// shared with other versions) and writes the new entries. Returns the
+    /// number of overlay entries written. Cost is O(rows touched + overlay
+    /// of touched chunks), independent of table size.
+    pub fn apply_edits(&mut self, plan: Vec<PlannedEdit>) -> usize {
+        if plan.is_empty() {
+            return 0;
+        }
+        self.invalidate();
+        let mut written = 0usize;
+        let mut work = 0u64;
+        let mut logical = 0u64;
+        let mut live_delta = 0i64;
+        // Reverse order keeps pending-tail offsets stable while earlier
+        // splices grow or shrink the owned vector; chunk overlays are
+        // offset-keyed maps, so their order is irrelevant.
+        for (ci, off, edit, touched) in plan.into_iter().rev() {
+            let replacement = match edit {
+                RowEdit::Keep => continue,
+                RowEdit::Remove => Vec::new(),
+                RowEdit::Replace(ts) => ts,
+            };
+            written += 1;
+            let now = replacement.len();
+            work += (now as u64).max(1);
+            logical += touched;
+            if ci < self.chunks.len() {
+                let chunk = &mut self.chunks[ci];
+                // Copy-on-write of the overlay map: only the first edit a
+                // version makes to a shared chunk pays for the copy, and
+                // the copy is overlay-sized, never chunk-sized. The copy
+                // is performed (and charged) here, not via `make_mut`, so
+                // the charge matches the copy exactly even if another
+                // holder of the overlay appears or vanishes concurrently.
+                let shared = chunk.edits.get_or_insert_with(Default::default);
+                if Arc::get_mut(shared).is_none() {
+                    work += shared.values().map(|r| r.len() as u64).sum::<u64>().max(1);
+                    *shared = Arc::new((**shared).clone());
+                }
+                let edits = Arc::get_mut(shared).expect("overlay is uniquely owned here");
+                let was = edits.get(&off).map_or(1, Vec::len);
+                edits.insert(off, replacement);
+                chunk.live = chunk.live + now - was;
+                live_delta += now as i64 - was as i64;
+            } else {
+                // Pending-tail row: the tail is owned, edit it in place
+                // (bounded by TARGET_CHUNK_ROWS).
+                self.pending.splice(off..off + 1, replacement);
+                live_delta += now as i64 - 1;
+            }
+        }
+        self.write_work += work;
+        self.logical_writes += logical;
+        self.live = (self.live as i64 + live_delta) as usize;
+        written
+    }
+
+    /// Folds overlays, tombstones and fragmented chunks back into dense
+    /// [`TARGET_CHUNK_ROWS`] chunks. Logically a no-op: the tuple sequence
+    /// is unchanged; only the physical layout (and fork cost) improves.
+    /// O(table) — the policy in [`should_compact`](Self::should_compact)
+    /// keeps it amortized O(1) per written row.
+    pub fn compact(&mut self) {
+        // Already dense — no overlays, no tail, every chunk but the last
+        // full (exactly the layout a rebuild would produce): skip the
+        // O(table) rebuild.
+        let dense_prefix = self
+            .chunks
+            .split_last()
+            .is_none_or(|(_, init)| init.iter().all(|c| c.base.len() == TARGET_CHUNK_ROWS));
+        if self.pending.is_empty() && dense_prefix && self.chunks.iter().all(|c| c.edits.is_none())
+        {
+            return;
+        }
+        let tuples: Vec<Tuple> = self.iter().cloned().collect();
+        let work = self.write_work + tuples.len() as u64;
+        let logical = self.logical_writes;
+        *self = TupleStore::from_tuples(tuples);
+        self.write_work = work;
+        self.logical_writes = logical;
+    }
+
+    /// Should the catalog fold this version before publishing it? True when
+    /// dead rows exceed [`COMPACT_DEAD_FRAC`] of the live count or the
+    /// chunk list has outgrown the dense ideal by
+    /// [`COMPACT_CHUNK_SLACK`].
+    pub fn should_compact(&self) -> bool {
+        let s = self.summary();
+        let ideal = self.live.div_ceil(TARGET_CHUNK_ROWS.max(1)).max(1);
+        s.chunks > ideal + COMPACT_CHUNK_SLACK.max(ideal)
+            || (s.dead_rows + s.overlay_rows) as f64 > COMPACT_DEAD_FRAC * (self.live.max(1)) as f64
+    }
+
+    /// Physical-layout summary.
+    pub fn summary(&self) -> StoreSummary {
+        let mut s = StoreSummary {
+            chunks: self.chunks.len(),
+            live_rows: self.live,
+            pending_rows: self.pending.len(),
+            ..StoreSummary::default()
+        };
+        for c in &self.chunks {
+            s.base_rows += c.base.len();
+            s.dead_rows += c.edited_base_rows();
+            s.overlay_rows += c
+                .edits
+                .as_ref()
+                .map_or(0, |e| e.values().map(Vec::len).sum());
+        }
+        s
+    }
+
+    /// Cheap lineage probe: does this store still hold `base`'s first
+    /// sealed chunk allocation? Row edits never replace a base chunk
+    /// (they only copy overlays) and inserts only append, so a direct
+    /// descendant of `base` always shares it; a wholesale rebuild — or a
+    /// compaction, which already paid O(table) itself — does not. O(1).
+    pub fn derives_from(&self, base: &TupleStore) -> bool {
+        match (self.chunks.first(), base.chunks.first()) {
+            (Some(a), Some(b)) => Arc::ptr_eq(&a.base, &b.base),
+            _ => false,
+        }
+    }
+
+    /// Number of sealed chunks whose base storage is physically shared
+    /// (same allocation) with `other` — how much of the table a fork
+    /// re-uses. Quadratic in the chunk counts; meant for tests and
+    /// diagnostics.
+    pub fn shared_chunks(&self, other: &TupleStore) -> usize {
+        self.chunks
+            .iter()
+            .filter(|a| other.chunks.iter().any(|b| Arc::ptr_eq(&a.base, &b.base)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(x: i64) -> Tuple {
+        Tuple::base(vec![Value::Int(x)])
+    }
+
+    fn ints(store: &TupleStore) -> Vec<i64> {
+        store.iter().map(|t| t.value(0).as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut s = TupleStore::new();
+        for i in 0..5 {
+            s.push(t(i));
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(ints(&s), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.summary().pending_rows, 5);
+    }
+
+    #[test]
+    fn pushes_seal_at_target() {
+        let mut s = TupleStore::new();
+        for i in 0..(TARGET_CHUNK_ROWS as i64 + 3) {
+            s.push(t(i));
+        }
+        let sum = s.summary();
+        assert_eq!(sum.chunks, 1);
+        assert_eq!(sum.pending_rows, 3);
+        assert_eq!(s.len(), TARGET_CHUNK_ROWS + 3);
+    }
+
+    #[test]
+    fn from_tuples_builds_dense_chunks() {
+        let s = TupleStore::from_tuples((0..1200).map(t).collect());
+        let sum = s.summary();
+        assert_eq!(sum.chunks, 3);
+        assert_eq!(sum.pending_rows, 0);
+        assert_eq!(s.len(), 1200);
+        assert_eq!(ints(&s), (0..1200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn edits_tombstone_replace_and_split() {
+        let mut s = TupleStore::from_tuples((0..10).map(t).collect());
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(match tp.value(0).as_int().unwrap() {
+                    3 => RowEdit::Remove,
+                    5 => RowEdit::Replace(vec![t(50)]),
+                    7 => RowEdit::Replace(vec![t(70), t(71)]),
+                    _ => RowEdit::Keep,
+                })
+            })
+            .unwrap();
+        assert_eq!(s.apply_edits(plan), 3);
+        assert_eq!(ints(&s), vec![0, 1, 2, 4, 50, 6, 70, 71, 8, 9]);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn edits_on_replacements_compose() {
+        let mut s = TupleStore::from_tuples((0..4).map(t).collect());
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(if tp.value(0).as_int() == Some(1) {
+                    RowEdit::Replace(vec![t(10), t(11)])
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        // Now edit one member of the replacement list.
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(if tp.value(0).as_int() == Some(10) {
+                    RowEdit::Remove
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        assert_eq!(ints(&s), vec![0, 11, 2, 3]);
+    }
+
+    #[test]
+    fn fork_shares_untouched_chunks() {
+        let mut base = TupleStore::from_tuples((0..2000).map(t).collect());
+        base.seal_pending();
+        let chunks = base.summary().chunks;
+        let mut fork = base.clone();
+        let plan = fork
+            .plan_edits(|tp| {
+                Ok::<_, ()>(if tp.value(0).as_int() == Some(1999) {
+                    RowEdit::Remove
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap();
+        fork.apply_edits(plan);
+        // Every chunk's base is still shared; only the last chunk's overlay
+        // differs.
+        assert_eq!(fork.shared_chunks(&base), chunks);
+        assert_eq!(base.len(), 2000);
+        assert_eq!(fork.len(), 1999);
+    }
+
+    #[test]
+    fn edit_write_work_is_delta_sized() {
+        let mut s = TupleStore::from_tuples((0..10_000).map(t).collect());
+        let before = s.write_work();
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(if tp.value(0).as_int().unwrap() % 1000 == 0 {
+                    RowEdit::Replace(vec![t(-1)])
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        let spent = s.write_work() - before;
+        assert!(spent <= 2 * 10, "10-row edit cost {spent} work units");
+    }
+
+    #[test]
+    fn compact_preserves_sequence_and_folds_layout() {
+        let mut s = TupleStore::from_tuples((0..1000).map(t).collect());
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(match tp.value(0).as_int().unwrap() {
+                    x if x % 3 == 0 => RowEdit::Remove,
+                    x if x % 3 == 1 => RowEdit::Replace(vec![t(-x)]),
+                    _ => RowEdit::Keep,
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        for i in 0..5 {
+            s.push(t(10_000 + i));
+        }
+        let before = ints(&s);
+        s.compact();
+        assert_eq!(ints(&s), before);
+        let sum = s.summary();
+        assert_eq!(sum.overlay_rows, 0);
+        assert_eq!(sum.dead_rows, 0);
+        assert_eq!(sum.pending_rows, 0);
+    }
+
+    #[test]
+    fn tuple_at_matches_iteration() {
+        let mut s = TupleStore::from_tuples((0..700).map(t).collect());
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(match tp.value(0).as_int().unwrap() {
+                    100 => RowEdit::Remove,
+                    600 => RowEdit::Replace(vec![t(6000), t(6001)]),
+                    _ => RowEdit::Keep,
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        s.push(t(9999));
+        let seq: Vec<&Tuple> = s.iter().collect();
+        assert_eq!(seq.len(), s.len());
+        for (i, expect) in seq.iter().enumerate() {
+            assert_eq!(s.tuple_at(i), Some(*expect), "position {i}");
+        }
+        assert_eq!(s.tuple_at(s.len()), None);
+    }
+
+    #[test]
+    fn plan_error_leaves_store_untouched() {
+        let s = TupleStore::from_tuples((0..10).map(t).collect());
+        let before = ints(&s);
+        let r = s.plan_edits(|tp| {
+            if tp.value(0).as_int() == Some(5) {
+                Err("boom")
+            } else {
+                Ok(RowEdit::Remove)
+            }
+        });
+        assert!(r.is_err());
+        assert_eq!(ints(&s), before);
+    }
+
+    #[test]
+    fn chunk_views_cover_all_rows() {
+        let mut s = TupleStore::from_tuples((0..1100).map(t).collect());
+        s.push(t(5000));
+        let views = s.chunk_views();
+        let total: usize = views.iter().map(|v| v.len()).sum();
+        assert_eq!(total, s.len());
+        let via_views: Vec<i64> = views
+            .iter()
+            .flat_map(|v| v.iter())
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(via_views, ints(&s));
+    }
+
+    #[test]
+    fn should_compact_on_dead_fraction() {
+        let mut s = TupleStore::from_tuples((0..100).map(t).collect());
+        assert!(!s.should_compact());
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(if tp.value(0).as_int().unwrap() < 60 {
+                    RowEdit::Remove
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        assert!(s.should_compact());
+        s.compact();
+        assert!(!s.should_compact());
+    }
+}

@@ -1,0 +1,517 @@
+//! Versioned copy-on-write tuple store: storage-layer contracts.
+//!
+//! The storage refactor promises four things, each pinned here:
+//!
+//! 1. **Snapshot isolation** — a reader holding a pinned table version
+//!    never observes a concurrent writer's effects, and the writer's new
+//!    version physically shares every untouched chunk with the snapshot.
+//! 2. **Off-lock writers** — the `modify_table` closure runs against a
+//!    private fork, so readers (and even other catalog operations) proceed
+//!    while a modification is in flight; conflicting publications fail
+//!    with [`EngineError::ConcurrentModification`] instead of corrupting.
+//! 3. **Chunked scans ≡ flat scans** — executing over the chunk-partitioned
+//!    store is bit-identical (results, order, work-unit stats) at every
+//!    parallelism level, with overlays, tombstones and insert chunks
+//!    present.
+//! 4. **Deltas are exact** — `compact()` is semantically a no-op, and the
+//!    staleness accounting counts a one-row edit as one row no matter
+//!    where in the table the row sits (the positional-diff regression).
+//!
+//! Plus a differential property test: random `Modifier` sequences against
+//! a naive `Vec<Tuple>` re-implementation of the same semantics.
+
+use ongoing_core::date::md;
+use ongoing_core::time::tp;
+use ongoing_core::{OngoingInterval, OngoingPoint};
+use ongoing_relation::{Expr, OngoingRelation, Schema, Tuple, Value};
+use ongoingdb::engine::modify::Modifier;
+use ongoingdb::engine::plan::{compile, PlannerConfig};
+use ongoingdb::engine::{Database, EngineError, ExecContext};
+use ongoingdb::engine::{LogicalPlan, QueryBuilder};
+use proptest::prelude::*;
+
+const CHUNK: usize = ongoing_relation::TARGET_CHUNK_ROWS;
+
+fn schema() -> Schema {
+    Schema::builder().int("K").int("G").interval("VT").build()
+}
+
+/// A deterministic relation big enough to span several chunks.
+fn big_relation(rows: usize) -> OngoingRelation {
+    let mut r = OngoingRelation::new(schema());
+    for i in 0..rows as i64 {
+        let start = tp(i % 97);
+        let iv = if i % 3 == 0 {
+            OngoingInterval::from_until_now(start)
+        } else {
+            OngoingInterval::fixed(start, tp(i % 97 + 5 + i % 11))
+        };
+        r.insert(vec![Value::Int(i), Value::Int(i % 13), Value::Interval(iv)])
+            .unwrap();
+    }
+    r
+}
+
+fn k_eq(k: i64) -> Expr {
+    Expr::Col(0).eq(Expr::lit(k))
+}
+
+// ---------------------------------------------------------------------
+// 1. Snapshot isolation + physical sharing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pinned_version_is_isolated_from_writers_and_shares_chunks() {
+    let rows = 3 * CHUNK + 100;
+    let db = Database::new();
+    db.create_table("T", big_relation(rows)).unwrap();
+
+    // Pin the current version and materialize what the reader sees.
+    let snap = db.table("T").unwrap();
+    let before: Vec<Tuple> = snap.data().iter().cloned().collect();
+
+    // Writer: terminate one key, delete another, insert a fresh row.
+    let n = db
+        .modify_table("T", |rel| {
+            let mut m = Modifier::new(rel, "VT")?;
+            let a = m.terminate(&k_eq(7), tp(50))?;
+            let b = m.delete(&k_eq((CHUNK + 3) as i64))?;
+            m.insert_open(
+                vec![Value::Int(-1), Value::Int(0), Value::Bool(false)],
+                tp(5),
+            )?;
+            Ok(a + b)
+        })
+        .unwrap();
+    assert_eq!(n, 2);
+
+    // The pinned snapshot is untouched — same length, same tuples.
+    assert_eq!(snap.data().len(), rows);
+    let after_snap: Vec<Tuple> = snap.data().iter().cloned().collect();
+    assert_eq!(after_snap, before, "reader observed writer effects");
+
+    // The published version differs, but shares every untouched chunk.
+    let current = db.table("T").unwrap();
+    assert_eq!(current.data().len(), rows); // -1 deleted, +1 inserted
+    let shared = current.data().shares_chunks_with(snap.data());
+    let snap_chunks = snap.data().storage_summary().chunks;
+    assert!(
+        shared >= snap_chunks - 2,
+        "version shares {shared} of {snap_chunks} chunks with its base"
+    );
+    assert!(current.data().iter().any(|t| t.value(0) == &Value::Int(-1)));
+}
+
+// ---------------------------------------------------------------------
+// 2. Off-lock writers: readers proceed mid-modification; conflicting
+//    publications error instead of clobbering.
+// ---------------------------------------------------------------------
+
+#[test]
+fn closure_runs_off_lock_and_conflicts_error() {
+    let db = Database::new();
+    db.create_table("T", big_relation(CHUNK)).unwrap();
+
+    // Reading — and even replacing — the table *from inside the closure*
+    // works because the closure runs against a private fork with no
+    // catalog lock held (the pre-refactor implementation deadlocked here).
+    let r = db.modify_table("T", |rel| {
+        let mid_write_view = db.table("T").expect("reader not blocked by writer");
+        assert_eq!(mid_write_view.data().len(), CHUNK);
+        let mut m = Modifier::new(rel, "VT")?;
+        m.delete(&k_eq(3))?;
+        // A concurrent writer publishes first:
+        db.put_table("T", big_relation(10));
+        Ok(())
+    });
+    match r {
+        Err(EngineError::ConcurrentModification(t)) => assert_eq!(t, "T"),
+        other => panic!("expected ConcurrentModification, got {other:?}"),
+    }
+    // The losing modification was not applied; the winner's data stands.
+    assert_eq!(db.table("T").unwrap().data().len(), 10);
+}
+
+// ---------------------------------------------------------------------
+// 3. Serial ≡ parallel over genuinely fragmented stores.
+// ---------------------------------------------------------------------
+
+/// Fragments T: overlays in several chunks, tombstones, splits, and a
+/// small insert-batch chunk on top of the dense base.
+fn fragmented_db(rows: usize) -> Database {
+    let db = Database::new();
+    db.create_table("T", big_relation(rows)).unwrap();
+    db.create_table("S", big_relation(90)).unwrap();
+    db.modify_table("T", |rel| {
+        let mut m = Modifier::new(rel, "VT")?;
+        for k in [2i64, 55, 1000, 1500, 2400] {
+            m.terminate(&k_eq(k), tp(40))?;
+        }
+        m.update(
+            &Expr::Col(1).eq(Expr::lit(5i64)),
+            &[(0, Value::Int(9999))],
+            tp(30),
+        )?;
+        m.delete(&k_eq(70))?;
+        for i in 0..20 {
+            m.insert_open(
+                vec![
+                    Value::Int(100_000 + i),
+                    Value::Int(i % 13),
+                    Value::Bool(false),
+                ],
+                tp(10 + i % 40),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let s = db.table("T").unwrap().data().storage_summary();
+    assert!(s.overlay_rows > 0, "fixture must carry overlays: {s:?}");
+    assert!(s.dead_rows > 0, "fixture must carry tombstones: {s:?}");
+    db
+}
+
+fn plans(db: &Database) -> Vec<LogicalPlan> {
+    let filter =
+        QueryBuilder::scan_as(db, "T", "A")
+            .unwrap()
+            .filter(|s| {
+                Ok(Expr::col(s, "A.VT")?.overlaps(Expr::lit(Value::Interval(
+                    OngoingInterval::fixed(tp(20), tp(60)),
+                ))))
+            })
+            .unwrap()
+            .build();
+    let hash = QueryBuilder::scan_as(db, "T", "L")
+        .unwrap()
+        .join(QueryBuilder::scan_as(db, "S", "R").unwrap(), |s| {
+            Ok(Expr::col(s, "L.G")?
+                .eq(Expr::col(s, "R.G")?)
+                .and(Expr::col(s, "L.VT")?.overlaps(Expr::col(s, "R.VT")?)))
+        })
+        .unwrap()
+        .build();
+    let sweep = QueryBuilder::scan_as(db, "T", "L")
+        .unwrap()
+        .join(QueryBuilder::scan_as(db, "S", "R").unwrap(), |s| {
+            Ok(Expr::col(s, "L.VT")?.overlaps(Expr::col(s, "R.VT")?))
+        })
+        .unwrap()
+        .build();
+    vec![filter, hash, sweep]
+}
+
+#[test]
+fn chunked_scans_are_bit_identical_at_every_parallelism() {
+    let db = fragmented_db(3 * CHUNK);
+    for (i, plan) in plans(&db).iter().enumerate() {
+        let phys = compile(&db, plan, &PlannerConfig::default()).unwrap();
+        let (serial, serial_stats) = phys.execute_with_stats(&ExecContext::serial()).unwrap();
+        for p in [1usize, 2, 4, 8] {
+            let ctx = ExecContext::new(p);
+            let (parallel, parallel_stats) = phys.execute_with_stats(&ctx).unwrap();
+            assert_eq!(parallel, serial, "plan {i}, parallelism {p}: result");
+            assert_eq!(
+                parallel_stats, serial_stats,
+                "plan {i}, parallelism {p}: stats"
+            );
+            for rt in [tp(0), tp(25), tp(47), tp(90)] {
+                let (rows_s, st_s) = phys.rows_at_with_stats(rt, &ExecContext::serial()).unwrap();
+                let (rows_p, st_p) = phys.rows_at_with_stats(rt, &ctx).unwrap();
+                assert_eq!(rows_p, rows_s, "plan {i}, p {p}, rt {rt}: rows");
+                assert_eq!(st_p, st_s, "plan {i}, p {p}, rt {rt}: stats");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4a. Delta-then-compact equivalence.
+// ---------------------------------------------------------------------
+
+#[test]
+fn compact_is_a_semantic_noop() {
+    let db = fragmented_db(2 * CHUNK);
+    let fragmented = db.table("T").unwrap().data().clone();
+    let mut compacted = fragmented.clone();
+    compacted.compact();
+
+    // Same logical relation…
+    assert_eq!(compacted, fragmented);
+    assert_eq!(compacted.len(), fragmented.len());
+    assert_eq!(compacted.tuples(), fragmented.tuples());
+    for rt in [tp(0), tp(33), tp(80)] {
+        assert_eq!(compacted.bind(rt), fragmented.bind(rt));
+    }
+    // …different physical layout: folded dense.
+    let s = compacted.storage_summary();
+    assert_eq!(s.overlay_rows, 0);
+    assert_eq!(s.dead_rows, 0);
+    assert_eq!(s.pending_rows, 0);
+
+    // Queries over a compacted catalog table match the fragmented run.
+    let plan = plans(&db).remove(0);
+    let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+    let (frag_result, frag_stats) = phys.execute_with_stats(&ExecContext::new(4)).unwrap();
+    db.put_table("T", compacted);
+    let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+    let (comp_result, comp_stats) = phys.execute_with_stats(&ExecContext::new(4)).unwrap();
+    assert_eq!(comp_result, frag_result);
+    assert_eq!(comp_stats, frag_stats);
+}
+
+// ---------------------------------------------------------------------
+// 4b. Staleness regression: deleting one mid-table row counts as one
+//     touched row, not ~N (the positional-diff bug).
+// ---------------------------------------------------------------------
+
+#[test]
+fn delete_one_row_advances_staleness_by_one() {
+    let db = Database::new();
+    db.create_table("T", big_relation(200)).unwrap();
+    let stats = db.analyze("T").unwrap();
+    assert_eq!(stats.rows, 200);
+
+    // Deleting a single row mid-table shifts 100 successors positionally;
+    // the old positional diff counted ~100 touched rows and re-analyzed.
+    // The COW delta counts exactly one, far below the threshold (50 + 10%).
+    db.modify_table("T", |rel| Modifier::new(rel, "VT")?.delete(&k_eq(100)))
+        .unwrap();
+    let after = db.table("T").unwrap().statistics().unwrap();
+    assert_eq!(
+        after.rows, 200,
+        "statistics must not auto-refresh after a one-row delete"
+    );
+
+    // Crossing the threshold for real still refreshes.
+    db.modify_table("T", |rel| {
+        let mut m = Modifier::new(rel, "VT")?;
+        for k in 0..80 {
+            m.delete(&k_eq(k))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let refreshed = db.table("T").unwrap().statistics().unwrap();
+    assert!(
+        refreshed.rows < 200,
+        "bulk delete past the threshold must refresh (rows={})",
+        refreshed.rows
+    );
+}
+
+#[test]
+fn staleness_counts_logical_rows_not_overlay_copies() {
+    // A chunk that already carries a large edit overlay forces every new
+    // version to copy that overlay (copy-on-write bookkeeping). That
+    // physical work must NOT count toward statistics staleness: a one-row
+    // edit is one touched row even on a heavily-overlaid chunk.
+    let db = Database::new();
+    db.create_table("T", big_relation(1_000)).unwrap();
+    db.modify_table("T", |rel| {
+        let mut m = Modifier::new(rel, "VT")?;
+        // 200 touched rows: big overlay, but below the 50% dead-fraction
+        // compaction trigger so the overlay survives publication. The cap
+        // point lies past every start (starts are < 97), so every row is
+        // replaced in place rather than tombstoned.
+        for k in 0..200 {
+            m.terminate(&k_eq(k), tp(200))?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let overlay = db.table("T").unwrap().data().storage_summary().overlay_rows;
+    assert!(overlay >= 150, "fixture needs a big overlay, got {overlay}");
+    let stats = db.analyze("T").unwrap();
+    let rows = stats.rows;
+
+    // One-row edits: each copies the ~300-entry overlay physically, but
+    // advances staleness by 1 — far below the threshold, no refresh.
+    for k in 400..410 {
+        db.modify_table("T", |rel| Modifier::new(rel, "VT")?.delete(&k_eq(k)))
+            .unwrap();
+    }
+    let after = db.table("T").unwrap().statistics().unwrap();
+    assert_eq!(
+        after.rows, rows,
+        "overlay copy-on-write must not inflate the staleness counter"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 5. Differential property test: Modifier over the COW store vs a naive
+//    Vec<Tuple> re-implementation of the same semantics.
+// ---------------------------------------------------------------------
+
+/// One randomized modification step.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertOpen { k: i64, start: i64 },
+    Terminate { k: i64, at: i64 },
+    Update { k: i64, g: i64, at: i64 },
+    Delete { k: i64 },
+    Compact,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let k = 0i64..12;
+    prop_oneof![
+        (k.clone(), 0i64..60).prop_map(|(k, start)| Op::InsertOpen { k, start }),
+        (k.clone(), 0i64..60).prop_map(|(k, at)| Op::Terminate { k, at }),
+        (k.clone(), 0i64..9, 0i64..60).prop_map(|(k, g, at)| Op::Update { k, g, at }),
+        k.prop_map(|k| Op::Delete { k }),
+        (0u8..2).prop_map(|_| Op::Compact),
+    ]
+}
+
+// The naive model — the pre-refactor semantics over a plain `Vec<Tuple>`
+// — lives in `ongoing_bench::naive`, shared with `repro_churn`'s replay.
+use ongoing_bench::naive as model;
+
+proptest! {
+    #[test]
+    fn modifier_sequences_match_the_naive_model(
+        seed_rows in 0usize..40,
+        ops in proptest::collection::vec(arb_op(), 1..30),
+    ) {
+        let mut rel = OngoingRelation::new(schema());
+        let mut rows: Vec<Tuple> = Vec::new();
+        for i in 0..seed_rows as i64 {
+            let iv = OngoingInterval::fixed(tp(i % 17), tp(i % 17 + 4));
+            rel.insert(vec![Value::Int(i % 12), Value::Int(0), Value::Interval(iv)])
+                .unwrap();
+            rows.push(Tuple::base(vec![
+                Value::Int(i % 12),
+                Value::Int(0),
+                Value::Interval(iv),
+            ]));
+        }
+        for op in &ops {
+            match op {
+                Op::InsertOpen { k, start } => {
+                    Modifier::new(&mut rel, "VT").unwrap().insert_open(
+                        vec![Value::Int(*k), Value::Int(1), Value::Bool(false)],
+                        tp(*start),
+                    ).unwrap();
+                    model::insert_open(&mut rows, *k, 1, tp(*start));
+                }
+                Op::Terminate { k, at } => {
+                    Modifier::new(&mut rel, "VT").unwrap()
+                        .terminate(&k_eq(*k), tp(*at)).unwrap();
+                    model::terminate(&mut rows, *k, tp(*at));
+                }
+                Op::Update { k, g, at } => {
+                    Modifier::new(&mut rel, "VT").unwrap()
+                        .update(&k_eq(*k), &[(1, Value::Int(*g))], tp(*at)).unwrap();
+                    model::update(&mut rows, *k, *g, tp(*at));
+                }
+                Op::Delete { k } => {
+                    Modifier::new(&mut rel, "VT").unwrap().delete(&k_eq(*k)).unwrap();
+                    model::delete(&mut rows, *k);
+                }
+                Op::Compact => rel.compact(),
+            }
+            // Same tuple sequence after every step…
+            prop_assert_eq!(rel.len(), rows.len());
+            let got: Vec<Tuple> = rel.iter().cloned().collect();
+            prop_assert_eq!(&got, &rows, "store diverged from model after {:?}", op);
+            // …and the compatibility slice agrees with chunk iteration.
+            prop_assert_eq!(rel.tuples(), &rows[..]);
+        }
+        // Instantiations agree everywhere (the paper's criterion).
+        let oracle = OngoingRelation::from_tuples(schema(), rows).unwrap();
+        for rt in (-2i64..70).step_by(7) {
+            prop_assert_eq!(rel.bind(tp(rt)), oracle.bind(tp(rt)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog-level churn sanity: sustained modifications stay O(delta) and
+// the auto-compaction policy keeps fragmentation bounded.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sustained_churn_keeps_fragmentation_bounded() {
+    let db = Database::new();
+    db.create_table("T", big_relation(2 * CHUNK)).unwrap();
+    let base_work = db.table("T").unwrap().data().write_work();
+    for round in 0..300i64 {
+        db.modify_table("T", |rel| {
+            let mut m = Modifier::new(rel, "VT")?;
+            m.insert_open(
+                vec![
+                    Value::Int(500_000 + round),
+                    Value::Int(round % 13),
+                    Value::Bool(false),
+                ],
+                tp(round % 90),
+            )?;
+            m.terminate(&k_eq(round % 700), tp(round % 90 + 1))?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    let data = db.table("T").unwrap().data().clone();
+    let s = data.storage_summary();
+    let ideal = data.len().div_ceil(CHUNK);
+    let slack = ongoing_relation::store::COMPACT_CHUNK_SLACK.max(ideal);
+    assert!(
+        s.chunks <= ideal + slack + 1,
+        "compaction policy failed to bound chunk count: {s:?}"
+    );
+    // Total physical write work stays far below 300 × O(table) — the
+    // pre-refactor cost of 300 whole-table clones.
+    let spent = data.write_work() - base_work;
+    let clone_cost = 300 * 2 * CHUNK as u64;
+    assert!(
+        spent < clone_cost / 4,
+        "write work {spent} should be well under the clone-path cost {clone_cost}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Interval indexes address live positions on the current version.
+// ---------------------------------------------------------------------
+
+#[test]
+fn interval_index_ids_follow_the_live_ordinals() {
+    let db = fragmented_db(2 * CHUNK);
+    let table = db.table("T").unwrap();
+    let idx = table.interval_index(2).unwrap();
+    let ids = idx.query(tp(20), tp(45));
+    assert!(!ids.is_empty());
+    for &id in &ids {
+        let t = table.data().tuple_at(id).expect("live position");
+        let iv = t.value(2).as_interval().unwrap();
+        assert!(
+            iv.ts().a() < tp(45) && iv.te().b() > tp(20),
+            "id {id}: {iv:?}"
+        );
+    }
+}
+
+/// Keeping the example from the paper honest across the refactor: the
+/// md-granularity doctest scenario still round-trips through the store.
+#[test]
+fn md_scenario_roundtrip() {
+    let db = Database::new();
+    let mut bugs = OngoingRelation::new(Schema::builder().int("BID").interval("VT").build());
+    bugs.insert(vec![
+        Value::Int(500),
+        Value::Interval(OngoingInterval::from_until_now(md(1, 25))),
+    ])
+    .unwrap();
+    db.create_table("B", bugs).unwrap();
+    let n = db
+        .modify_table("B", |rel| {
+            Modifier::new(rel, "VT")?.terminate(&Expr::Col(0).eq(Expr::lit(500i64)), md(9, 1))
+        })
+        .unwrap();
+    assert_eq!(n, 1);
+    let data = db.table("B").unwrap().data().clone();
+    assert_eq!(data.len(), 1);
+    let iv = data.iter().next().unwrap().value(1).as_interval().unwrap();
+    assert_eq!(iv.te(), OngoingPoint::limited(md(9, 1)));
+}

@@ -8,7 +8,11 @@
 //! the derive macros emit empty impls.
 //!
 //! When network access is available, replace the `vendor/serde` path
-//! dependency with the crates.io release — no source change needed.
+//! dependency with the crates.io release. The derives then emit real
+//! impls with no source change; the one exception is `OngoingRelation`
+//! (`crates/relation/src/relation.rs`), whose hand-written marker impls
+//! must become a `(schema, Vec<Tuple>)` proxy implementation — its
+//! chunked storage layout is not a wire format.
 
 #![forbid(unsafe_code)]
 
