@@ -160,9 +160,93 @@ fn churn(c: &mut Criterion) {
     g.finish();
 }
 
+/// 1 000-round churn on a 100 000-row table with a keyed index — the
+/// partial-compaction + keyed-qualification contract at scale, asserted
+/// on deterministic work units before the timing loop runs:
+///
+/// * no publication (compaction rounds included) spends O(table) write
+///   work — folds stay O(fragmented run);
+/// * chunk fragmentation stays inside the storage policy's bound;
+/// * keyed qualification stays O(rows touched) per round on the churned,
+///   fragmented layout.
+fn churn_large(c: &mut Criterion) {
+    let rows = 100_000usize;
+    let rounds = 1_000i64;
+    let db = cow_db(rows);
+    db.create_key_index("T", "ID").unwrap();
+    let data0 = db.table("T").unwrap().data().clone();
+    let (mut prev_work, qual0) = (data0.write_work(), data0.qual_work());
+    let mut max_spike = 0u64;
+    let mut max_chunks = 0usize;
+    for r in 0..rounds {
+        db.modify_table("T", |rel| {
+            let mut m = Modifier::new(rel, "VT")?;
+            m.insert_open(
+                vec![
+                    Value::Int(rows as i64 + r),
+                    Value::Int(r),
+                    Value::Bool(false),
+                ],
+                tp(r % 3_000),
+            )?;
+            m.terminate(&Expr::Col(0).eq(Expr::lit((r * 31) % rows as i64)), tp(500))?;
+            Ok(())
+        })
+        .unwrap();
+        let data = db.table("T").unwrap().data().clone();
+        max_spike = max_spike.max(data.write_work() - prev_work);
+        prev_work = data.write_work();
+        max_chunks = max_chunks.max(data.storage_summary().chunks);
+    }
+    let data = db.table("T").unwrap().data().clone();
+    let qual_per_round = (data.qual_work() - qual0) as f64 / rounds as f64;
+    let ideal = data.len().div_ceil(ongoing_relation::TARGET_CHUNK_ROWS);
+    println!(
+        "churn_large contract: worst publication {max_spike} wu on {rows} rows; \
+         peak {max_chunks} chunks (ideal {ideal}); \
+         keyed qualification {qual_per_round:.1} wu/round"
+    );
+    assert!(
+        (max_spike as f64) < rows as f64 / 20.0,
+        "publication spike {max_spike} wu ≈ O(table): partial compaction regressed"
+    );
+    let slack = ongoing_relation::store::COMPACT_CHUNK_SLACK.max(ideal);
+    assert!(
+        max_chunks <= ideal + slack + 1,
+        "fragmentation escaped the policy (peak {max_chunks}, ideal {ideal})"
+    );
+    assert!(
+        qual_per_round < 200.0,
+        "keyed qualification {qual_per_round:.1} wu/round is not O(rows touched)"
+    );
+
+    let mut g = c.benchmark_group("churn_large");
+    let mut r = rounds;
+    g.bench_function("keyed_insert_terminate_round/100k", |b| {
+        b.iter(|| {
+            r += 1;
+            db.modify_table("T", |rel| {
+                let mut m = Modifier::new(rel, "VT")?;
+                m.insert_open(
+                    vec![
+                        Value::Int(rows as i64 + r),
+                        Value::Int(r),
+                        Value::Bool(false),
+                    ],
+                    tp(r % 3_000),
+                )?;
+                m.terminate(&Expr::Col(0).eq(Expr::lit((r * 31) % rows as i64)), tp(500))?;
+                Ok(())
+            })
+            .unwrap();
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = codec, heap, cow_writes, churn
+    targets = codec, heap, cow_writes, churn, churn_large
 }
 criterion_main!(benches);

@@ -20,6 +20,7 @@ const BINS: &[&str] = &[
     "repro_table5",
     "repro_costmodel",
     "repro_churn",
+    "repro_writers",
 ];
 
 fn main() {

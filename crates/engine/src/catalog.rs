@@ -12,7 +12,9 @@ use crate::stats::{analyze_relation, TableStatistics};
 use ongoing_relation::{OngoingRelation, Schema};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Minimum number of modified rows before an analyzed table is considered
 /// stale (PostgreSQL's autovacuum-style floor).
@@ -148,10 +150,133 @@ fn positional_diff(old: &OngoingRelation, new: &OngoingRelation) -> u64 {
     changed
 }
 
+/// How [`Database::modify_table`] responds to publication conflicts.
+///
+/// A conflict means another writer published between this writer's version
+/// pin and its compare-and-swap — the modification was not applied and is
+/// simply re-run against the new current version. The policy bounds how
+/// hard to try: a few optimistic free-running attempts with exponential
+/// backoff, then entry into the table's *ordered writer queue* (a FIFO
+/// ticket lock) so contended writers stop trampling each other and commit
+/// in arrival order instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total publication attempts before surfacing
+    /// [`EngineError::ConcurrentModification`]. At least 1.
+    pub max_attempts: u32,
+    /// Base backoff slept after the first conflict, doubled per further
+    /// conflict up to [`max_backoff`](Self::max_backoff). Zero means
+    /// yield-only.
+    pub backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Free-running attempts before joining the ordered writer queue.
+    /// `0` queues from the first attempt (strict FIFO writers).
+    pub queue_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 16,
+            backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(2),
+            queue_after: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the pre-retry behaviour: the first
+    /// conflict surfaces as [`EngineError::ConcurrentModification`].
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    fn backoff_for(&self, failed_attempts: u32) -> Duration {
+        let exp = failed_attempts.saturating_sub(1).min(16);
+        self.backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff)
+    }
+}
+
+/// A FIFO ticket lock: writers draw a ticket and are served strictly in
+/// draw order — the "ordered retry queue" contended `modify_table` calls
+/// enter. Unlike a plain mutex there is no barging: a writer that has
+/// waited longest publishes next, so no writer starves however heavy the
+/// contention.
+#[derive(Debug, Default)]
+struct TicketGate {
+    next: AtomicU64,
+    serving: AtomicU64,
+}
+
+thread_local! {
+    /// Gates this thread currently holds. A pass is released only after
+    /// the closure returns, so re-entering a held gate (a closure nesting
+    /// a gated `modify_table` on the same table) would self-deadlock —
+    /// [`TicketGate::enter`] detects that and lets the nested call run
+    /// ungated instead.
+    static HELD_GATES: std::cell::RefCell<Vec<usize>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+struct TicketPass<'a> {
+    gate: &'a TicketGate,
+    id: usize,
+}
+
+impl TicketGate {
+    /// Draws a ticket and blocks until it is served. Returns `None` when
+    /// this thread already holds the gate (nested modification) — the
+    /// caller proceeds ungated rather than deadlocking on itself.
+    fn enter(&self) -> Option<TicketPass<'_>> {
+        let id = self as *const TicketGate as usize;
+        let reentrant = HELD_GATES.with(|held| {
+            let mut held = held.borrow_mut();
+            if held.contains(&id) {
+                return true;
+            }
+            held.push(id);
+            false
+        });
+        if reentrant {
+            return None;
+        }
+        let ticket = self.next.fetch_add(1, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while self.serving.load(Ordering::SeqCst) != ticket {
+            spins += 1;
+            if spins < 32 {
+                std::hint::spin_loop();
+            } else if spins < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        Some(TicketPass { gate: self, id })
+    }
+}
+
+impl Drop for TicketPass<'_> {
+    fn drop(&mut self) {
+        HELD_GATES.with(|held| held.borrow_mut().retain(|&g| g != self.id));
+        self.gate.serving.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
 /// An in-memory database of ongoing relations.
 #[derive(Debug, Default)]
 pub struct Database {
     tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    /// Per-table ordered writer queues (see [`RetryPolicy::queue_after`]).
+    /// Keyed by name, not by table version — the gate must survive
+    /// publications, which replace the `Arc<Table>`.
+    gates: Mutex<HashMap<String, Arc<TicketGate>>>,
 }
 
 impl Database {
@@ -203,13 +328,21 @@ impl Database {
     /// the current version; readers are never blocked by a writer. The
     /// write lock is taken only for a final pointer-equality
     /// compare-and-swap. If another writer replaced the table in between,
-    /// nothing is applied and
-    /// [`EngineError::ConcurrentModification`] is returned (retry against
-    /// the new version). The fork shares all untouched chunks with the
-    /// published version, so a modification costs O(rows touched), not
-    /// O(table); when the accumulated delta outgrows the storage policy
-    /// ([`ongoing_relation::store`]) the new version is compacted before
-    /// publication.
+    /// nothing is applied and the modification is **retried** against the
+    /// new current version under the default [`RetryPolicy`]: a few
+    /// free-running attempts with exponential backoff, then the table's
+    /// ordered (FIFO) writer queue. Only once the whole budget is
+    /// exhausted does [`EngineError::ConcurrentModification`] surface,
+    /// carrying the table name and the attempts made. Because conflicts
+    /// re-run it, the closure must be safe to execute multiple times —
+    /// only its *last* run is published (don't accumulate into captured
+    /// state across calls, and don't modify other catalog tables from
+    /// inside). The fork shares all untouched chunks with the published
+    /// version, so a modification costs O(rows touched), not O(table);
+    /// when the accumulated delta outgrows the storage policy
+    /// ([`ongoing_relation::store`]) fragmented chunk *runs* are folded
+    /// before publication (O(fragmented run), with the whole-table fold
+    /// kept only as a policy backstop).
     ///
     /// ```
     /// use ongoing_engine::{modify::Modifier, Database};
@@ -238,8 +371,72 @@ impl Database {
     pub fn modify_table<T>(
         &self,
         name: &str,
-        f: impl FnOnce(&mut OngoingRelation) -> Result<T>,
+        f: impl FnMut(&mut OngoingRelation) -> Result<T>,
     ) -> Result<T> {
+        self.modify_table_with(name, RetryPolicy::default(), f)
+            .map(|(out, _attempts)| out)
+    }
+
+    /// [`modify_table`](Self::modify_table) under an explicit
+    /// [`RetryPolicy`], additionally reporting how many publication
+    /// attempts were made (1 = no conflict) — the counter the concurrency
+    /// tests assert on.
+    pub fn modify_table_with<T>(
+        &self,
+        name: &str,
+        policy: RetryPolicy,
+        mut f: impl FnMut(&mut OngoingRelation) -> Result<T>,
+    ) -> Result<(T, u32)> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Contended writers past the free-running budget commit in
+            // strict arrival order through the table's ticket gate; the
+            // pass is held across fork → closure → publish and released
+            // on drop either way.
+            // The pass is scoped to the publication attempt: a conflicting
+            // gated attempt releases the gate *before* backing off, so the
+            // queue never stalls behind a sleeping writer.
+            let outcome = {
+                let gate = (attempt > policy.queue_after).then(|| self.writer_gate(name));
+                let _pass = gate.as_ref().and_then(|g| g.enter());
+                self.attempt_modify(name, &mut f)?
+            };
+            match outcome {
+                Some(out) => return Ok((out, attempt)),
+                None if attempt < max_attempts => {
+                    let pause = policy.backoff_for(attempt);
+                    if pause.is_zero() {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(pause);
+                    }
+                }
+                None => {
+                    return Err(EngineError::ConcurrentModification {
+                        table: name.to_string(),
+                        attempts: attempt,
+                    })
+                }
+            }
+        }
+    }
+
+    /// The per-table FIFO writer gate, created on first contention.
+    fn writer_gate(&self, name: &str) -> Arc<TicketGate> {
+        Arc::clone(self.gates.lock().entry(name.to_string()).or_default())
+    }
+
+    /// One optimistic publication attempt: fork, run the closure, account
+    /// staleness, compact, compare-and-swap. `Ok(None)` signals a
+    /// publication conflict (retryable); closure errors and a vanished
+    /// table are terminal.
+    fn attempt_modify<T>(
+        &self,
+        name: &str,
+        f: &mut impl FnMut(&mut OngoingRelation) -> Result<T>,
+    ) -> Result<Option<T>> {
         // Pin the current version (short read lock) and fork it: the fork
         // shares every sealed chunk, so this is O(#chunks), not O(rows).
         let table = self.table(name)?;
@@ -271,9 +468,14 @@ impl Database {
                 mods_since_analyze: 0,
             };
         }
+        // Fold the accumulated delta before publication (off-lock).
+        // Partial first: only fragmented chunk runs, O(fragmented run) —
+        // sustained churn on a large table never pays a whole-table fold
+        // (a no-op when nothing is fragmented). The global policy stays
+        // as a backstop for layouts run folding cannot fix (and for
+        // wholesale rebuilds).
+        data.compact_runs();
         if data.should_compact() {
-            // Fold the accumulated delta before publication (off-lock;
-            // amortized O(1) per written row under the storage policy).
             data.compact();
         }
         let new_table = Table::with_state(name, data, state);
@@ -282,11 +484,23 @@ impl Database {
         match tables.get(name) {
             Some(current) if Arc::ptr_eq(current, &table) => {
                 tables.insert(name.to_string(), new_table);
-                Ok(out)
+                Ok(Some(out))
             }
-            Some(_) => Err(EngineError::ConcurrentModification(name.to_string())),
+            Some(_) => Ok(None),
             None => Err(EngineError::UnknownTable(name.to_string())),
         }
+    }
+
+    /// Declares a keyed qualification index on `table.column` (which must
+    /// hold a fixed scalar type): [`crate::modify::Modifier`] predicates
+    /// on the column qualify through the index in O(rows matching) instead
+    /// of an O(table) scan. The index is a property of the stored relation
+    /// — it survives version forks, publications and compaction.
+    pub fn create_key_index(&self, table: &str, column: &str) -> Result<()> {
+        let col = self.table(table)?.schema().index_of(column)?;
+        self.modify_table(table, |rel| {
+            rel.create_key_index(col).map_err(EngineError::Schema)
+        })
     }
 
     /// Collects statistics for one table (`ANALYZE <table>`).
@@ -310,10 +524,16 @@ impl Database {
     /// Drops a table; errors if it does not exist.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let mut tables = self.tables.write();
-        tables
+        let removed = tables
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()));
+        if removed.is_ok() {
+            // Release the writer gate with the table (in-flight passes
+            // keep theirs via `Arc`); a re-created table starts fresh.
+            self.gates.lock().remove(name);
+        }
+        removed
     }
 
     /// Looks a table up.

@@ -14,10 +14,17 @@ pub enum EngineError {
     Schema(SchemaError),
     /// Expression evaluation failure.
     Eval(EvalError),
-    /// A `modify_table` snapshot was superseded by a concurrent writer
-    /// before its compare-and-swap: the modification was *not* applied and
-    /// can be retried against the new current version.
-    ConcurrentModification(String),
+    /// Every `modify_table` attempt found its snapshot superseded by a
+    /// concurrent writer before the compare-and-swap: the modification was
+    /// *not* applied. Raised only once the retry budget
+    /// ([`crate::catalog::RetryPolicy::max_attempts`]) is exhausted —
+    /// individual conflicts are retried internally.
+    ConcurrentModification {
+        /// The contended table.
+        table: String,
+        /// Publication attempts made before giving up.
+        attempts: u32,
+    },
     /// Planner rejected the query.
     Plan(String),
     /// Storage-layer failure (encode/decode, page overflow).
@@ -31,8 +38,11 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownTable(n) => write!(f, "unknown table `{n}`"),
             EngineError::DuplicateTable(n) => write!(f, "table `{n}` already exists"),
-            EngineError::ConcurrentModification(n) => {
-                write!(f, "table `{n}` was modified concurrently; retry")
+            EngineError::ConcurrentModification { table, attempts } => {
+                write!(
+                    f,
+                    "table `{table}` was modified concurrently; gave up after {attempts} attempt(s)"
+                )
             }
             EngineError::Schema(e) => write!(f, "{e}"),
             EngineError::Eval(e) => write!(f, "{e}"),

@@ -66,10 +66,11 @@ pub mod sql;
 pub mod stats;
 pub mod storage;
 
-pub use catalog::{Database, Table};
+pub use catalog::{Database, RetryPolicy, Table};
 pub use error::{EngineError, Result};
 pub use exec::{ExecContext, ExecStats, THREADS_ENV};
 pub use plan::{JoinStrategy, LogicalPlan, PhysicalPlan, PlannerConfig, QueryBuilder};
+pub use stats::cost::QualPath;
 pub use stats::TableStatistics;
 
 use ongoing_core::TimePoint;

@@ -449,6 +449,60 @@ pub fn product_cols(left: &NodeEstimate, right: &NodeEstimate) -> Vec<ColEstimat
     cols
 }
 
+// ----------------------------------------------------------------------
+// Modification-qualification costing (the write path's access-path
+// choice).
+// ----------------------------------------------------------------------
+
+/// The qualification access path chosen for a `Modifier` predicate, with
+/// the work-unit figures (rows visited — the storage layer's
+/// `qual_work` currency, same system as [`WorkEstimate`]) that drove the
+/// choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QualPath {
+    /// Qualify through the keyed index: `keyed` rows visited (candidates
+    /// plus overlay deltas, pending tail and one probe per chunk) vs the
+    /// `scan` alternative.
+    Keyed {
+        /// The indexed column the probe addresses.
+        col: usize,
+        /// Work of the keyed path.
+        keyed: u64,
+        /// Work of the rejected full scan.
+        scan: u64,
+    },
+    /// Qualify by scanning every live row.
+    Scan {
+        /// Work of the scan (the live row count).
+        rows: u64,
+    },
+}
+
+impl QualPath {
+    /// Does the path use the keyed index?
+    pub fn is_keyed(&self) -> bool {
+        matches!(self, QualPath::Keyed { .. })
+    }
+}
+
+/// Chooses the qualification access path from the storage layer's *exact*
+/// per-path figures ([`ongoing_relation::QualEstimate`]) — exact because
+/// the per-chunk key maps can count matching rows without visiting them,
+/// so unlike the read-path join choice no histogram estimate is needed.
+/// The keyed path wins strictly: on ties (tiny tables, probes matching
+/// everything) the scan's better constants prevail.
+pub fn qualification_path(col: usize, est: &ongoing_relation::QualEstimate) -> QualPath {
+    if est.keyed < est.scan {
+        QualPath::Keyed {
+            col,
+            keyed: est.keyed,
+            scan: est.scan,
+        }
+    } else {
+        QualPath::Scan { rows: est.scan }
+    }
+}
+
 fn filter_work(
     input_rows: f64,
     fixed: Option<&Expr>,

@@ -305,6 +305,22 @@ impl Expr {
         }
     }
 
+    /// The conjunct list by reference — [`conjuncts`](Self::conjuncts)
+    /// without consuming (or cloning) the expression.
+    pub fn conjuncts_ref(&self) -> Vec<&Expr> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::And(l, r) = e {
+                walk(l, out);
+                walk(r, out);
+            } else {
+                out.push(e);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// The paper's predicate split (Sec. VIII): partitions a conjunctive
     /// predicate into the conjunction over fixed attributes only (left) and
     /// the conjunction referencing ongoing attributes (right). Either side

@@ -48,6 +48,7 @@
 pub mod aggregate;
 pub mod algebra;
 pub mod expr;
+pub mod keyindex;
 pub mod relation;
 pub mod schema;
 pub mod store;
@@ -55,6 +56,7 @@ pub mod tuple;
 pub mod value;
 
 pub use expr::{CmpOp, EvalError, Expr};
+pub use keyindex::{KeyProbe, KeyedEdit, QualEstimate};
 pub use relation::{FixedRelation, OngoingRelation};
 pub use schema::{Attribute, Schema, SchemaError};
 pub use store::{ChunkView, RowEdit, StoreSummary, TupleStore, TARGET_CHUNK_ROWS};

@@ -1,9 +1,11 @@
 //! Ongoing relations (Definition 5) and their bind operator.
 
+use crate::keyindex::{KeyProbe, KeyedEdit, QualEstimate};
 use crate::schema::{Schema, SchemaError};
 use crate::store::{ChunkView, RowEdit, StoreIter, StoreSummary, TupleStore};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use crate::value::ValueType;
 use ongoing_core::{IntervalSet, TimePoint};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -170,9 +172,63 @@ impl OngoingRelation {
         &mut self,
         f: impl FnMut(&Tuple) -> Result<RowEdit, E>,
     ) -> Result<usize, E> {
-        let plan = self.store.plan_edits(f)?;
         self.dense = OnceLock::new();
-        Ok(self.store.apply_edits(plan))
+        self.store.edit(f)
+    }
+
+    /// [`edit_tuples`](Self::edit_tuples) qualified through the keyed
+    /// index instead of a full scan: only rows that can satisfy `probe`
+    /// are visited (index candidates + overlay deltas + pending tail).
+    /// Returns `None` when the probe's column carries no index. `probe`
+    /// must be a necessary condition of `f`'s decision — derive it from a
+    /// conjunct of the qualification predicate.
+    pub fn edit_tuples_where<E>(
+        &mut self,
+        probe: &KeyProbe,
+        f: impl FnMut(&Tuple) -> Result<RowEdit, E>,
+    ) -> Result<Option<KeyedEdit>, E> {
+        self.dense = OnceLock::new();
+        self.store.edit_where(probe, f)
+    }
+
+    /// Declares a keyed qualification index over `column`, which must hold
+    /// a fixed scalar type (`Int`, `Str`, `Bool` or `Time`) — key lookup
+    /// on reference-time-dependent values would make *which rows an edit
+    /// addresses* depend on the reference time, which the modification
+    /// model forbids (Sec. III). Maintained incrementally from here on
+    /// (see [`crate::keyindex`]); idempotent.
+    pub fn create_key_index(&mut self, column: usize) -> Result<(), SchemaError> {
+        let attr = self.schema.attr(column)?;
+        if !matches!(
+            attr.ty,
+            ValueType::Int | ValueType::Str | ValueType::Bool | ValueType::Time
+        ) {
+            return Err(SchemaError::Mismatch(format!(
+                "key index requires a fixed scalar column; `{}` is {:?}",
+                attr.name, attr.ty
+            )));
+        }
+        self.store.create_key_index(column);
+        Ok(())
+    }
+
+    /// Columns carrying a keyed qualification index, sorted.
+    pub fn key_indexed_columns(&self) -> &[usize] {
+        self.store.indexed_columns()
+    }
+
+    /// Exact qualification cost of `probe` per path (keyed vs scan), in
+    /// the store's deterministic work units — `None` when the probe's
+    /// column carries no index. The engine's cost model compares the two.
+    pub fn qualification_estimate(&self, probe: &KeyProbe) -> Option<QualEstimate> {
+        self.store.qualification_estimate(probe)
+    }
+
+    /// Cumulative qualification work units (rows visited while deciding
+    /// which rows modifications touch); the difference between a fork and
+    /// its base is the exact read-side qualification cost between them.
+    pub fn qual_work(&self) -> u64 {
+        self.store.qual_work()
     }
 
     /// Folds delta overlays and fragmented chunks into dense chunks — a
@@ -180,6 +236,21 @@ impl OngoingRelation {
     pub fn compact(&mut self) {
         self.dense = OnceLock::new();
         self.store.compact();
+    }
+
+    /// Partial compaction: folds only fragmented chunk *runs* (heavily
+    /// overlaid chunks, runs of undersized insert-batch chunks), costing
+    /// O(fragmented rows) instead of O(table). Returns the write work
+    /// spent. Semantically a no-op, like [`compact`](Self::compact).
+    pub fn compact_runs(&mut self) -> u64 {
+        self.dense = OnceLock::new();
+        self.store.compact_runs()
+    }
+
+    /// Does the storage policy recommend a partial (run-level) fold (see
+    /// [`crate::store::TupleStore::should_compact_runs`])?
+    pub fn should_compact_runs(&self) -> bool {
+        self.store.should_compact_runs()
     }
 
     /// Seals the pending insert tail into an immutable chunk so clones of

@@ -31,6 +31,7 @@
 //! counter the storage benchmarks and the catalog's statistics-staleness
 //! accounting consume.
 
+use crate::keyindex::{build_key_map, KeyMap, KeyProbe, KeyedEdit, QualEstimate};
 use crate::tuple::Tuple;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
@@ -57,6 +58,23 @@ pub const COMPACT_DEAD_FRAC: f64 = 0.5;
 /// floor keeps small tables from folding on every other insert batch.
 pub const COMPACT_CHUNK_SLACK: usize = 64;
 
+/// Partial-compaction trigger: a chunk whose superseded base rows plus
+/// overlay replacement rows exceed this fraction of its base size is
+/// *dirty* — folding it dense removes the accumulated delta. A dirty
+/// chunk has absorbed at least `RUN_DIRTY_FRAC × TARGET_CHUNK_ROWS` row
+/// edits since it was sealed, so folding (O(chunk)) is amortized O(1) per
+/// edit.
+pub const RUN_DIRTY_FRAC: f64 = 0.25;
+
+/// Partial-compaction trigger for *small-chunk runs*: a maximal run of
+/// consecutive undersized chunks (each < half full — the insert batches a
+/// catalog publication seals) is folded once it holds this many chunks
+/// beyond its own dense ideal. The slack amortizes the fold: merging k
+/// tiny chunks costs their combined live rows, paid once per
+/// `RUN_CHUNK_SLACK` chunk-producing modifications — O(TARGET_CHUNK_ROWS)
+/// each time, independent of table size.
+pub const RUN_CHUNK_SLACK: usize = 16;
+
 /// The outcome of visiting one live row during [`TupleStore::apply_edits`]
 /// planning (see [`TupleStore::plan_edits`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +98,12 @@ struct Chunk {
     /// Live rows the chunk contributes (base minus edited, plus
     /// replacements) — cached so partitioning and `len` stay O(#chunks).
     live: usize,
+    /// Keyed qualification indexes over `base`, one per indexed column.
+    /// Immutable once built (bases never mutate) and `Arc`-shared by every
+    /// version holding the chunk; the overlay is deliberately *not*
+    /// indexed — keyed qualification walks it directly (see
+    /// [`crate::keyindex`]).
+    keys: BTreeMap<usize, Arc<KeyMap>>,
 }
 
 impl Chunk {
@@ -89,12 +113,40 @@ impl Chunk {
             base,
             edits: None,
             live,
+            keys: BTreeMap::new(),
         }
+    }
+
+    /// A dense chunk carrying key maps for `cols`.
+    fn dense_indexed(base: Arc<[Tuple]>, cols: &[usize]) -> Chunk {
+        let mut c = Chunk::dense(base);
+        for &col in cols {
+            c.keys.insert(col, Arc::new(build_key_map(&c.base, col)));
+        }
+        c
     }
 
     /// Base rows superseded by the overlay.
     fn edited_base_rows(&self) -> usize {
         self.edits.as_ref().map_or(0, |e| e.len())
+    }
+
+    /// Replacement rows held in the overlay.
+    fn overlay_rows(&self) -> usize {
+        self.edits
+            .as_ref()
+            .map_or(0, |e| e.values().map(Vec::len).sum())
+    }
+
+    /// Has the chunk absorbed enough edits that folding it dense pays off?
+    fn is_dirty(&self) -> bool {
+        let delta = self.edited_base_rows() + self.overlay_rows();
+        delta > 0 && delta as f64 > RUN_DIRTY_FRAC * self.base.len() as f64
+    }
+
+    /// Is the chunk undersized (a sealed insert batch)?
+    fn is_small(&self) -> bool {
+        self.live < TARGET_CHUNK_ROWS / 2
     }
 }
 
@@ -238,6 +290,10 @@ pub struct TupleStore {
     live: usize,
     write_work: u64,
     logical_writes: u64,
+    qual_work: u64,
+    /// Columns carrying a keyed qualification index, sorted. Every sealed
+    /// chunk holds a key map per entry; the pending tail is walked.
+    indexed: Vec<usize>,
     /// Cumulative live-row counts per view (chunks then pending), built
     /// lazily for positional access and invalidated by any mutation.
     offsets: OnceLock<Vec<usize>>,
@@ -254,6 +310,8 @@ impl Clone for TupleStore {
             // nothing changed, so `logical_writes` carries over as-is.
             write_work: self.write_work + self.pending.len() as u64,
             logical_writes: self.logical_writes,
+            qual_work: self.qual_work,
+            indexed: self.indexed.clone(),
             offsets: OnceLock::new(),
         }
     }
@@ -274,6 +332,8 @@ impl TupleStore {
             live: 0,
             write_work: 0,
             logical_writes: 0,
+            qual_work: 0,
+            indexed: Vec::new(),
             offsets: OnceLock::new(),
         }
     }
@@ -297,6 +357,8 @@ impl TupleStore {
             live,
             write_work: live as u64,
             logical_writes: live as u64,
+            qual_work: 0,
+            indexed: Vec::new(),
             offsets: OnceLock::new(),
         }
     }
@@ -330,6 +392,42 @@ impl TupleStore {
         self.logical_writes
     }
 
+    /// Cumulative *qualification* work units: rows visited while deciding
+    /// which rows a modification touches ([`edit`](Self::edit) and
+    /// [`edit_where`](Self::edit_where)). Deterministic, like
+    /// [`write_work`](Self::write_work); the delta between two versions is
+    /// the exact read-side cost of qualifying the modifications between
+    /// them — the counter the keyed-index benchmarks assert on.
+    pub fn qual_work(&self) -> u64 {
+        self.qual_work
+    }
+
+    /// Columns carrying a keyed qualification index, sorted.
+    pub fn indexed_columns(&self) -> &[usize] {
+        &self.indexed
+    }
+
+    /// Declares a keyed qualification index over `col`: every sealed chunk
+    /// gets an immutable key map (O(table log chunk) once), and every chunk
+    /// sealed or folded from now on builds its map incrementally — O(chunk)
+    /// at seal time, never again. Idempotent. The build is metered in
+    /// [`write_work`](Self::write_work) at one unit per row indexed.
+    pub fn create_key_index(&mut self, col: usize) {
+        if self.indexed.contains(&col) {
+            return;
+        }
+        self.indexed.push(col);
+        self.indexed.sort_unstable();
+        let mut built = 0u64;
+        for c in &mut self.chunks {
+            if !c.keys.contains_key(&col) {
+                c.keys.insert(col, Arc::new(build_key_map(&c.base, col)));
+                built += c.base.len() as u64;
+            }
+        }
+        self.write_work += built;
+    }
+
     fn invalidate(&mut self) {
         self.offsets = OnceLock::new();
     }
@@ -348,15 +446,18 @@ impl TupleStore {
     }
 
     /// Seals the pending tail into an immutable chunk (no copies: the tail
-    /// buffer is moved). Catalog registration seals so that forking a
-    /// published version never copies rows.
+    /// buffer is moved; indexed stores additionally build the new chunk's
+    /// key maps, metered per row). Catalog registration seals so that
+    /// forking a published version never copies rows.
     pub fn seal_pending(&mut self) {
         if self.pending.is_empty() {
             return;
         }
         self.invalidate();
         let tail = std::mem::take(&mut self.pending);
-        self.chunks.push(Chunk::dense(tail.into()));
+        let chunk = Chunk::dense_indexed(tail.into(), &self.indexed);
+        self.write_work += (chunk.base.len() * self.indexed.len()) as u64;
+        self.chunks.push(chunk);
     }
 
     /// The whole store as one contiguous slice, when its layout allows it
@@ -471,6 +572,63 @@ impl TupleStore {
         view.base.get(clean_start + (rem - live_before))
     }
 
+    /// Plans one base offset of one view: calls `f` on the live row(s) at
+    /// the offset and appends the resulting edit (if any) to `plan`.
+    /// Returns the number of rows visited. Offsets address *base* rows;
+    /// replacement rows re-use their base offset (a replacement list is
+    /// edited as a unit).
+    fn plan_offset<E>(
+        view: &ChunkView<'_>,
+        ci: usize,
+        off: usize,
+        f: &mut impl FnMut(&Tuple) -> Result<RowEdit, E>,
+        plan: &mut Vec<PlannedEdit>,
+    ) -> Result<u64, E> {
+        match view.edits.and_then(|e| e.get(&off)) {
+            None => {
+                let edit = f(&view.base[off])?;
+                if !matches!(edit, RowEdit::Keep) {
+                    let touched = match &edit {
+                        RowEdit::Replace(ts) => (ts.len() as u64).max(1),
+                        _ => 1,
+                    };
+                    plan.push((ci, off, edit, touched));
+                }
+                Ok(1)
+            }
+            Some(reps) => {
+                let mut edits = Vec::with_capacity(reps.len());
+                let mut touched = 0u64;
+                for t in reps {
+                    let edit = f(t)?;
+                    touched += match &edit {
+                        RowEdit::Keep => 0,
+                        RowEdit::Remove => 1,
+                        RowEdit::Replace(ts) => (ts.len() as u64).max(1),
+                    };
+                    edits.push(edit);
+                }
+                let visited = reps.len() as u64;
+                if touched == 0 {
+                    return Ok(visited);
+                }
+                // Rebuild the replacement list with the edits applied,
+                // keeping untouched members as-is (they are carried
+                // physically but not counted as logically touched).
+                let mut rebuilt = Vec::with_capacity(reps.len());
+                for (t, edit) in reps.iter().zip(edits) {
+                    match edit {
+                        RowEdit::Keep => rebuilt.push(t.clone()),
+                        RowEdit::Remove => {}
+                        RowEdit::Replace(ts) => rebuilt.extend(ts),
+                    }
+                }
+                plan.push((ci, off, RowEdit::Replace(rebuilt), touched));
+                Ok(visited)
+            }
+        }
+    }
+
     /// Scans the live rows in order, collecting the edits `f` requests —
     /// without touching the store. Apply the plan with
     /// [`apply_edits`](Self::apply_edits). Errors from `f` abort the scan
@@ -482,53 +640,119 @@ impl TupleStore {
         let mut plan = Vec::new();
         for ci in 0..self.total_views() {
             let view = self.view_at(ci);
-            // Offsets address *base* rows; replacement rows re-use their
-            // base offset (a replacement list is edited as a unit).
             for off in 0..view.base.len() {
-                match view.edits.and_then(|e| e.get(&off)) {
-                    None => {
-                        let edit = f(&view.base[off])?;
-                        if !matches!(edit, RowEdit::Keep) {
-                            let touched = match &edit {
-                                RowEdit::Replace(ts) => (ts.len() as u64).max(1),
-                                _ => 1,
-                            };
-                            plan.push((ci, off, edit, touched));
-                        }
-                    }
-                    Some(reps) => {
-                        let mut edits = Vec::with_capacity(reps.len());
-                        let mut touched = 0u64;
-                        for t in reps {
-                            let edit = f(t)?;
-                            touched += match &edit {
-                                RowEdit::Keep => 0,
-                                RowEdit::Remove => 1,
-                                RowEdit::Replace(ts) => (ts.len() as u64).max(1),
-                            };
-                            edits.push(edit);
-                        }
-                        if touched == 0 {
-                            continue;
-                        }
-                        // Rebuild the replacement list with the edits
-                        // applied, keeping untouched members as-is (they
-                        // are carried physically but not counted as
-                        // logically touched).
-                        let mut rebuilt = Vec::with_capacity(reps.len());
-                        for (t, edit) in reps.iter().zip(edits) {
-                            match edit {
-                                RowEdit::Keep => rebuilt.push(t.clone()),
-                                RowEdit::Remove => {}
-                                RowEdit::Replace(ts) => rebuilt.extend(ts),
-                            }
-                        }
-                        plan.push((ci, off, RowEdit::Replace(rebuilt), touched));
-                    }
-                }
+                Self::plan_offset(&view, ci, off, &mut f, &mut plan)?;
             }
         }
         Ok(plan)
+    }
+
+    /// Exact qualification cost of `probe` on this version, per path —
+    /// `None` when the probe's column carries no index. Computing the
+    /// candidate count touches only the per-chunk key maps
+    /// (O(#chunks · log chunk + matching keys)), never the rows.
+    pub fn qualification_estimate(&self, probe: &KeyProbe) -> Option<QualEstimate> {
+        if !self.indexed.contains(&probe.col()) {
+            return None;
+        }
+        let mut candidates = 0u64;
+        let mut overlay = 0u64;
+        for c in &self.chunks {
+            candidates += probe.candidate_count(c.keys.get(&probe.col())?);
+            overlay += c.overlay_rows() as u64;
+        }
+        let pending = self.pending.len() as u64;
+        Some(QualEstimate {
+            keyed: candidates + overlay + pending + self.chunks.len() as u64,
+            scan: self.live as u64,
+            candidates,
+            overlay,
+            pending,
+        })
+    }
+
+    /// [`plan_edits`](Self::plan_edits) through the keyed index: only rows
+    /// that can satisfy `probe` are visited — index candidates in chunk
+    /// bases, every overlay replacement row (the overlay is the unindexed
+    /// delta), and the pending tail. Returns the plan plus the rows
+    /// visited, or `None` when the probe's column carries no index.
+    ///
+    /// **Contract**: `probe` must be a *necessary* condition of `f`'s
+    /// decision (rows failing the probe would yield [`RowEdit::Keep`]).
+    /// Under that contract the produced plan is identical to the full-scan
+    /// plan — same entries, same order, same logical touch counts.
+    pub fn plan_edits_keyed<E>(
+        &self,
+        probe: &KeyProbe,
+        mut f: impl FnMut(&Tuple) -> Result<RowEdit, E>,
+    ) -> Result<Option<(Vec<PlannedEdit>, u64)>, E> {
+        if !self.indexed.contains(&probe.col()) {
+            return Ok(None);
+        }
+        let mut plan = Vec::new();
+        let mut visited = 0u64;
+        let mut offs: Vec<usize> = Vec::new();
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let Some(map) = chunk.keys.get(&probe.col()) else {
+                return Ok(None); // unindexed chunk: caller falls back
+            };
+            let view = self.view_at(ci);
+            // Offsets to visit: index candidates not superseded by the
+            // overlay, plus every overlay entry — sorted so the plan
+            // matches the full scan's base-offset order exactly.
+            offs.clear();
+            offs.extend(
+                probe
+                    .candidates(map)
+                    .map(|o| o as usize)
+                    .filter(|o| view.edits.is_none_or(|e| !e.contains_key(o))),
+            );
+            if let Some(edits) = view.edits {
+                offs.extend(edits.keys().copied());
+            }
+            offs.sort_unstable();
+            for &off in offs.iter() {
+                visited += Self::plan_offset(&view, ci, off, &mut f, &mut plan)?;
+            }
+        }
+        if !self.pending.is_empty() {
+            let ci = self.chunks.len();
+            let view = self.view_at(ci);
+            for off in 0..view.base.len() {
+                visited += Self::plan_offset(&view, ci, off, &mut f, &mut plan)?;
+            }
+        }
+        Ok(Some((plan, visited)))
+    }
+
+    /// Full-scan qualification + edit in one step: plans with
+    /// [`plan_edits`](Self::plan_edits) (metering every live row in
+    /// [`qual_work`](Self::qual_work)) and applies. Returns the storage
+    /// entries written.
+    pub fn edit<E>(&mut self, f: impl FnMut(&Tuple) -> Result<RowEdit, E>) -> Result<usize, E> {
+        let plan = self.plan_edits(f)?;
+        self.qual_work += self.live as u64;
+        Ok(self.apply_edits(plan))
+    }
+
+    /// Keyed qualification + edit in one step: plans with
+    /// [`plan_edits_keyed`](Self::plan_edits_keyed) (metering the rows
+    /// actually visited) and applies. `None` when the probe's column
+    /// carries no index — the caller decides whether to fall back to
+    /// [`edit`](Self::edit).
+    pub fn edit_where<E>(
+        &mut self,
+        probe: &KeyProbe,
+        f: impl FnMut(&Tuple) -> Result<RowEdit, E>,
+    ) -> Result<Option<KeyedEdit>, E> {
+        match self.plan_edits_keyed(probe, f)? {
+            None => Ok(None),
+            Some((plan, visited)) => {
+                self.qual_work += visited;
+                let written = self.apply_edits(plan);
+                Ok(Some(KeyedEdit { written, visited }))
+            }
+        }
     }
 
     /// Applies a plan from [`plan_edits`](Self::plan_edits): copies the
@@ -609,9 +833,106 @@ impl TupleStore {
         let tuples: Vec<Tuple> = self.iter().cloned().collect();
         let work = self.write_work + tuples.len() as u64;
         let logical = self.logical_writes;
+        let qual = self.qual_work;
+        let indexed = std::mem::take(&mut self.indexed);
         *self = TupleStore::from_tuples(tuples);
         self.write_work = work;
         self.logical_writes = logical;
+        self.qual_work = qual;
+        for col in indexed {
+            self.create_key_index(col);
+        }
+    }
+
+    /// The maximal runs of consecutive chunks worth folding: runs
+    /// containing a *dirty* chunk (≥ [`RUN_DIRTY_FRAC`] of its base
+    /// superseded or overlaid) and runs of *small* chunks that have
+    /// outgrown their dense ideal by [`RUN_CHUNK_SLACK`]. Only dirty and
+    /// small chunks join runs; full clean chunks break them, so a fold
+    /// never touches the table's healthy bulk.
+    fn fragmented_runs(&self) -> Vec<std::ops::Range<usize>> {
+        let mut runs = Vec::new();
+        let mut start = None::<usize>;
+        let mut dirty = false;
+        let mut live = 0usize;
+        let flush = |start: &mut Option<usize>,
+                     end: usize,
+                     dirty: &mut bool,
+                     live: &mut usize,
+                     runs: &mut Vec<std::ops::Range<usize>>| {
+            if let Some(s) = start.take() {
+                let len = end - s;
+                let ideal = live.div_ceil(TARGET_CHUNK_ROWS).max(1);
+                if *dirty || len > ideal + RUN_CHUNK_SLACK {
+                    runs.push(s..end);
+                }
+            }
+            *dirty = false;
+            *live = 0;
+        };
+        for (i, c) in self.chunks.iter().enumerate() {
+            if c.is_dirty() || c.is_small() {
+                if start.is_none() {
+                    start = Some(i);
+                }
+                dirty |= c.is_dirty();
+                live += c.live;
+            } else {
+                flush(&mut start, i, &mut dirty, &mut live, &mut runs);
+            }
+        }
+        flush(
+            &mut start,
+            self.chunks.len(),
+            &mut dirty,
+            &mut live,
+            &mut runs,
+        );
+        runs
+    }
+
+    /// Does the partial-compaction policy want to fold some chunk runs
+    /// before this version is published?
+    pub fn should_compact_runs(&self) -> bool {
+        !self.fragmented_runs().is_empty()
+    }
+
+    /// Partial compaction: folds only the fragmented chunk *runs* (see
+    /// [`should_compact_runs`](Self::should_compact_runs)) into dense
+    /// chunks, leaving every other chunk untouched — and therefore still
+    /// physically shared with older versions. Returns the write work
+    /// spent: O(rows in fragmented runs), **not** O(table), which is what
+    /// keeps sustained churn on very large tables from ever paying a
+    /// whole-table fold. Logically a no-op, like
+    /// [`compact`](Self::compact).
+    pub fn compact_runs(&mut self) -> u64 {
+        let runs = self.fragmented_runs();
+        if runs.is_empty() {
+            return 0;
+        }
+        self.invalidate();
+        let indexed = self.indexed.clone();
+        let mut work = 0u64;
+        // Right to left so earlier run indices stay valid across splices.
+        for run in runs.iter().rev() {
+            let mut rows: Vec<Tuple> = Vec::new();
+            for ci in run.clone() {
+                rows.extend(self.view_at(ci).iter().cloned());
+            }
+            work += rows.len() as u64 * (1 + indexed.len() as u64);
+            let mut folded = Vec::with_capacity(rows.len().div_ceil(TARGET_CHUNK_ROWS).max(1));
+            while rows.len() > TARGET_CHUNK_ROWS {
+                let tail = rows.split_off(TARGET_CHUNK_ROWS);
+                folded.push(Chunk::dense_indexed(rows.into(), &indexed));
+                rows = tail;
+            }
+            if !rows.is_empty() {
+                folded.push(Chunk::dense_indexed(rows.into(), &indexed));
+            }
+            self.chunks.splice(run.clone(), folded);
+        }
+        self.write_work += work;
+        work
     }
 
     /// Should the catalog fold this version before publishing it? True when
@@ -875,6 +1196,157 @@ mod tests {
             .map(|t| t.value(0).as_int().unwrap())
             .collect();
         assert_eq!(via_views, ints(&s));
+    }
+
+    fn eq_probe(x: i64) -> KeyProbe {
+        KeyProbe::Eq {
+            col: 0,
+            key: Value::Int(x),
+        }
+    }
+
+    #[test]
+    fn keyed_plan_equals_scan_plan() {
+        let mut s = TupleStore::from_tuples((0..2000).map(t).collect());
+        s.create_key_index(0);
+        // Fragment: tombstone, replace, split, plus a pending tail.
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(match tp.value(0).as_int().unwrap() {
+                    7 => RowEdit::Remove,
+                    600 => RowEdit::Replace(vec![t(-600)]),
+                    1500 => RowEdit::Replace(vec![t(1500), t(1501)]),
+                    _ => RowEdit::Keep,
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        s.push(t(99_999));
+        for probe in [eq_probe(3), eq_probe(-600), eq_probe(99_999), eq_probe(42)] {
+            let f = |tp: &Tuple| {
+                Ok::<_, ()>(if probe.matches(tp.value(0)) {
+                    RowEdit::Replace(vec![t(-1)])
+                } else {
+                    RowEdit::Keep
+                })
+            };
+            let scan_plan = s.plan_edits(f).unwrap();
+            let (keyed_plan, visited) = s.plan_edits_keyed(&probe, f).unwrap().unwrap();
+            assert_eq!(keyed_plan, scan_plan, "probe {probe:?}");
+            assert!(
+                visited < s.len() as u64 / 2,
+                "keyed pass visited {visited} of {} rows",
+                s.len()
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_edit_meters_qual_work() {
+        let mut s = TupleStore::from_tuples((0..10_000).map(t).collect());
+        s.create_key_index(0);
+        let before = s.qual_work();
+        let r = s
+            .edit_where(&eq_probe(5_000), |tp| {
+                Ok::<_, ()>(if tp.value(0).as_int() == Some(5_000) {
+                    RowEdit::Remove
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.written, 1);
+        assert_eq!(s.qual_work() - before, r.visited);
+        assert!(r.visited <= 8, "one-key edit visited {} rows", r.visited);
+        // The scan path meters every live row.
+        let before = s.qual_work();
+        s.edit(|_| Ok::<_, ()>(RowEdit::Keep)).unwrap();
+        assert_eq!(s.qual_work() - before, s.len() as u64);
+    }
+
+    #[test]
+    fn edit_where_requires_an_index() {
+        let mut s = TupleStore::from_tuples((0..10).map(t).collect());
+        assert!(s
+            .edit_where(&eq_probe(3), |_| Ok::<_, ()>(RowEdit::Keep))
+            .unwrap()
+            .is_none());
+        assert!(s.qualification_estimate(&eq_probe(3)).is_none());
+    }
+
+    #[test]
+    fn index_survives_seal_compact_and_fork() {
+        let mut s = TupleStore::new();
+        s.create_key_index(0);
+        for i in 0..(TARGET_CHUNK_ROWS as i64 * 2 + 50) {
+            s.push(t(i % 100));
+        }
+        let est = s.qualification_estimate(&eq_probe(17)).unwrap();
+        // ~1/100 of the sealed rows match; the open tail is walked.
+        assert!(est.candidates >= 10 && est.candidates <= 11, "{est:?}");
+        assert_eq!(est.pending, 50);
+        assert!(est.keyed < est.scan);
+        let fork = s.clone();
+        assert_eq!(fork.indexed_columns(), &[0]);
+        s.compact();
+        assert_eq!(s.indexed_columns(), &[0]);
+        let est = s.qualification_estimate(&eq_probe(17)).unwrap();
+        assert_eq!(est.pending, 0);
+        assert!(est.candidates >= 10);
+    }
+
+    #[test]
+    fn compact_runs_folds_only_fragmented_chunks() {
+        // Three full chunks + a tail of tiny sealed chunks.
+        let mut s = TupleStore::from_tuples((0..3 * TARGET_CHUNK_ROWS as i64).map(t).collect());
+        for b in 0..(RUN_CHUNK_SLACK as i64 + 4) {
+            s.push(t(100_000 + b));
+            s.seal_pending();
+        }
+        let before: Vec<i64> = ints(&s);
+        let chunks_before = s.summary().chunks;
+        assert!(s.should_compact_runs());
+        let base = s.clone();
+        let work = s.compact_runs();
+        // Logical no-op…
+        assert_eq!(ints(&s), before);
+        // …that folded the tiny tail run only: the three full chunks are
+        // still physically shared with the pre-fold version.
+        assert!(s.summary().chunks < chunks_before);
+        assert_eq!(s.shared_chunks(&base), 3);
+        // And the work is the run's rows, not the table's.
+        assert!(
+            work <= (RUN_CHUNK_SLACK + 4) as u64,
+            "partial fold cost {work} wu"
+        );
+        assert!(!s.should_compact_runs());
+    }
+
+    #[test]
+    fn compact_runs_folds_dirty_chunks() {
+        let mut s = TupleStore::from_tuples((0..2 * TARGET_CHUNK_ROWS as i64).map(t).collect());
+        // Dirty the second chunk past the 25 % trigger.
+        let plan = s
+            .plan_edits(|tp| {
+                let x = tp.value(0).as_int().unwrap();
+                Ok::<_, ()>(if (600..740).contains(&x) {
+                    RowEdit::Remove
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        let base = s.clone();
+        assert!(s.should_compact_runs());
+        let before = ints(&s);
+        let work = s.compact_runs();
+        assert_eq!(ints(&s), before);
+        assert_eq!(s.summary().dead_rows, 0);
+        // The clean first chunk stayed shared; work is O(folded run).
+        assert!(s.shared_chunks(&base) >= 1);
+        assert!(work <= 2 * TARGET_CHUNK_ROWS as u64, "fold cost {work}");
     }
 
     #[test]
