@@ -1,5 +1,5 @@
-//! Storage-substrate benchmarks: tuple codec, heap pages (Table V's byte
-//! layout in motion), and the write path of the versioned copy-on-write
+//! Storage-substrate benchmarks: tuple codec, chunk files (the durable
+//! on-disk format), and the write path of the versioned copy-on-write
 //! tuple store.
 //!
 //! The `cow_writes` group carries a *deterministic* assertion next to the
@@ -13,8 +13,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ongoing_core::time::tp;
 use ongoing_datasets::synthetic::{generate, SyntheticConfig};
 use ongoing_engine::modify::Modifier;
+use ongoing_engine::storage::chunkfile::{decode_chunk, encode_chunk};
 use ongoing_engine::storage::codec::{decode_tuple, encode_tuple};
-use ongoing_engine::storage::HeapFile;
 use ongoing_engine::Database;
 use ongoing_relation::{Expr, Tuple, Value};
 use std::hint::black_box;
@@ -42,24 +42,15 @@ fn codec(c: &mut Criterion) {
     g.finish();
 }
 
-fn heap(c: &mut Criterion) {
+fn chunks(c: &mut Criterion) {
     let rel = generate(&SyntheticConfig::dex(4_096, None, 42));
-    let mut g = c.benchmark_group("heap");
-    g.bench_function("insert_4k_tuples", |b| {
-        b.iter(|| {
-            let mut heap = HeapFile::new();
-            for t in rel.tuples() {
-                heap.insert(t).unwrap();
-            }
-            black_box(heap.len())
-        })
+    let mut g = c.benchmark_group("chunkfile");
+    g.bench_function("encode_4k_tuples", |b| {
+        b.iter(|| black_box(encode_chunk(black_box(rel.tuples())).len()))
     });
-    let mut heap = HeapFile::new();
-    for t in rel.tuples() {
-        heap.insert(t).unwrap();
-    }
-    g.bench_function("scan_4k_tuples", |b| {
-        b.iter(|| black_box(heap.scan().map(|t| t.unwrap().arity()).sum::<usize>()))
+    let encoded = encode_chunk(rel.tuples());
+    g.bench_function("decode_4k_tuples", |b| {
+        b.iter(|| black_box(decode_chunk(black_box(&encoded)).unwrap().len()))
     });
     g.finish();
 }
@@ -247,6 +238,6 @@ fn churn_large(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = codec, heap, cow_writes, churn, churn_large
+    targets = codec, chunks, cow_writes, churn, churn_large
 }
 criterion_main!(benches);

@@ -21,6 +21,7 @@ const BINS: &[&str] = &[
     "repro_costmodel",
     "repro_churn",
     "repro_writers",
+    "repro_recovery",
 ];
 
 fn main() {

@@ -5,13 +5,25 @@
 //! scan them during execution. Tables are shared behind a lock so plans can
 //! be executed concurrently (e.g. a bench harness instantiating a
 //! materialized view from several threads).
+//!
+//! A database is either in-memory ([`Database::new`]) or **durable**
+//! ([`Database::open`]): backed by a write-ahead log, checksummed chunk
+//! files and a checkpoint manifest (see [`crate::storage::durable`]).
+//! In a durable database every publication is logged — and fsynced —
+//! *before* it becomes visible, as an O(delta) journal of the physical
+//! store mutations the closure performed; reopening after a crash
+//! recovers exactly the committed prefix, lazily per table.
 
 use crate::error::{EngineError, Result};
 use crate::exec::index::IntervalIndex;
 use crate::stats::{analyze_relation, TableStatistics};
+use crate::storage::durable::{
+    DurableGuard, DurableOptions, DurableState, DurableStats, RecoveredTable,
+};
 use ongoing_relation::{OngoingRelation, Schema};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -269,43 +281,146 @@ impl Drop for TicketPass<'_> {
     }
 }
 
-/// An in-memory database of ongoing relations.
+/// One catalog slot: a materialized table, or a recovered-but-unloaded
+/// plan a durable database holds until the table is first touched (cold
+/// opens don't pay for tables nobody reads). Slots only ever go cold →
+/// ready; a published table never reverts.
+#[derive(Debug, Clone)]
+enum TableSlot {
+    Ready(Arc<Table>),
+    Cold(Arc<RecoveredTable>),
+}
+
+/// A database of ongoing relations — in-memory by default, durable when
+/// opened with [`Database::open`].
 #[derive(Debug, Default)]
 pub struct Database {
-    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    tables: RwLock<BTreeMap<String, TableSlot>>,
     /// Per-table ordered writer queues (see [`RetryPolicy::queue_after`]).
     /// Keyed by name, not by table version — the gate must survive
     /// publications, which replace the `Arc<Table>`.
     gates: Mutex<HashMap<String, Arc<TicketGate>>>,
+    /// The durable backing (WAL, chunk files, manifest), if any.
+    ///
+    /// **Lock order**: the durable commit guard is always acquired
+    /// *before* `tables` — holding it is what keeps a compare-and-swap
+    /// precondition valid across the WAL append and serializes
+    /// publications against checkpoint garbage collection.
+    durable: Option<DurableState>,
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty in-memory database (nothing is persisted).
     pub fn new() -> Self {
         Database::default()
     }
 
+    /// Opens (creating or recovering) a durable database at `path` with
+    /// default [`DurableOptions`].
+    ///
+    /// Recovery reads the checkpoint manifest, scans the write-ahead log
+    /// — truncating a torn tail (an append the crash cut short), erroring
+    /// with [`EngineError::CorruptStorage`] on mid-log damage — and folds
+    /// the committed records into per-table plans. Tables materialize
+    /// lazily on first access; opening a large database reads no chunk
+    /// files.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(path, DurableOptions::default())
+    }
+
+    /// [`open`](Database::open) with explicit [`DurableOptions`].
+    pub fn open_with(path: impl AsRef<Path>, opts: DurableOptions) -> Result<Database> {
+        let (durable, recovered) = DurableState::open(path.as_ref(), opts)?;
+        let tables = recovered
+            .into_iter()
+            .map(|plan| (plan.state.name.clone(), TableSlot::Cold(Arc::new(plan))))
+            .collect();
+        Ok(Database {
+            tables: RwLock::new(tables),
+            gates: Mutex::new(HashMap::new()),
+            durable: Some(durable),
+        })
+    }
+
+    /// Is this database durable?
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable database directory, if durable.
+    pub fn path(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir())
+    }
+
+    /// A snapshot of the durable layer's work counters, if durable.
+    pub fn durable_stats(&self) -> Option<DurableStats> {
+        self.durable.as_ref().map(|d| d.stats())
+    }
+
+    /// Forces a checkpoint: folds the WAL into chunk files and a fresh
+    /// manifest, truncates the log, and garbage-collects unreferenced
+    /// chunk files. Errors on an in-memory database.
+    pub fn persist(&self) -> Result<()> {
+        let durable = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| EngineError::Storage("database is not durable".into()))?;
+        let mut guard = durable.lock();
+        self.checkpoint_locked(&mut guard)
+    }
+
     /// Registers a base relation under `name`.
     pub fn create_table(&self, name: &str, data: OngoingRelation) -> Result<()> {
-        let mut tables = self.tables.write();
-        if tables.contains_key(name) {
-            return Err(EngineError::DuplicateTable(name.to_string()));
+        let table = Table::with_state(name, data, StatsState::default());
+        match &self.durable {
+            Some(durable) => {
+                let mut guard = durable.lock();
+                if self.tables.read().contains_key(name) {
+                    return Err(EngineError::DuplicateTable(name.to_string()));
+                }
+                guard.append_state(name, table.data())?;
+                self.tables
+                    .write()
+                    .insert(name.to_string(), TableSlot::Ready(table));
+                if guard.needs_checkpoint() {
+                    self.checkpoint_locked(&mut guard)?;
+                }
+            }
+            None => {
+                let mut tables = self.tables.write();
+                if tables.contains_key(name) {
+                    return Err(EngineError::DuplicateTable(name.to_string()));
+                }
+                tables.insert(name.to_string(), TableSlot::Ready(table));
+            }
         }
-        tables.insert(
-            name.to_string(),
-            Table::with_state(name, data, StatsState::default()),
-        );
         Ok(())
     }
 
     /// Replaces (or creates) a table. Any previously collected statistics
-    /// are discarded (the new data is unknown to the subsystem).
-    pub fn put_table(&self, name: &str, data: OngoingRelation) {
-        let mut tables = self.tables.write();
-        tables.insert(
-            name.to_string(),
-            Table::with_state(name, data, StatsState::default()),
-        );
+    /// are discarded (the new data is unknown to the subsystem). On a
+    /// durable database the replacement is logged as a full-state record
+    /// before it becomes visible.
+    pub fn put_table(&self, name: &str, data: OngoingRelation) -> Result<()> {
+        let table = Table::with_state(name, data, StatsState::default());
+        match &self.durable {
+            Some(durable) => {
+                let mut guard = durable.lock();
+                guard.append_state(name, table.data())?;
+                self.tables
+                    .write()
+                    .insert(name.to_string(), TableSlot::Ready(table));
+                if guard.needs_checkpoint() {
+                    self.checkpoint_locked(&mut guard)?;
+                }
+            }
+            None => {
+                self.tables
+                    .write()
+                    .insert(name.to_string(), TableSlot::Ready(table));
+            }
+        }
+        Ok(())
     }
 
     /// Applies a modification to a catalog-resident table. Callers run
@@ -441,6 +556,14 @@ impl Database {
         // shares every sealed chunk, so this is O(#chunks), not O(rows).
         let table = self.table(name)?;
         let mut data = table.data.clone();
+        if self.durable.is_some() {
+            // Record every physical mutation the closure performs so the
+            // publication can be logged as an O(delta) journal. A closure
+            // that replaces the relation wholesale severs the journal
+            // (cloning never carries one), which downgrades the commit to
+            // a full-state record — journal present ⟺ journal complete.
+            data.begin_journal();
+        }
         let base_writes = data.logical_writes();
         // The user closure runs off-lock against the private fork.
         let out = f(&mut data)?;
@@ -478,17 +601,88 @@ impl Database {
         if data.should_compact() {
             data.compact();
         }
+        // Seal (journaled) and detach the journal *before* the version is
+        // wrapped; both folds above journal as O(1) markers replay
+        // re-derives deterministically.
+        data.seal_pending();
+        let journal = data.take_journal();
         let new_table = Table::with_state(name, data, state);
-        // Publication: short write lock, pointer-equality compare-and-swap.
-        let mut tables = self.tables.write();
-        match tables.get(name) {
-            Some(current) if Arc::ptr_eq(current, &table) => {
-                tables.insert(name.to_string(), new_table);
+        match &self.durable {
+            Some(durable) => {
+                let guard = &mut durable.lock();
+                // The compare-and-swap precondition only needs a read
+                // lock: every publication path holds the commit guard, so
+                // no competing publication can slip in before our insert.
+                match self.tables.read().get(name) {
+                    Some(TableSlot::Ready(current)) if Arc::ptr_eq(current, &table) => {}
+                    Some(_) => return Ok(None),
+                    None => return Err(EngineError::UnknownTable(name.to_string())),
+                }
+                // Durability point: log (and sync) before becoming
+                // visible. An armed journal is an O(delta) commit record;
+                // a severed one means the closure rebuilt the relation, so
+                // its full state is logged (persisting chunks first).
+                match journal {
+                    Some(ops) => guard.append_commit(name, ops)?,
+                    None => guard.append_state(name, new_table.data())?,
+                }
+                self.tables
+                    .write()
+                    .insert(name.to_string(), TableSlot::Ready(new_table));
+                if guard.needs_checkpoint() {
+                    self.checkpoint_locked(guard)?;
+                }
                 Ok(Some(out))
             }
-            Some(_) => Ok(None),
-            None => Err(EngineError::UnknownTable(name.to_string())),
+            None => {
+                // Publication: short write lock, pointer-equality
+                // compare-and-swap.
+                let mut tables = self.tables.write();
+                match tables.get(name) {
+                    Some(TableSlot::Ready(current)) if Arc::ptr_eq(current, &table) => {
+                        tables.insert(name.to_string(), TableSlot::Ready(new_table));
+                        Ok(Some(out))
+                    }
+                    Some(_) => Ok(None),
+                    None => Err(EngineError::UnknownTable(name.to_string())),
+                }
+            }
         }
+    }
+
+    /// Materializes every cold slot and checkpoints the full catalog.
+    /// Caller holds the commit guard.
+    fn checkpoint_locked(&self, guard: &mut DurableGuard<'_>) -> Result<()> {
+        let names: Vec<String> = self.tables.read().keys().cloned().collect();
+        let mut ready: Vec<(String, Arc<Table>)> = Vec::with_capacity(names.len());
+        for name in names {
+            ready.push((name.clone(), self.materialize(&name, guard)?));
+        }
+        let list: Vec<(&str, &OngoingRelation)> = ready
+            .iter()
+            .map(|(name, table)| (name.as_str(), table.data()))
+            .collect();
+        guard.checkpoint(&list)
+    }
+
+    /// Returns the ready table at `name`, loading a cold slot under the
+    /// held commit guard (which also fences checkpoint GC away from the
+    /// chunk files being read).
+    fn materialize(&self, name: &str, guard: &mut DurableGuard<'_>) -> Result<Arc<Table>> {
+        let plan = match self.tables.read().get(name).cloned() {
+            Some(TableSlot::Ready(table)) => return Ok(table),
+            Some(TableSlot::Cold(plan)) => plan,
+            None => return Err(EngineError::UnknownTable(name.to_string())),
+        };
+        let data = guard.load(&plan)?;
+        // Statistics are rebuilt, not persisted: the table comes back
+        // never-analyzed and the first ANALYZE (or auto-analyze) refreshes
+        // them from the recovered data.
+        let table = Table::with_state(name, data, StatsState::default());
+        self.tables
+            .write()
+            .insert(name.to_string(), TableSlot::Ready(Arc::clone(&table)));
+        Ok(table)
     }
 
     /// Declares a keyed qualification index on `table.column` (which must
@@ -509,40 +703,63 @@ impl Database {
     }
 
     /// Collects statistics for every table (bare `ANALYZE`), returning the
-    /// per-table results in name order.
+    /// per-table results in name order. Cold tables materialize first —
+    /// a full `ANALYZE` touches everything by definition.
     pub fn analyze_all(&self) -> Vec<(String, Arc<TableStatistics>)> {
-        let tables: Vec<Arc<Table>> = self.tables.read().values().cloned().collect();
-        tables
+        self.table_names()
             .into_iter()
-            .map(|t| {
-                let s = t.analyze();
-                (t.name.clone(), s)
+            .filter_map(|name| {
+                let stats = self.table(&name).ok()?.analyze();
+                Some((name, stats))
             })
             .collect()
     }
 
-    /// Drops a table; errors if it does not exist.
+    /// Drops a table; errors if it does not exist. On a durable database
+    /// the drop is logged before it takes effect.
     pub fn drop_table(&self, name: &str) -> Result<()> {
-        let mut tables = self.tables.write();
-        let removed = tables
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()));
-        if removed.is_ok() {
-            // Release the writer gate with the table (in-flight passes
-            // keep theirs via `Arc`); a re-created table starts fresh.
-            self.gates.lock().remove(name);
+        match &self.durable {
+            Some(durable) => {
+                let mut guard = durable.lock();
+                if !self.tables.read().contains_key(name) {
+                    return Err(EngineError::UnknownTable(name.to_string()));
+                }
+                guard.append_drop(name)?;
+                self.tables.write().remove(name);
+                self.gates.lock().remove(name);
+                Ok(())
+            }
+            None => {
+                let mut tables = self.tables.write();
+                let removed = tables
+                    .remove(name)
+                    .map(|_| ())
+                    .ok_or_else(|| EngineError::UnknownTable(name.to_string()));
+                if removed.is_ok() {
+                    // Release the writer gate with the table (in-flight
+                    // passes keep theirs via `Arc`); a re-created table
+                    // starts fresh.
+                    self.gates.lock().remove(name);
+                }
+                removed
+            }
         }
-        removed
     }
 
-    /// Looks a table up.
+    /// Looks a table up, materializing a recovered-but-cold table on first
+    /// access (this is where a damaged chunk file surfaces as
+    /// [`EngineError::CorruptStorage`]).
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
-        self.tables
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+        match self.tables.read().get(name).cloned() {
+            Some(TableSlot::Ready(table)) => return Ok(table),
+            Some(TableSlot::Cold(_)) => {}
+            None => return Err(EngineError::UnknownTable(name.to_string())),
+        }
+        let durable = self
+            .durable
+            .as_ref()
+            .expect("cold slots exist only in durable databases");
+        self.materialize(name, &mut durable.lock())
     }
 
     /// The registered table names, sorted.
@@ -588,7 +805,7 @@ mod tests {
         db.create_table("t", rel()).unwrap();
         let mut bigger = rel();
         bigger.insert(vec![Value::Int(2)]).unwrap();
-        db.put_table("t", bigger);
+        db.put_table("t", bigger).unwrap();
         assert_eq!(db.table("t").unwrap().data().len(), 2);
     }
 
@@ -607,7 +824,7 @@ mod tests {
         assert_eq!(stats.rows, 1);
         assert!(db.table("t").unwrap().statistics().is_some());
         // Replacing the data discards the now-unrelated statistics.
-        db.put_table("t", rel());
+        db.put_table("t", rel()).unwrap();
         assert!(db.table("t").unwrap().statistics().is_none());
     }
 

@@ -29,6 +29,15 @@ pub enum EngineError {
     Plan(String),
     /// Storage-layer failure (encode/decode, page overflow).
     Storage(String),
+    /// Durable storage is damaged: a checksum mismatch in a complete WAL
+    /// record, chunk file or manifest, or a structurally impossible
+    /// record sequence. Distinct from a *torn tail* (an incomplete final
+    /// WAL record, the signature of a crash mid-append), which recovery
+    /// truncates silently — corruption is never silently dropped.
+    CorruptStorage(String),
+    /// An operating-system I/O failure in the durable storage layer
+    /// (stringified: `std::io::Error` is neither `Clone` nor `PartialEq`).
+    Io(String),
     /// The named materialized view does not exist.
     UnknownView(String),
 }
@@ -48,6 +57,8 @@ impl fmt::Display for EngineError {
             EngineError::Eval(e) => write!(f, "{e}"),
             EngineError::Plan(m) => write!(f, "plan error: {m}"),
             EngineError::Storage(m) => write!(f, "storage error: {m}"),
+            EngineError::CorruptStorage(m) => write!(f, "corrupt storage: {m}"),
+            EngineError::Io(m) => write!(f, "i/o error: {m}"),
             EngineError::UnknownView(n) => write!(f, "unknown materialized view `{n}`"),
         }
     }
@@ -64,6 +75,12 @@ impl From<SchemaError> for EngineError {
 impl From<EvalError> for EngineError {
     fn from(e: EvalError) -> Self {
         EngineError::Eval(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e.to_string())
     }
 }
 

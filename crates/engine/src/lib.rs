@@ -3,9 +3,11 @@
 //! The relational engine substrate for ongoing databases — the role the
 //! PostgreSQL 9.4 kernel plays in the paper's prototype (Sec. VIII):
 //!
-//! * a [`catalog`] of base ongoing relations,
-//! * a byte-accurate [`storage`] layer (tuple codec, slotted heap pages,
-//!   and the Table V layout model),
+//! * a [`catalog`] of base ongoing relations — in-memory
+//!   ([`Database::new`]) or durable ([`Database::open`]: write-ahead
+//!   logged, checkpointed into immutable chunk files, crash-recoverable),
+//! * a byte-accurate [`storage`] layer (tuple codec, checksummed chunk
+//!   files, WAL + manifest, and the Table V layout model),
 //! * logical [`plan`]s with an optimizer implementing the paper's
 //!   fixed/ongoing predicate split, selection push-down and join algorithm
 //!   choice,
@@ -72,6 +74,7 @@ pub use exec::{ExecContext, ExecStats, THREADS_ENV};
 pub use plan::{JoinStrategy, LogicalPlan, PhysicalPlan, PlannerConfig, QueryBuilder};
 pub use stats::cost::QualPath;
 pub use stats::TableStatistics;
+pub use storage::durable::{DurableOptions, DurableStats};
 
 use ongoing_core::TimePoint;
 use ongoing_relation::{FixedRelation, OngoingRelation};

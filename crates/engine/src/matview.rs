@@ -154,7 +154,7 @@ mod tests {
             Value::Interval(OngoingInterval::from_until_now(md(8, 5))),
         ])
         .unwrap();
-        db.put_table("B", data);
+        db.put_table("B", data).unwrap();
         view.refresh(&db).unwrap();
         assert_eq!(view.len(), before + 1);
     }

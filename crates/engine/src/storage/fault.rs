@@ -1,0 +1,129 @@
+//! Fault-injection helpers for crash-recovery testing.
+//!
+//! A crash in this engine's durability model is fully characterised by the
+//! byte length of the WAL that survives: chunk files and the manifest are
+//! written and fsynced *before* the record referencing them, and the WAL
+//! is pure append, so killing the process at an arbitrary instant leaves
+//! (a) a WAL prefix of arbitrary byte length and (b) possibly some
+//! orphaned-but-complete chunk files. [`FaultFs`] simulates exactly that:
+//! snapshot a database directory, truncate its WAL to any byte offset, or
+//! flip bytes to model media corruption. [`TempDir`] gives every test its
+//! own scratch directory and removes it on drop, so test runs leave no
+//! litter behind.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh, uniquely named directory tagged with `label`.
+    pub fn new(label: &str) -> TempDir {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("ongoingdb-{label}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Directory-level fault injection: crash simulation by copy + mutilate.
+pub struct FaultFs;
+
+impl FaultFs {
+    /// Recursively copies `src` into `dst` (created fresh) — the
+    /// "snapshot at the instant of the crash" a recovery test reopens.
+    pub fn clone_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dst)?;
+        for entry in fs::read_dir(src)? {
+            let entry = entry?;
+            let to = dst.join(entry.file_name());
+            if entry.file_type()?.is_dir() {
+                Self::clone_dir(&entry.path(), &to)?;
+            } else {
+                fs::copy(entry.path(), &to)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Truncates the file at `path` to `len` bytes — the canonical crash:
+    /// an append cut short at an arbitrary byte boundary.
+    pub fn truncate(path: &Path, len: u64) -> std::io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    /// XOR-flips one byte of the file at `path` — media corruption, which
+    /// recovery must *detect*, never silently absorb.
+    pub fn flip_byte(path: &Path, offset: u64) -> std::io::Result<()> {
+        let mut raw = fs::read(path)?;
+        let i = offset as usize % raw.len().max(1);
+        if !raw.is_empty() {
+            raw[i] ^= 0x01;
+        }
+        fs::write(path, raw)
+    }
+
+    /// Byte length of the file at `path`.
+    pub fn file_len(path: &Path) -> std::io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdir_is_removed_on_drop() {
+        let path;
+        {
+            let dir = TempDir::new("selftest");
+            path = dir.path().to_path_buf();
+            fs::write(path.join("f"), b"x").unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn clone_truncate_flip() {
+        let a = TempDir::new("fault-a");
+        let b = TempDir::new("fault-b");
+        fs::create_dir_all(a.path().join("sub")).unwrap();
+        fs::write(a.path().join("f"), b"hello world").unwrap();
+        fs::write(a.path().join("sub/g"), b"nested").unwrap();
+        let dst = b.path().join("copy");
+        FaultFs::clone_dir(a.path(), &dst).unwrap();
+        assert_eq!(fs::read(dst.join("f")).unwrap(), b"hello world");
+        assert_eq!(fs::read(dst.join("sub/g")).unwrap(), b"nested");
+
+        FaultFs::truncate(&dst.join("f"), 5).unwrap();
+        assert_eq!(fs::read(dst.join("f")).unwrap(), b"hello");
+        assert_eq!(FaultFs::file_len(&dst.join("f")).unwrap(), 5);
+        // The source is untouched.
+        assert_eq!(fs::read(a.path().join("f")).unwrap(), b"hello world");
+
+        FaultFs::flip_byte(&dst.join("f"), 1).unwrap();
+        assert_eq!(fs::read(dst.join("f")).unwrap(), b"hdllo");
+    }
+}

@@ -1,9 +1,20 @@
-//! Storage substrate: byte layout model, tuple codec, and slotted heap
-//! pages.
+//! Storage substrate: tuple codec, byte layout model, and the durability
+//! stack (checksums, chunk files, write-ahead log, manifest, fault
+//! injection, durable state).
+//!
+//! The durable layout and its crash-recovery contract are documented on
+//! [`durable`]; the individual formats on [`wal`], [`chunkfile`] and
+//! [`manifest`].
 
+pub mod checksum;
+pub mod chunkfile;
 pub mod codec;
+pub mod durable;
+pub mod fault;
 pub mod layout;
-pub mod page;
+pub mod manifest;
+pub mod wal;
 
+pub use durable::{DurableOptions, DurableStats};
+pub use fault::{FaultFs, TempDir};
 pub use layout::{measure_relation, measure_tuple, RelationFootprint, TupleFootprint};
-pub use page::{HeapFile, HeapPage, TupleId, PAGE_SIZE};

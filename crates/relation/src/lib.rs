@@ -59,7 +59,10 @@ pub use expr::{CmpOp, EvalError, Expr};
 pub use keyindex::{KeyProbe, KeyedEdit, QualEstimate};
 pub use relation::{FixedRelation, OngoingRelation};
 pub use schema::{Attribute, Schema, SchemaError};
-pub use store::{ChunkView, RowEdit, StoreSummary, TupleStore, TARGET_CHUNK_ROWS};
+pub use store::{
+    ChunkPart, ChunkView, JournalOp, OwnedChunkPart, RowEdit, StoreSummary, TupleStore,
+    TARGET_CHUNK_ROWS,
+};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
 

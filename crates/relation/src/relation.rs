@@ -2,7 +2,9 @@
 
 use crate::keyindex::{KeyProbe, KeyedEdit, QualEstimate};
 use crate::schema::{Schema, SchemaError};
-use crate::store::{ChunkView, RowEdit, StoreIter, StoreSummary, TupleStore};
+use crate::store::{
+    ChunkPart, ChunkView, JournalOp, OwnedChunkPart, RowEdit, StoreIter, StoreSummary, TupleStore,
+};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use crate::value::ValueType;
@@ -258,6 +260,45 @@ impl OngoingRelation {
     pub fn seal_pending(&mut self) {
         self.dense = OnceLock::new();
         self.store.seal_pending();
+    }
+
+    /// Arms the store's mutation journal (see
+    /// [`crate::store::TupleStore::begin_journal`]): every mutation from
+    /// here on records a [`JournalOp`] the persistence layer can
+    /// write-ahead-log.
+    pub fn begin_journal(&mut self) {
+        self.store.begin_journal();
+    }
+
+    /// Takes the accumulated mutation journal, disarming it. `None` when
+    /// no journal was armed or when it was severed by a wholesale relation
+    /// replacement (clones never inherit a journal).
+    pub fn take_journal(&mut self) -> Option<Vec<JournalOp>> {
+        self.store.take_journal()
+    }
+
+    /// Replays journaled mutations against this relation (see
+    /// [`crate::store::TupleStore::apply_journal`]).
+    pub fn apply_journal(&mut self, ops: Vec<JournalOp>) {
+        self.dense = OnceLock::new();
+        self.store.apply_journal(ops);
+    }
+
+    /// Serialization views of the store's sealed chunks (the pending tail
+    /// is excluded; persistence operates on sealed versions).
+    pub fn chunk_parts(&self) -> Vec<ChunkPart<'_>> {
+        self.store.chunk_parts()
+    }
+
+    /// Rebuilds a relation from its physical parts — the inverse of
+    /// [`chunk_parts`](Self::chunk_parts), used by crash recovery. Key
+    /// maps for `indexed` are rebuilt eagerly.
+    pub fn from_parts(schema: Schema, parts: Vec<OwnedChunkPart>, indexed: &[usize]) -> Self {
+        OngoingRelation {
+            schema,
+            store: TupleStore::from_parts(parts, indexed),
+            dense: OnceLock::new(),
+        }
     }
 
     /// Does the storage policy recommend folding this version (see

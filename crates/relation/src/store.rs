@@ -75,6 +75,52 @@ pub const RUN_DIRTY_FRAC: f64 = 0.25;
 /// each time, independent of table size.
 pub const RUN_CHUNK_SLACK: usize = 16;
 
+/// One recorded store mutation — the unit of the persistence layer's
+/// write-ahead log.
+///
+/// While a journal is armed ([`TupleStore::begin_journal`]) every mutation
+/// primitive appends one op. Replaying the ops with
+/// [`TupleStore::apply_journal`] against a physically identical starting
+/// state reproduces the exact resulting layout: every primitive is a
+/// deterministic function of the store state, so layout-changing ops that
+/// would be O(table) to describe (compaction, sealing) are recorded as
+/// O(1) markers and re-derived on replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// A row appended to the pending tail ([`TupleStore::push`]).
+    Append(Tuple),
+    /// One applied edit plan: `(chunk, base offset, replacement rows,
+    /// logically touched)` per entry, in plan order (an empty replacement
+    /// list is a tombstone). See [`TupleStore::apply_edits`].
+    Edits(Vec<(usize, usize, Vec<Tuple>, u64)>),
+    /// The pending tail was sealed into a chunk
+    /// ([`TupleStore::seal_pending`]).
+    Seal,
+    /// A whole-table fold ran ([`TupleStore::compact`]).
+    Compact,
+    /// A partial (run-level) fold ran ([`TupleStore::compact_runs`]).
+    CompactRuns,
+    /// A keyed qualification index was declared over the column
+    /// ([`TupleStore::create_key_index`]).
+    CreateKeyIndex(usize),
+}
+
+/// Serialization view of one sealed chunk: the immutable base allocation
+/// plus its overlay delta — what the persistence layer writes as a chunk
+/// file (base) and a manifest entry (overlay). The `Arc` is exposed so
+/// callers can track chunk identity (pointer equality) across versions.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkPart<'a> {
+    /// The sealed base rows.
+    pub base: &'a Arc<[Tuple]>,
+    /// The overlay delta (`None` when the chunk is clean).
+    pub edits: Option<&'a BTreeMap<usize, Vec<Tuple>>>,
+}
+
+/// Owned counterpart of [`ChunkPart`]: one chunk's base allocation plus
+/// its overlay delta, as handed to [`TupleStore::from_parts`] by recovery.
+pub type OwnedChunkPart = (Arc<[Tuple]>, BTreeMap<usize, Vec<Tuple>>);
+
 /// The outcome of visiting one live row during [`TupleStore::apply_edits`]
 /// planning (see [`TupleStore::plan_edits`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -297,6 +343,13 @@ pub struct TupleStore {
     /// Cumulative live-row counts per view (chunks then pending), built
     /// lazily for positional access and invalidated by any mutation.
     offsets: OnceLock<Vec<usize>>,
+    /// Armed by [`begin_journal`](Self::begin_journal): every mutation
+    /// primitive records a [`JournalOp`]. `None` (the default) is
+    /// zero-cost. Deliberately *not* carried across `clone()`: a journal
+    /// is complete only for mutations made through this very store, so a
+    /// closure that swaps in a clone (or a rebuilt relation) severs it —
+    /// the durable catalog then falls back to a full-state record.
+    journal: Option<Vec<JournalOp>>,
 }
 
 impl Clone for TupleStore {
@@ -313,6 +366,7 @@ impl Clone for TupleStore {
             qual_work: self.qual_work,
             indexed: self.indexed.clone(),
             offsets: OnceLock::new(),
+            journal: None,
         }
     }
 }
@@ -335,6 +389,7 @@ impl TupleStore {
             qual_work: 0,
             indexed: Vec::new(),
             offsets: OnceLock::new(),
+            journal: None,
         }
     }
 
@@ -360,6 +415,103 @@ impl TupleStore {
             qual_work: 0,
             indexed: Vec::new(),
             offsets: OnceLock::new(),
+            journal: None,
+        }
+    }
+
+    /// Rebuilds a store from its physical parts — per-chunk base rows and
+    /// overlay deltas, as exposed by [`chunk_parts`](Self::chunk_parts) —
+    /// with key maps rebuilt for `indexed`. The inverse of serialization:
+    /// the resulting layout (chunk boundaries, overlays, live counts) is
+    /// exactly what the parts describe, so journaled mutations recorded
+    /// against the original layout replay correctly against it.
+    pub fn from_parts(parts: Vec<OwnedChunkPart>, indexed: &[usize]) -> TupleStore {
+        let mut sorted: Vec<usize> = indexed.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut chunks = Vec::with_capacity(parts.len());
+        let mut live_total = 0usize;
+        for (base, edits) in parts {
+            let overlay: usize = edits.values().map(Vec::len).sum();
+            let live = base.len() - edits.len() + overlay;
+            let mut c = Chunk::dense_indexed(base, &sorted);
+            if !edits.is_empty() {
+                c.edits = Some(Arc::new(edits));
+                c.live = live;
+            }
+            live_total += live;
+            chunks.push(c);
+        }
+        TupleStore {
+            chunks,
+            pending: Vec::new(),
+            live: live_total,
+            write_work: live_total as u64,
+            logical_writes: live_total as u64,
+            qual_work: 0,
+            indexed: sorted,
+            offsets: OnceLock::new(),
+            journal: None,
+        }
+    }
+
+    /// Serialization views of the sealed chunks, in order. The pending
+    /// tail is *not* included — persistence always operates on published
+    /// (sealed) versions; callers seal first.
+    pub fn chunk_parts(&self) -> Vec<ChunkPart<'_>> {
+        self.chunks
+            .iter()
+            .map(|c| ChunkPart {
+                base: &c.base,
+                edits: c.edits.as_deref(),
+            })
+            .collect()
+    }
+
+    /// Arms the mutation journal: from here on every mutation primitive
+    /// records a [`JournalOp`]. Any previously accumulated journal is
+    /// discarded.
+    pub fn begin_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Takes the accumulated journal, disarming it. `None` when no journal
+    /// was armed — or when the journal was severed by a wholesale store
+    /// replacement (clones never inherit it), which is exactly the signal
+    /// the durable catalog needs to fall back to a full-state record.
+    pub fn take_journal(&mut self) -> Option<Vec<JournalOp>> {
+        self.journal.take()
+    }
+
+    /// Replays journaled mutations. Starting from a physically identical
+    /// layout (same chunk boundaries and overlays — see
+    /// [`from_parts`](Self::from_parts)) this reproduces the exact layout
+    /// the journaling store ended with: every primitive is deterministic
+    /// in the store state.
+    pub fn apply_journal(&mut self, ops: Vec<JournalOp>) {
+        for op in ops {
+            match op {
+                JournalOp::Append(t) => self.push(t),
+                JournalOp::Seal => self.seal_pending(),
+                JournalOp::Compact => self.compact(),
+                JournalOp::CompactRuns => {
+                    self.compact_runs();
+                }
+                JournalOp::CreateKeyIndex(col) => self.create_key_index(col),
+                JournalOp::Edits(entries) => {
+                    let plan: Vec<PlannedEdit> = entries
+                        .into_iter()
+                        .map(|(ci, off, rows, touched)| (ci, off, RowEdit::Replace(rows), touched))
+                        .collect();
+                    self.apply_edits(plan);
+                }
+            }
+        }
+    }
+
+    fn log(&mut self, op: JournalOp) {
+        if let Some(j) = &mut self.journal {
+            j.push(op);
         }
     }
 
@@ -416,6 +568,7 @@ impl TupleStore {
         if self.indexed.contains(&col) {
             return;
         }
+        self.log(JournalOp::CreateKeyIndex(col));
         self.indexed.push(col);
         self.indexed.sort_unstable();
         let mut built = 0u64;
@@ -436,6 +589,9 @@ impl TupleStore {
     /// [`TARGET_CHUNK_ROWS`].
     pub fn push(&mut self, tuple: Tuple) {
         self.invalidate();
+        if self.journal.is_some() {
+            self.log(JournalOp::Append(tuple.clone()));
+        }
         self.pending.push(tuple);
         self.live += 1;
         self.write_work += 1;
@@ -454,6 +610,7 @@ impl TupleStore {
             return;
         }
         self.invalidate();
+        self.log(JournalOp::Seal);
         let tail = std::mem::take(&mut self.pending);
         let chunk = Chunk::dense_indexed(tail.into(), &self.indexed);
         self.write_work += (chunk.base.len() * self.indexed.len()) as u64;
@@ -765,6 +922,17 @@ impl TupleStore {
             return 0;
         }
         self.invalidate();
+        if self.journal.is_some() {
+            let entries: Vec<(usize, usize, Vec<Tuple>, u64)> = plan
+                .iter()
+                .filter_map(|(ci, off, edit, touched)| match edit {
+                    RowEdit::Keep => None,
+                    RowEdit::Remove => Some((*ci, *off, Vec::new(), *touched)),
+                    RowEdit::Replace(ts) => Some((*ci, *off, ts.clone(), *touched)),
+                })
+                .collect();
+            self.log(JournalOp::Edits(entries));
+        }
         let mut written = 0usize;
         let mut work = 0u64;
         let mut logical = 0u64;
@@ -835,6 +1003,10 @@ impl TupleStore {
         let logical = self.logical_writes;
         let qual = self.qual_work;
         let indexed = std::mem::take(&mut self.indexed);
+        // The journal survives the rebuild but must not record the index
+        // rebuilds below (replaying `Compact` re-derives them): restore it
+        // only after, then record the fold as a single O(1) marker.
+        let journal = self.journal.take();
         *self = TupleStore::from_tuples(tuples);
         self.write_work = work;
         self.logical_writes = logical;
@@ -842,6 +1014,8 @@ impl TupleStore {
         for col in indexed {
             self.create_key_index(col);
         }
+        self.journal = journal;
+        self.log(JournalOp::Compact);
     }
 
     /// The maximal runs of consecutive chunks worth folding: runs
@@ -911,6 +1085,7 @@ impl TupleStore {
             return 0;
         }
         self.invalidate();
+        self.log(JournalOp::CompactRuns);
         let indexed = self.indexed.clone();
         let mut work = 0u64;
         // Right to left so earlier run indices stay valid across splices.
@@ -1347,6 +1522,133 @@ mod tests {
         // The clean first chunk stayed shared; work is O(folded run).
         assert!(s.shared_chunks(&base) >= 1);
         assert!(work <= 2 * TARGET_CHUNK_ROWS as u64, "fold cost {work}");
+    }
+
+    /// Physical layouts are equal: same chunk boundaries, same overlays,
+    /// same live counts — not just the same logical sequence.
+    fn assert_same_layout(a: &TupleStore, b: &TupleStore) {
+        assert_eq!(ints(a), ints(b));
+        assert_eq!(a.summary(), b.summary());
+        let (pa, pb) = (a.chunk_parts(), b.chunk_parts());
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert_eq!(&x.base[..], &y.base[..]);
+            assert_eq!(x.edits, y.edits);
+        }
+    }
+
+    #[test]
+    fn parts_round_trip_rebuilds_layout() {
+        let mut s = TupleStore::from_tuples((0..1300).map(t).collect());
+        s.create_key_index(0);
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(match tp.value(0).as_int().unwrap() {
+                    7 => RowEdit::Remove,
+                    600 => RowEdit::Replace(vec![t(-600), t(-601)]),
+                    _ => RowEdit::Keep,
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        s.seal_pending();
+        let parts = s
+            .chunk_parts()
+            .into_iter()
+            .map(|p| (Arc::clone(p.base), p.edits.cloned().unwrap_or_default()))
+            .collect();
+        let rebuilt = TupleStore::from_parts(parts, s.indexed_columns());
+        assert_same_layout(&s, &rebuilt);
+        assert_eq!(rebuilt.indexed_columns(), &[0]);
+        assert!(
+            rebuilt
+                .qualification_estimate(&eq_probe(-600))
+                .unwrap()
+                .keyed
+                > 0
+        );
+    }
+
+    #[test]
+    fn journal_replay_reproduces_layout() {
+        // Base version: sealed, published-like store.
+        let mut base = TupleStore::from_tuples((0..1000).map(t).collect());
+        base.create_key_index(0);
+        base.seal_pending();
+
+        // Fork, journal a workload heavy enough to trigger folds.
+        let mut fork = base.clone();
+        fork.begin_journal();
+        for i in 0..600 {
+            fork.push(t(10_000 + i));
+        }
+        let plan = fork
+            .plan_edits(|tp| {
+                Ok::<_, ()>(match tp.value(0).as_int().unwrap() {
+                    x if (100..400).contains(&x) => RowEdit::Remove,
+                    500 => RowEdit::Replace(vec![t(1), t(2)]),
+                    _ => RowEdit::Keep,
+                })
+            })
+            .unwrap();
+        fork.apply_edits(plan);
+        fork.create_key_index(0); // idempotent: must not journal
+        fork.compact_runs();
+        fork.compact();
+        fork.seal_pending();
+        let ops = fork.take_journal().expect("journal armed");
+
+        // Recovery: rebuild the base layout from parts, replay the ops.
+        let parts = base
+            .chunk_parts()
+            .into_iter()
+            .map(|p| (Arc::clone(p.base), p.edits.cloned().unwrap_or_default()))
+            .collect();
+        let mut recovered = TupleStore::from_parts(parts, base.indexed_columns());
+        recovered.apply_journal(ops);
+        assert_same_layout(&fork, &recovered);
+        assert_eq!(recovered.indexed_columns(), fork.indexed_columns());
+    }
+
+    #[test]
+    fn journal_is_severed_by_clone() {
+        let mut s = TupleStore::from_tuples((0..10).map(t).collect());
+        s.begin_journal();
+        s.push(t(10));
+        let mut copy = s.clone();
+        assert!(copy.take_journal().is_none());
+        assert_eq!(s.take_journal().unwrap().len(), 1);
+        assert!(s.take_journal().is_none());
+    }
+
+    #[test]
+    fn journal_markers_are_delta_sized() {
+        // A fold is O(table) of in-memory work but one journal marker:
+        // the WAL cost of a publication stays O(rows touched).
+        let mut s = TupleStore::from_tuples((0..5000).map(t).collect());
+        s.begin_journal();
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(if tp.value(0).as_int().unwrap() % 500 == 0 {
+                    RowEdit::Remove
+                } else {
+                    RowEdit::Keep
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        s.compact();
+        let ops = s.take_journal().unwrap();
+        let tuples_logged: usize = ops
+            .iter()
+            .map(|op| match op {
+                JournalOp::Append(_) => 1,
+                JournalOp::Edits(es) => es.iter().map(|(_, _, rows, _)| rows.len().max(1)).sum(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(ops.len(), 2); // one Edits batch + one Compact marker
+        assert!(tuples_logged <= 10, "journal carried {tuples_logged} rows");
     }
 
     #[test]

@@ -102,7 +102,7 @@ fn main() {
         )
         .unwrap();
     }
-    db.put_table("bugs", data);
+    db.put_table("bugs", data).unwrap();
 
     let after = sql::query(&db, "SELECT BID, VT FROM bugs").unwrap();
     println!("after scheduling bug 500's resolution for 09/01 and filing bug 503:\n");

@@ -1,11 +1,12 @@
 //! Integration tests for the planner (operator choice, pushdown, index)
-//! and the storage substrate (heap pages, layout model) on generated data.
+//! and the storage substrate (chunk files, layout model) on generated
+//! data.
 
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_datasets::{synthetic, History, SyntheticConfig};
 use ongoing_relation::Expr;
 use ongoingdb::engine::plan::{compile, JoinStrategy, PlannerConfig};
-use ongoingdb::engine::storage::{layout, HeapFile};
+use ongoingdb::engine::storage::{chunkfile, layout};
 use ongoingdb::engine::{queries, Database, QueryBuilder};
 
 fn db_with_dex(n: usize) -> Database {
@@ -135,17 +136,24 @@ fn index_scan_is_used_and_correct() {
 }
 
 #[test]
-fn heap_file_stores_generated_relations() {
+fn chunk_files_store_generated_relations() {
     let rel = synthetic::generate(&SyntheticConfig::dex(2_000, Some(1), 9));
-    let mut heap = HeapFile::new();
-    for t in rel.tuples() {
-        heap.insert(t).unwrap();
-    }
-    assert_eq!(heap.len(), rel.len());
-    let restored: Vec<_> = heap.scan().map(|r| r.unwrap()).collect();
+    let encoded = chunkfile::encode_chunk(rel.tuples());
+    let restored = chunkfile::decode_chunk(&encoded).unwrap();
     assert_eq!(restored.as_slice(), rel.tuples());
-    // ~40 B payloads → thousands of tuples per 8 K page region.
-    assert!(heap.page_count() < 40, "pages: {}", heap.page_count());
+    // ~40 B payloads plus framing: the on-disk image stays in the same
+    // ballpark as the layout model's estimate, not a multiple of it.
+    let f = layout::measure_relation(&rel);
+    assert!(
+        encoded.len() < 2 * f.total_bytes.max(1),
+        "chunk image {} B vs layout model {} B",
+        encoded.len(),
+        f.total_bytes
+    );
+    // Damage anywhere in the image is detected.
+    let mut bad = encoded;
+    bad[17] ^= 0x80;
+    assert!(chunkfile::decode_chunk(&bad).is_err());
 }
 
 #[test]

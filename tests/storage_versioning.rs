@@ -130,7 +130,7 @@ fn closure_runs_off_lock_and_conflicts_error() {
         let mut m = Modifier::new(rel, "VT")?;
         m.delete(&k_eq(3))?;
         // A concurrent writer publishes first:
-        db.put_table("T", big_relation(10));
+        db.put_table("T", big_relation(10)).unwrap();
         Ok(())
     });
     match r {
@@ -267,7 +267,7 @@ fn compact_is_a_semantic_noop() {
     let plan = plans(&db).remove(0);
     let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
     let (frag_result, frag_stats) = phys.execute_with_stats(&ExecContext::new(4)).unwrap();
-    db.put_table("T", compacted);
+    db.put_table("T", compacted).unwrap();
     let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
     let (comp_result, comp_stats) = phys.execute_with_stats(&ExecContext::new(4)).unwrap();
     assert_eq!(comp_result, frag_result);

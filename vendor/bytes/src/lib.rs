@@ -17,6 +17,11 @@ pub trait Buf {
     /// Bytes left to consume.
     fn remaining(&self) -> usize;
 
+    /// Is anything left to consume?
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
     /// The unconsumed bytes.
     fn chunk(&self) -> &[u8];
 
@@ -48,6 +53,13 @@ pub trait Buf {
         let mut raw = [0u8; 4];
         self.copy_to_slice(&mut raw);
         u32::from_le_bytes(raw)
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
     }
 
     /// Consume a little-endian `i64`.
@@ -92,9 +104,20 @@ pub trait BufMut {
         self.put_slice(&v.to_le_bytes());
     }
 
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `i64`.
     fn put_i64_le(&mut self, v: i64) {
         self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
     }
 }
 

@@ -9,7 +9,9 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Mutual exclusion primitive mirroring `parking_lot::Mutex`.
 #[derive(Default)]
