@@ -22,6 +22,7 @@ const BINS: &[&str] = &[
     "repro_churn",
     "repro_writers",
     "repro_recovery",
+    "repro_outofcore",
 ];
 
 fn main() {

@@ -36,6 +36,7 @@ fn opts(checkpoint_bytes: u64) -> DurableOptions {
     DurableOptions {
         fsync: false,
         checkpoint_bytes,
+        ..Default::default()
     }
 }
 
@@ -135,10 +136,10 @@ fn replay_round(rows: &mut Vec<Tuple>, n: usize, r: i64) {
 /// of the committed round prefix, and reports cold/warm read costs.
 /// WAL sequence map: 1 = create_table, 2 = create_key_index, r + 3 = round r.
 fn verify_recovery(dir: &Path, n: usize, rounds: i64, base: &[Tuple], label: &str) {
-    let lsn = manifest::read_manifest(&dir.join("MANIFEST"))
+    let lsn = manifest::read_manifest(&ongoing_engine::RealFs, &dir.join("MANIFEST"))
         .unwrap()
         .map_or(0, |m| m.lsn);
-    let (records, _tail) = wal::scan(&dir.join("wal.log")).unwrap();
+    let (records, _tail) = wal::scan(&ongoing_engine::RealFs, &dir.join("wal.log")).unwrap();
     let s = lsn.max(records.last().map_or(0, |(seq, _, _)| *seq));
     assert!(s >= 2, "{label}: even the setup publications were lost");
     let committed = (s - 2) as i64;

@@ -22,11 +22,11 @@ use crate::storage::durable::{
 };
 use ongoing_relation::{OngoingRelation, Schema};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Minimum number of modified rows before an analyzed table is considered
 /// stale (PostgreSQL's autovacuum-style floor).
@@ -185,6 +185,15 @@ pub struct RetryPolicy {
     /// Free-running attempts before joining the ordered writer queue.
     /// `0` queues from the first attempt (strict FIFO writers).
     pub queue_after: u32,
+    /// Total wall-clock budget for the whole `modify_table` call — every
+    /// closure run, backoff sleep and writer-queue wait counts against it.
+    /// Once it expires the call returns [`EngineError::DeadlineExceeded`]
+    /// (abandoning a held queue ticket rather than blocking on it), with
+    /// the modification **not** applied: the deadline is always checked
+    /// before the publication point, never between logging and
+    /// visibility, so the store is never torn. `None` (the default)
+    /// means unbounded.
+    pub timeout: Option<Duration>,
 }
 
 impl Default for RetryPolicy {
@@ -194,6 +203,7 @@ impl Default for RetryPolicy {
             backoff: Duration::from_micros(20),
             max_backoff: Duration::from_millis(2),
             queue_after: 2,
+            timeout: None,
         }
     }
 }
@@ -225,6 +235,11 @@ impl RetryPolicy {
 struct TicketGate {
     next: AtomicU64,
     serving: AtomicU64,
+    /// Tickets whose waiters gave up (deadline expiry) before being
+    /// served. Service skips them; the lock serializes a waiter's
+    /// take-the-pass-or-abandon decision against the holder's advance, so
+    /// a ticket is either served or skipped — never both, never neither.
+    abandoned: Mutex<HashSet<u64>>,
 }
 
 thread_local! {
@@ -242,10 +257,13 @@ struct TicketPass<'a> {
 }
 
 impl TicketGate {
-    /// Draws a ticket and blocks until it is served. Returns `None` when
-    /// this thread already holds the gate (nested modification) — the
-    /// caller proceeds ungated rather than deadlocking on itself.
-    fn enter(&self) -> Option<TicketPass<'_>> {
+    /// Draws a ticket and blocks until it is served or `deadline` passes.
+    /// Returns `Ok(None)` when this thread already holds the gate (nested
+    /// modification) — the caller proceeds ungated rather than
+    /// deadlocking on itself — and [`EngineError::DeadlineExceeded`] when
+    /// the wait outlived the deadline (the ticket is abandoned, so the
+    /// queue flows on without it).
+    fn enter(&self, deadline: Option<Instant>) -> Result<Option<TicketPass<'_>>> {
         let id = self as *const TicketGate as usize;
         let reentrant = HELD_GATES.with(|held| {
             let mut held = held.borrow_mut();
@@ -256,11 +274,26 @@ impl TicketGate {
             false
         });
         if reentrant {
-            return None;
+            return Ok(None);
         }
         let ticket = self.next.fetch_add(1, Ordering::SeqCst);
         let mut spins = 0u32;
         while self.serving.load(Ordering::SeqCst) != ticket {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                // Too late. Under the abandoned-set lock either take the
+                // service that arrived in the meantime — passing it on as
+                // an immediately-dropped pass would — or mark the ticket
+                // abandoned so the current holder's drop skips it.
+                let mut abandoned = self.abandoned.lock();
+                if self.serving.load(Ordering::SeqCst) == ticket {
+                    self.advance_locked(&mut abandoned);
+                } else {
+                    abandoned.insert(ticket);
+                }
+                drop(abandoned);
+                HELD_GATES.with(|held| held.borrow_mut().retain(|&g| g != id));
+                return Err(EngineError::DeadlineExceeded);
+            }
             spins += 1;
             if spins < 32 {
                 std::hint::spin_loop();
@@ -270,14 +303,24 @@ impl TicketGate {
                 std::thread::sleep(Duration::from_micros(50));
             }
         }
-        Some(TicketPass { gate: self, id })
+        Ok(Some(TicketPass { gate: self, id }))
+    }
+
+    /// Advances service by one ticket, then past any consecutively
+    /// abandoned ones. Caller holds the abandoned-set lock.
+    fn advance_locked(&self, abandoned: &mut HashSet<u64>) {
+        let mut now = self.serving.fetch_add(1, Ordering::SeqCst) + 1;
+        while abandoned.remove(&now) {
+            now = self.serving.fetch_add(1, Ordering::SeqCst) + 1;
+        }
     }
 }
 
 impl Drop for TicketPass<'_> {
     fn drop(&mut self) {
         HELD_GATES.with(|held| held.borrow_mut().retain(|&g| g != self.id));
-        self.gate.serving.fetch_add(1, Ordering::SeqCst);
+        let mut abandoned = self.gate.abandoned.lock();
+        self.gate.advance_locked(&mut abandoned);
     }
 }
 
@@ -330,7 +373,17 @@ impl Database {
 
     /// [`open`](Database::open) with explicit [`DurableOptions`].
     pub fn open_with(path: impl AsRef<Path>, opts: DurableOptions) -> Result<Database> {
-        let (durable, recovered) = DurableState::open(path.as_ref(), opts)?;
+        Database::open_with_vfs(path, opts, Arc::new(crate::storage::vfs::RealFs))
+    }
+
+    /// [`open_with`](Database::open_with) over an explicit [`Vfs`] — how
+    /// fault-injection tests run the whole engine against a flaky disk.
+    pub fn open_with_vfs(
+        path: impl AsRef<Path>,
+        opts: DurableOptions,
+        vfs: Arc<dyn crate::storage::vfs::Vfs>,
+    ) -> Result<Database> {
+        let (durable, recovered) = DurableState::open_with_vfs(path.as_ref(), opts, vfs)?;
         let tables = recovered
             .into_iter()
             .map(|plan| (plan.state.name.clone(), TableSlot::Cold(Arc::new(plan))))
@@ -503,8 +556,18 @@ impl Database {
         mut f: impl FnMut(&mut OngoingRelation) -> Result<T>,
     ) -> Result<(T, u32)> {
         let max_attempts = policy.max_attempts.max(1);
+        let deadline = policy.timeout.map(|t| Instant::now() + t);
         let mut attempt = 0u32;
         loop {
+            // The total deadline is polled before every attempt, before
+            // every backoff sleep (which is additionally capped to the
+            // remaining budget) and inside the ticket-gate wait — so no
+            // path blocks past it unboundedly. It is never polled between
+            // the WAL append and the publication, so an expired deadline
+            // can only mean "not applied", never a torn store.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(EngineError::DeadlineExceeded);
+            }
             attempt += 1;
             // Contended writers past the free-running budget commit in
             // strict arrival order through the table's ticket gate; the
@@ -515,13 +578,23 @@ impl Database {
             // queue never stalls behind a sleeping writer.
             let outcome = {
                 let gate = (attempt > policy.queue_after).then(|| self.writer_gate(name));
-                let _pass = gate.as_ref().and_then(|g| g.enter());
+                let _pass = match &gate {
+                    Some(g) => g.enter(deadline)?,
+                    None => None,
+                };
                 self.attempt_modify(name, &mut f)?
             };
             match outcome {
                 Some(out) => return Ok((out, attempt)),
                 None if attempt < max_attempts => {
-                    let pause = policy.backoff_for(attempt);
+                    let mut pause = policy.backoff_for(attempt);
+                    if let Some(d) = deadline {
+                        let remaining = d.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return Err(EngineError::DeadlineExceeded);
+                        }
+                        pause = pause.min(remaining);
+                    }
                     if pause.is_zero() {
                         std::thread::yield_now();
                     } else {
@@ -662,7 +735,29 @@ impl Database {
             .iter()
             .map(|(name, table)| (name.as_str(), table.data()))
             .collect();
-        guard.checkpoint(&list)
+        guard.checkpoint(&list)?;
+        // Under a finite memory budget, resident sealed chunks that the
+        // checkpoint just persisted are demoted to cold references through
+        // the budgeted chunk cache: the table's memory is governed by the
+        // budget from here on, with the dropped rows seeded warm (and
+        // evictable) in the cache. The republish is safe without a
+        // compare-and-swap: every publication path holds the commit guard
+        // we hold, so no competing version can appear mid-swap. Readers
+        // holding the pre-demotion `Arc<Table>` keep their fully resident
+        // version until they drop it.
+        if guard.memory_budget() != u64::MAX {
+            for (name, table) in &ready {
+                let mut data = table.data.clone();
+                if guard.demote(&mut data) > 0 {
+                    let state = table.stats.lock().clone();
+                    let demoted = Table::with_state(name, data, state);
+                    self.tables
+                        .write()
+                        .insert(name.clone(), TableSlot::Ready(demoted));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Returns the ready table at `name`, loading a cold slot under the

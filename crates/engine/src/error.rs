@@ -40,6 +40,22 @@ pub enum EngineError {
     Io(String),
     /// The named materialized view does not exist.
     UnknownView(String),
+    /// The query (or modification) was cancelled through its
+    /// [`QueryControl`](crate::exec::QueryControl) token. Cooperative:
+    /// executors poll at morsel boundaries, so cancellation surfaces
+    /// within one morsel of work. A cancelled modification whose
+    /// publication had not happened yet is a no-op by CAS construction —
+    /// the store is never left torn.
+    Cancelled,
+    /// The operation's deadline passed before it completed. Like
+    /// [`Cancelled`](Self::Cancelled) this is checked cooperatively at
+    /// morsel boundaries, in retry backoff sleeps and in ticket-gate
+    /// queue waits, so no path can block past the deadline unboundedly.
+    DeadlineExceeded,
+    /// A resource budget was exhausted in a way the engine could not
+    /// absorb (e.g. a single pinned working set larger than the chunk
+    /// cache can ever hold).
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +76,9 @@ impl fmt::Display for EngineError {
             EngineError::CorruptStorage(m) => write!(f, "corrupt storage: {m}"),
             EngineError::Io(m) => write!(f, "i/o error: {m}"),
             EngineError::UnknownView(n) => write!(f, "unknown materialized view `{n}`"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            EngineError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
         }
     }
 }
@@ -81,6 +100,15 @@ impl From<EvalError> for EngineError {
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
         EngineError::Io(e.to_string())
+    }
+}
+
+impl From<ongoing_relation::PagerError> for EngineError {
+    fn from(e: ongoing_relation::PagerError) -> Self {
+        // A pager failure is an I/O (or corruption) failure reaching a
+        // scan; the original variant was rendered into the message by the
+        // chunk cache.
+        EngineError::Io(e.0)
     }
 }
 

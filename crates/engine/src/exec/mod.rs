@@ -4,6 +4,6 @@ pub mod context;
 pub mod index;
 pub mod stats;
 
-pub use context::{ExecContext, THREADS_ENV};
+pub use context::{ExecContext, QueryControl, THREADS_ENV};
 pub use index::IntervalIndex;
 pub use stats::ExecStats;

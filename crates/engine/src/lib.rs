@@ -70,11 +70,12 @@ pub mod storage;
 
 pub use catalog::{Database, RetryPolicy, Table};
 pub use error::{EngineError, Result};
-pub use exec::{ExecContext, ExecStats, THREADS_ENV};
+pub use exec::{ExecContext, ExecStats, QueryControl, THREADS_ENV};
 pub use plan::{JoinStrategy, LogicalPlan, PhysicalPlan, PlannerConfig, QueryBuilder};
 pub use stats::cost::QualPath;
 pub use stats::TableStatistics;
 pub use storage::durable::{DurableOptions, DurableStats};
+pub use storage::{CacheStats, ChunkCache, DiskError, RealFs, Vfs};
 
 use ongoing_core::TimePoint;
 use ongoing_relation::{FixedRelation, OngoingRelation};

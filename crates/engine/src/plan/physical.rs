@@ -22,7 +22,7 @@
 //! Both modes run morsel-style: an [`ExecContext`] carries the worker
 //! budget, and relation-valued inputs are partitioned along the
 //! copy-on-write store's natural chunk boundaries
-//! ([`OngoingRelation::chunk_views`]) — `Scan`/`Filter` pipelines and the
+//! ([`OngoingRelation::lazy_views`]) — `Scan`/`Filter` pipelines and the
 //! probe/outer sides of the joins each take a contiguous run of chunks,
 //! the hash join builds its table once and probes runs concurrently, and
 //! the sweep join splits its (sorted) envelope list across
@@ -40,7 +40,9 @@ use crate::exec::{ExecContext, ExecStats};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_core::{IntervalSet, TimePoint};
 use ongoing_relation::algebra::{self, ProjItem};
-use ongoing_relation::{ChunkView, Expr, FixedRelation, OngoingRelation, Schema, Tuple, Value};
+use ongoing_relation::{
+    Expr, FixedRelation, LazyChunkView, OngoingRelation, PinnedChunk, Schema, Tuple, Value,
+};
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
@@ -341,6 +343,12 @@ impl PhysicalPlan {
     }
 
     fn execute_stats(&self, ctx: &ExecContext, stats: &mut ExecStats) -> Result<OngoingRelation> {
+        // Cooperative governance: polled at every operator entry, per
+        // partition in the parallel drivers, and per chunk in the lazy
+        // (budget-honoring) scan driver — so cancellation or an expired
+        // deadline surfaces within one morsel of work, with the store
+        // untouched (executors never mutate published tables).
+        ctx.control.check()?;
         match self {
             PhysicalPlan::SeqScan { table, schema } => {
                 stats.tuples_scanned += table.data().len() as u64;
@@ -385,14 +393,15 @@ impl PhysicalPlan {
                 let schema = rel.schema().clone();
                 // Morsels follow the store's chunk boundaries; surviving
                 // tuples are shallow-cloned (payloads are `Arc`-shared).
-                let views = rel.chunk_views();
-                let parts = run_partitioned_views(ctx, &views, MIN_MORSEL, |run| {
-                    let mut local = ExecStats::default();
-                    let mut out = Vec::new();
-                    for t in run.iter().flat_map(ChunkView::iter) {
-                        filter_into(&mut out, t, fixed.as_ref(), ongoing.as_ref(), &mut local)?;
+                // Chunks are pinned one at a time, so a filter over a
+                // beyond-RAM table keeps at most one cold chunk per worker
+                // resident.
+                let views = rel.lazy_views();
+                let parts = run_partitioned_lazy(ctx, &views, MIN_MORSEL, |pinned, out, local| {
+                    for t in pinned.iter() {
+                        filter_into(out, t, fixed.as_ref(), ongoing.as_ref(), local)?;
                     }
-                    Ok((out, local))
+                    Ok(())
                 })?;
                 Ok(assemble_tuples(schema, parts, stats))
             }
@@ -416,25 +425,19 @@ impl PhysicalPlan {
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
+                // The inner side is materialized (parking any cold chunks
+                // for the duration); the outer side streams through lazy
+                // per-chunk pins, so only the smaller side should be inner.
                 let inner: Vec<&Tuple> = r.iter().collect();
                 let min_chunk = outer_min_chunk(inner.len());
-                let views = l.chunk_views();
-                let parts = run_partitioned_views(ctx, &views, min_chunk, |run| {
-                    let mut local = ExecStats::default();
-                    let mut out = Vec::new();
-                    for lt in run.iter().flat_map(ChunkView::iter) {
+                let views = l.lazy_views();
+                let parts = run_partitioned_lazy(ctx, &views, min_chunk, |pinned, out, local| {
+                    for lt in pinned.iter() {
                         for rt_ in &inner {
-                            join_pair_into(
-                                &mut out,
-                                lt,
-                                rt_,
-                                fixed.as_ref(),
-                                ongoing.as_ref(),
-                                &mut local,
-                            )?;
+                            join_pair_into(out, lt, rt_, fixed.as_ref(), ongoing.as_ref(), local)?;
                         }
                     }
-                    Ok((out, local))
+                    Ok(())
                 })?;
                 Ok(assemble_tuples(schema, parts, stats))
             }
@@ -448,33 +451,33 @@ impl PhysicalPlan {
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
-                // Build once on the right side; probe partitions share it.
+                // Build once on the right side (parking any cold chunks —
+                // the build must hold all its rows anyway); the probe side
+                // streams through lazy per-chunk pins and shares the table.
                 let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(r.len());
                 for rt_ in r.iter() {
                     let key: Vec<Value> = keys.iter().map(|&(_, j)| rt_.value(j).clone()).collect();
                     table.entry(key).or_default().push(rt_);
                 }
-                let views = l.chunk_views();
-                let parts = run_partitioned_views(ctx, &views, MIN_MORSEL, |run| {
-                    let mut local = ExecStats::default();
-                    let mut out = Vec::new();
-                    for lt in run.iter().flat_map(ChunkView::iter) {
+                let views = l.lazy_views();
+                let parts = run_partitioned_lazy(ctx, &views, MIN_MORSEL, |pinned, out, local| {
+                    for lt in pinned.iter() {
                         let key: Vec<Value> =
                             keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
                         if let Some(matches) = table.get(&key) {
                             for rt_ in matches {
                                 join_pair_into(
-                                    &mut out,
+                                    out,
                                     lt,
                                     rt_,
                                     fixed.as_ref(),
                                     ongoing.as_ref(),
-                                    &mut local,
+                                    local,
                                 )?;
                             }
                         }
                     }
-                    Ok((out, local))
+                    Ok(())
                 })?;
                 Ok(assemble_tuples(schema, parts, stats))
             }
@@ -593,19 +596,21 @@ impl PhysicalPlan {
         ctx: &ExecContext,
         stats: &mut ExecStats,
     ) -> Result<Vec<Vec<Value>>> {
+        // Same cooperative governance as `execute_stats`.
+        ctx.control.check()?;
         match self {
             PhysicalPlan::SeqScan { table, .. } => {
                 let data = table.data();
                 stats.tuples_scanned += data.len() as u64;
-                let views = data.chunk_views();
-                let parts = run_partitioned_views(ctx, &views, MIN_MORSEL, |run| {
-                    let rows: Vec<Vec<Value>> = run
-                        .iter()
-                        .flat_map(ChunkView::iter)
-                        .filter_map(|t| t.bind(rt))
-                        .collect();
-                    Ok((rows, ExecStats::default()))
-                })?;
+                // Bind during the scan through lazy per-chunk pins: an
+                // instantiated scan of a beyond-RAM table keeps at most one
+                // cold chunk per worker resident.
+                let views = data.lazy_views();
+                let parts =
+                    run_partitioned_lazy(ctx, &views, MIN_MORSEL, |pinned, out, _local| {
+                        out.extend(pinned.iter().filter_map(|t| t.bind(rt)));
+                        Ok(())
+                    })?;
                 Ok(assemble_rows(parts, stats))
             }
             PhysicalPlan::IndexScan {
@@ -935,6 +940,10 @@ where
     T: Send,
     F: Fn(Range<usize>) -> Result<(T, ExecStats)> + Sync,
 {
+    let run = |range: Range<usize>| {
+        ctx.control.check()?;
+        run(range)
+    };
     let workers = worker_count(ctx.parallelism, len, min_chunk);
     if workers <= 1 {
         return Ok(vec![run(0..len)?]);
@@ -956,6 +965,10 @@ where
     T: Send,
     F: Fn(Vec<I>) -> Result<(T, ExecStats)> + Sync,
 {
+    let run = |chunk: Vec<I>| {
+        ctx.control.check()?;
+        run(chunk)
+    };
     let workers = worker_count(ctx.parallelism, items.len(), min_chunk);
     if workers <= 1 {
         return Ok(vec![run(items)?]);
@@ -972,29 +985,43 @@ where
     scope_run(chunks, run)
 }
 
-/// Partitions a relation's chunk views into contiguous runs — the store's
-/// chunk boundaries are the morsel boundaries, so no flat copy of the
-/// table is ever sliced — and runs them via [`scope_run`]. Runs are packed
-/// toward even live-row counts with at least `min_chunk` rows per worker;
-/// concatenating the per-run outputs reproduces the serial scan order for
-/// every parallelism setting.
-fn run_partitioned_views<'v, T, F>(
+/// The chunk-morsel scan driver: partitions a relation's *lazy* chunk
+/// views into contiguous runs (live-row balanced,
+/// partitioning metadata is free — no page-in), then each worker walks its
+/// run **one pinned chunk at a time**. A cold chunk is paged in only while
+/// its morsel is being processed and released immediately after, so a scan
+/// of a table N× the memory budget keeps at most one chunk per worker
+/// resident beyond the cache. The control token is polled before every
+/// chunk pin, so cancellation and deadlines surface within one morsel.
+/// Output assembly is identical to the other drivers: concatenating the
+/// per-run vectors reproduces the serial output exactly.
+fn run_partitioned_lazy<T, F>(
     ctx: &ExecContext,
-    views: &'v [ChunkView<'v>],
+    views: &[LazyChunkView<'_>],
     min_chunk: usize,
     run: F,
-) -> Result<Vec<(T, ExecStats)>>
+) -> Result<Vec<(Vec<T>, ExecStats)>>
 where
     T: Send,
-    F: Fn(&'v [ChunkView<'v>]) -> Result<(T, ExecStats)> + Sync,
+    F: Fn(&PinnedChunk<'_>, &mut Vec<T>, &mut ExecStats) -> Result<()> + Sync,
 {
+    let drive = |run_views: &[LazyChunkView<'_>]| {
+        let mut out = Vec::new();
+        let mut local = ExecStats::default();
+        for v in run_views {
+            ctx.control.check()?;
+            let pinned = v.pin()?;
+            run(&pinned, &mut out, &mut local)?;
+        }
+        Ok((out, local))
+    };
     let total: usize = views.iter().map(|v| v.len()).sum();
     let workers = worker_count(ctx.parallelism, total, min_chunk);
     if workers <= 1 || views.len() <= 1 {
-        return Ok(vec![run(views)?]);
+        return Ok(vec![drive(views)?]);
     }
     let target = total.div_ceil(workers);
-    let mut runs: Vec<&'v [ChunkView<'v>]> = Vec::with_capacity(workers);
+    let mut runs: Vec<&[LazyChunkView<'_>]> = Vec::with_capacity(workers);
     let (mut start, mut acc) = (0usize, 0usize);
     for (i, v) in views.iter().enumerate() {
         acc += v.len();
@@ -1007,7 +1034,7 @@ where
     if start < views.len() {
         runs.push(&views[start..]);
     }
-    scope_run(runs, run)
+    scope_run(runs, drive)
 }
 
 /// Concatenates ordered tuple partitions into a relation and folds their

@@ -24,10 +24,9 @@
 use crate::error::{EngineError, Result};
 use crate::storage::checksum::crc32;
 use crate::storage::codec::{decode_tuple, encode_tuple};
+use crate::storage::vfs::{with_retry, DiskError, Vfs};
 use bytes::{Buf, BufMut};
 use ongoing_relation::Tuple;
-use std::fs::File;
-use std::io::{Read, Write};
 use std::path::Path;
 
 /// Chunk file magic: `"ODC1"`.
@@ -94,21 +93,27 @@ pub fn decode_chunk(raw: &[u8]) -> Result<Vec<Tuple>> {
 }
 
 /// Writes `rows` as a chunk file at `path` (created fresh), optionally
-/// fsyncing. Returns the bytes written.
-pub fn write_chunk(path: &Path, rows: &[Tuple], fsync: bool) -> Result<u64> {
+/// fsyncing. Transient write failures are retried (a full rewrite is
+/// idempotent); a failed fsync is surfaced as [`DiskError::SyncFailed`]
+/// for the caller to fail stop on. Returns the bytes written.
+pub fn write_chunk(
+    vfs: &dyn Vfs,
+    path: &Path,
+    rows: &[Tuple],
+    fsync: bool,
+) -> std::result::Result<u64, DiskError> {
     let buf = encode_chunk(rows);
-    let mut f = File::create(path)?;
-    f.write_all(&buf)?;
+    with_retry(|| vfs.write(path, &buf), || Ok(())).map_err(DiskError::Io)?;
     if fsync {
-        f.sync_data()?;
+        vfs.sync(path).map_err(DiskError::SyncFailed)?;
     }
     Ok(buf.len() as u64)
 }
 
-/// Reads and verifies the chunk file at `path`.
-pub fn read_chunk(path: &Path) -> Result<Vec<Tuple>> {
-    let mut raw = Vec::new();
-    File::open(path)?.read_to_end(&mut raw)?;
+/// Reads and verifies the chunk file at `path`, retrying transient read
+/// failures.
+pub fn read_chunk(vfs: &dyn Vfs, path: &Path) -> Result<Vec<Tuple>> {
+    let raw = with_retry(|| vfs.read(path), || Ok(()))?;
     decode_chunk(&raw).map_err(|e| match e {
         EngineError::CorruptStorage(m) => {
             EngineError::CorruptStorage(format!("{}: {m}", path.display()))

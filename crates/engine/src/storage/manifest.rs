@@ -20,10 +20,9 @@
 
 use crate::error::{EngineError, Result};
 use crate::storage::checksum::crc32;
+use crate::storage::vfs::{with_retry, DiskError, Vfs};
 use crate::storage::wal::{get_table_state, put_table_state, TableState};
 use bytes::{Buf, BufMut};
-use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 /// Manifest magic: `"ODM1"`.
@@ -97,30 +96,36 @@ pub fn decode_manifest(raw: &[u8]) -> Result<Manifest> {
 }
 
 /// Writes the manifest atomically: temp file, fsync, rename over `path`.
-pub fn write_manifest(path: &Path, m: &Manifest, fsync: bool) -> Result<()> {
+/// Transient write/rename failures are retried (rewriting the temp file
+/// is idempotent); a failed fsync — of the temp file or of the directory
+/// making the rename durable — is [`DiskError::SyncFailed`], which the
+/// durable layer treats as fatal.
+pub fn write_manifest(
+    vfs: &dyn Vfs,
+    path: &Path,
+    m: &Manifest,
+    fsync: bool,
+) -> std::result::Result<(), DiskError> {
     let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(&encode_manifest(m))?;
-        if fsync {
-            f.sync_data()?;
-        }
+    let raw = encode_manifest(m);
+    with_retry(|| vfs.write(&tmp, &raw), || Ok(())).map_err(DiskError::Io)?;
+    if fsync {
+        vfs.sync(&tmp).map_err(DiskError::SyncFailed)?;
     }
-    fs::rename(&tmp, path)?;
+    with_retry(|| vfs.rename(&tmp, path), || Ok(())).map_err(DiskError::Io)?;
     if fsync {
         // Make the rename itself durable.
         if let Some(dir) = path.parent() {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
+            vfs.sync_dir(dir).map_err(DiskError::SyncFailed)?;
         }
     }
     Ok(())
 }
 
-/// Reads the manifest at `path`; `None` if no checkpoint has happened yet.
-pub fn read_manifest(path: &Path) -> Result<Option<Manifest>> {
-    match fs::read(path) {
+/// Reads the manifest at `path`, retrying transient read failures; `None`
+/// if no checkpoint has happened yet.
+pub fn read_manifest(vfs: &dyn Vfs, path: &Path) -> Result<Option<Manifest>> {
+    match with_retry(|| vfs.read(path), || Ok(())) {
         Ok(raw) => decode_manifest(&raw).map(Some).map_err(|e| match e {
             EngineError::CorruptStorage(m) => {
                 EngineError::CorruptStorage(format!("{}: {m}", path.display()))
@@ -159,16 +164,17 @@ mod tests {
 
     #[test]
     fn round_trips_via_file() {
+        let vfs = crate::storage::vfs::RealFs;
         let dir = TempDir::new("manifest");
         let path = dir.path().join("MANIFEST");
-        assert_eq!(read_manifest(&path).unwrap(), None);
-        write_manifest(&path, &sample(), true).unwrap();
-        assert_eq!(read_manifest(&path).unwrap(), Some(sample()));
+        assert_eq!(read_manifest(&vfs, &path).unwrap(), None);
+        write_manifest(&vfs, &path, &sample(), true).unwrap();
+        assert_eq!(read_manifest(&vfs, &path).unwrap(), Some(sample()));
         // Re-publishing replaces atomically.
         let mut next = sample();
         next.lsn = 99;
-        write_manifest(&path, &next, false).unwrap();
-        assert_eq!(read_manifest(&path).unwrap().unwrap().lsn, 99);
+        write_manifest(&vfs, &path, &next, false).unwrap();
+        assert_eq!(read_manifest(&vfs, &path).unwrap().unwrap().lsn, 99);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! [`durable`]; the individual formats on [`wal`], [`chunkfile`] and
 //! [`manifest`].
 
+pub mod cache;
 pub mod checksum;
 pub mod chunkfile;
 pub mod codec;
@@ -13,8 +14,11 @@ pub mod durable;
 pub mod fault;
 pub mod layout;
 pub mod manifest;
+pub mod vfs;
 pub mod wal;
 
+pub use cache::{CacheStats, ChunkCache};
 pub use durable::{DurableOptions, DurableStats};
-pub use fault::{FaultFs, TempDir};
+pub use fault::{FaultFs, FaultKind, FaultMode, FaultPlan, FaultVfs, OpKind, TempDir};
 pub use layout::{measure_relation, measure_tuple, RelationFootprint, TupleFootprint};
+pub use vfs::{DiskError, RealFs, Vfs};

@@ -1,0 +1,258 @@
+//! A minimal virtual file system over the operations the durability stack
+//! performs — the seam where transient-I/O fault tolerance lives.
+//!
+//! Every file touch in [`wal`](crate::storage::wal),
+//! [`chunkfile`](crate::storage::chunkfile),
+//! [`manifest`](crate::storage::manifest) and
+//! [`durable`](crate::storage::durable) goes through a shared
+//! `Arc<dyn Vfs>`: the real implementation ([`RealFs`]) maps straight onto
+//! `std::fs`, while the fault-injecting implementation
+//! ([`FaultVfs`](crate::storage::fault::FaultVfs)) fails chosen calls with
+//! transient errors, short writes or failed fsyncs.
+//!
+//! The retry policy is deliberately asymmetric, per the fsyncgate lesson:
+//!
+//! * **Reads and writes** may fail transiently (`EINTR`-class errors) and
+//!   are retried with bounded backoff ([`with_retry`]). A retried WAL
+//!   append first truncates back to the pre-append length so a short
+//!   write never leaves garbage mid-log.
+//! * **A failed fsync is never retried.** Once `fsync` reports an error,
+//!   the kernel may have *dropped* the dirty pages while the page cache
+//!   still shows the new data — retrying would report success for bytes
+//!   that never reached the platter. [`DiskError::SyncFailed`] carries
+//!   that distinction up to the durable layer, which poisons the handle
+//!   fail-stop.
+
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// The file operations the durability stack needs. Implementations must
+/// be usable from several threads at once (the chunk cache reads outside
+/// the durable commit lock).
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (or truncates) the file and writes `data` in full.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends `data` in full to the file, creating it if absent.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Fsyncs the file's data (`fdatasync`).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs the directory itself — what makes a `rename` durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Truncates the file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically renames `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes the file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// File names (not paths) in `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Creates `path` and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: straight `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        OpenOptions::new().write(true).open(path)?.sync_data()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+}
+
+/// A durability-stack I/O failure, keeping failed fsyncs distinguishable:
+/// they must poison the durable handle instead of being retried.
+#[derive(Debug)]
+pub enum DiskError {
+    /// An ordinary I/O failure (already past its retry budget if the
+    /// operation was retriable).
+    Io(io::Error),
+    /// An fsync (file or directory) reported failure. The durable layer
+    /// must fail stop: after a failed fsync the page cache can no longer
+    /// be trusted to reflect what is on disk.
+    SyncFailed(io::Error),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Io(e) => write!(f, "{e}"),
+            DiskError::SyncFailed(e) => write!(f, "fsync failed: {e}"),
+        }
+    }
+}
+
+impl From<DiskError> for crate::error::EngineError {
+    fn from(e: DiskError) -> Self {
+        crate::error::EngineError::Io(e.to_string())
+    }
+}
+
+/// Is this the kind of error a retry can plausibly clear? `EINTR`-class
+/// conditions only — anything else is treated as a hard fault.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Attempts a retriable operation gets before giving up on transient
+/// failures.
+pub const IO_RETRY_ATTEMPTS: u32 = 4;
+/// Backoff between transient-failure retries (doubled each attempt).
+pub const IO_RETRY_BACKOFF: Duration = Duration::from_micros(100);
+
+/// Runs `op`, retrying transient failures with bounded exponential
+/// backoff. `undo` runs before every retry — the hook a WAL append uses to
+/// truncate a short write away before writing the frame again. A
+/// non-transient error, an error from `undo` itself, or exhaustion of the
+/// retry budget surfaces the last error.
+pub fn with_retry<T>(
+    mut op: impl FnMut() -> io::Result<T>,
+    mut undo: impl FnMut() -> io::Result<()>,
+) -> io::Result<T> {
+    let mut backoff = IO_RETRY_BACKOFF;
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < IO_RETRY_ATTEMPTS => {
+                undo()?;
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::fault::TempDir;
+
+    #[test]
+    fn realfs_round_trips() {
+        let dir = TempDir::new("vfs");
+        let fs = RealFs;
+        let f = dir.path().join("f");
+        fs.write(&f, b"hello").unwrap();
+        fs.append(&f, b" world").unwrap();
+        assert_eq!(fs.read(&f).unwrap(), b"hello world");
+        fs.sync(&f).unwrap();
+        fs.sync_dir(dir.path()).unwrap();
+        fs.truncate(&f, 5).unwrap();
+        assert_eq!(fs.read(&f).unwrap(), b"hello");
+        let g = dir.path().join("g");
+        fs.rename(&f, &g).unwrap();
+        assert_eq!(fs.list(dir.path()).unwrap(), vec!["g".to_string()]);
+        fs.remove(&g).unwrap();
+        assert!(fs.list(dir.path()).unwrap().is_empty());
+        fs.create_dir_all(&dir.path().join("a/b")).unwrap();
+    }
+
+    #[test]
+    fn retry_clears_transient_failures() {
+        let mut fails = 2;
+        let mut undone = 0;
+        let out = with_retry(
+            || {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+                } else {
+                    Ok(7)
+                }
+            },
+            || {
+                undone += 1;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(undone, 2);
+    }
+
+    #[test]
+    fn retry_gives_up_on_hard_faults() {
+        let mut calls = 0;
+        let err = with_retry::<()>(
+            || {
+                calls += 1;
+                Err(io::Error::other("dead disk"))
+            },
+            || Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(calls, 1, "hard faults are not retried");
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let mut calls = 0;
+        let err = with_retry::<()>(
+            || {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+            },
+            || Ok(()),
+        )
+        .unwrap_err();
+        assert_eq!(calls, IO_RETRY_ATTEMPTS);
+        assert!(is_transient(&err));
+    }
+}

@@ -38,12 +38,12 @@
 use crate::error::{EngineError, Result};
 use crate::storage::checksum::crc32;
 use crate::storage::codec::{decode_tuple, encode_tuple};
+use crate::storage::vfs::{with_retry, DiskError, Vfs};
 use bytes::{Buf, BufMut};
 use ongoing_relation::{Attribute, JournalOp, Schema, Tuple, ValueType};
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One sealed chunk in a [`TableState`]: the id of the chunk file holding
 /// its base rows, the base row count, and the overlay delta inline.
@@ -427,23 +427,22 @@ pub fn scan_bytes(raw: &[u8]) -> Result<(Vec<ScannedRecord>, WalTail)> {
     Ok((records, WalTail::Clean))
 }
 
-/// Reads and scans the WAL at `path`; a missing file is an empty log.
-pub fn scan(path: &Path) -> Result<(Vec<ScannedRecord>, WalTail)> {
-    let mut raw = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut raw)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+/// Reads and scans the WAL at `path`, retrying transient read failures; a
+/// missing file is an empty log.
+pub fn scan(vfs: &dyn Vfs, path: &Path) -> Result<(Vec<ScannedRecord>, WalTail)> {
+    let raw = match with_retry(|| vfs.read(path), || Ok(())) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(e.into()),
-    }
+    };
     scan_bytes(&raw)
 }
 
 /// Append handle for the WAL file.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    path: PathBuf,
     len: u64,
     next_seq: u64,
 }
@@ -453,10 +452,13 @@ impl WalWriter {
     /// must be the verified length of the intact prefix (the caller
     /// truncates a torn tail first); `next_seq` the next sequence number
     /// to issue.
-    pub fn open(path: &Path, len: u64, next_seq: u64) -> Result<WalWriter> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+    pub fn open(vfs: Arc<dyn Vfs>, path: &Path, len: u64, next_seq: u64) -> Result<WalWriter> {
+        // Materialize the file so later appends and syncs find it (an
+        // empty append is idempotent, so transient failures just retry).
+        with_retry(|| vfs.append(path, &[]), || Ok(())).map_err(DiskError::Io)?;
         Ok(WalWriter {
-            file,
+            vfs,
+            path: path.to_path_buf(),
             len,
             next_seq,
         })
@@ -478,8 +480,16 @@ impl WalWriter {
     }
 
     /// Appends one record, optionally fsyncing — the durability point of
-    /// every commit. Returns `(sequence number, frame bytes)`.
-    pub fn append(&mut self, rec: &WalRecord, fsync: bool) -> Result<(u64, u64)> {
+    /// every commit. A transient write failure is retried after
+    /// truncating the log back to its pre-append length, so a short write
+    /// can never leave garbage mid-log; a failed fsync comes back as
+    /// [`DiskError::SyncFailed`], which the durable layer fails stop on.
+    /// Returns `(sequence number, frame bytes)`.
+    pub fn append(
+        &mut self,
+        rec: &WalRecord,
+        fsync: bool,
+    ) -> std::result::Result<(u64, u64), DiskError> {
         let seq = self.next_seq;
         let payload = encode_payload(rec);
         let mut body = Vec::with_capacity(8 + payload.len());
@@ -489,9 +499,16 @@ impl WalWriter {
         frame.put_u32_le(body.len() as u32);
         frame.put_u32_le(crc32(&body));
         frame.put_slice(&body);
-        self.file.write_all(&frame)?;
+        let (vfs, path, len) = (&self.vfs, &self.path, self.len);
+        with_retry(
+            || vfs.append(path, &frame),
+            // A failed attempt may have appended a partial frame; cut the
+            // log back to the last durable record before trying again.
+            || vfs.truncate(path, len),
+        )
+        .map_err(DiskError::Io)?;
         if fsync {
-            self.file.sync_data()?;
+            self.vfs.sync(&self.path).map_err(DiskError::SyncFailed)?;
         }
         self.next_seq += 1;
         self.len += frame.len() as u64;
@@ -501,11 +518,10 @@ impl WalWriter {
     /// Truncates the log to zero bytes — the post-checkpoint reset. The
     /// sequence counter keeps running: records folded into the manifest
     /// stay strictly below every future record's number.
-    pub fn reset(&mut self, path: &Path) -> Result<()> {
-        let file = OpenOptions::new().write(true).truncate(true).open(path)?;
-        file.sync_data()?;
-        drop(file);
-        self.file = OpenOptions::new().append(true).open(path)?;
+    pub fn reset(&mut self) -> std::result::Result<(), DiskError> {
+        let (vfs, path) = (&self.vfs, &self.path);
+        with_retry(|| vfs.truncate(path, 0), || Ok(())).map_err(DiskError::Io)?;
+        self.vfs.sync(&self.path).map_err(DiskError::SyncFailed)?;
         self.len = 0;
         Ok(())
     }
@@ -513,10 +529,10 @@ impl WalWriter {
 
 /// Truncates the file at `path` to `len` bytes — how recovery removes a
 /// torn tail.
-pub fn truncate_file(path: &Path, len: u64) -> Result<()> {
-    let file = OpenOptions::new().write(true).open(path)?;
-    file.set_len(len)?;
-    file.sync_data()?;
+pub fn truncate_file(vfs: &dyn Vfs, path: &Path, len: u64) -> Result<()> {
+    with_retry(|| vfs.truncate(path, len), || Ok(()))?;
+    vfs.sync(path)
+        .map_err(|e| EngineError::Io(format!("fsync failed: {e}")))?;
     Ok(())
 }
 
@@ -564,18 +580,22 @@ mod tests {
         }
     }
 
+    fn vfs() -> Arc<dyn Vfs> {
+        Arc::new(crate::storage::vfs::RealFs)
+    }
+
     #[test]
     fn writer_and_scan_round_trip() {
         let dir = crate::storage::fault::TempDir::new("wal-roundtrip");
         let path = dir.path().join("wal.log");
-        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        let mut w = WalWriter::open(vfs(), &path, 0, 1).unwrap();
         let mut ends = Vec::new();
         for rec in sample_records() {
             let (_, bytes) = w.append(&rec, true).unwrap();
             assert!(bytes > 0);
             ends.push(w.len());
         }
-        let (records, tail) = scan(&path).unwrap();
+        let (records, tail) = scan(&crate::storage::vfs::RealFs, &path).unwrap();
         assert_eq!(tail, WalTail::Clean);
         assert_eq!(records.len(), 3);
         assert_eq!(
@@ -593,7 +613,7 @@ mod tests {
     fn every_truncation_is_a_clean_torn_tail() {
         let dir = crate::storage::fault::TempDir::new("wal-torn");
         let path = dir.path().join("wal.log");
-        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        let mut w = WalWriter::open(vfs(), &path, 0, 1).unwrap();
         let mut ends = vec![0u64];
         for rec in sample_records() {
             w.append(&rec, false).unwrap();
@@ -617,7 +637,7 @@ mod tests {
     fn complete_record_damage_is_corruption() {
         let dir = crate::storage::fault::TempDir::new("wal-corrupt");
         let path = dir.path().join("wal.log");
-        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        let mut w = WalWriter::open(vfs(), &path, 0, 1).unwrap();
         for rec in sample_records() {
             w.append(&rec, false).unwrap();
         }

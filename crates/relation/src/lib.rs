@@ -60,7 +60,8 @@ pub use keyindex::{KeyProbe, KeyedEdit, QualEstimate};
 pub use relation::{FixedRelation, OngoingRelation};
 pub use schema::{Attribute, Schema, SchemaError};
 pub use store::{
-    ChunkPart, ChunkView, JournalOp, OwnedChunkPart, RowEdit, StoreSummary, TupleStore,
+    ChunkPager, ChunkPart, ChunkSource, ChunkView, JournalOp, LazyChunkView, OwnedChunkPart,
+    OwnedChunkSource, PagedChunkPart, PagerError, PinnedChunk, RowEdit, StoreSummary, TupleStore,
     TARGET_CHUNK_ROWS,
 };
 pub use tuple::Tuple;

@@ -3,7 +3,8 @@
 use crate::keyindex::{KeyProbe, KeyedEdit, QualEstimate};
 use crate::schema::{Schema, SchemaError};
 use crate::store::{
-    ChunkPart, ChunkView, JournalOp, OwnedChunkPart, RowEdit, StoreIter, StoreSummary, TupleStore,
+    ChunkPager, ChunkPart, ChunkView, JournalOp, LazyChunkView, OwnedChunkPart, PagedChunkPart,
+    RowEdit, StoreIter, StoreSummary, TupleStore,
 };
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -160,9 +161,31 @@ impl OngoingRelation {
     }
 
     /// The store's chunk views — the natural morsel boundaries for
-    /// partition-parallel executors.
+    /// partition-parallel executors. Pages in (and parks) any cold chunks;
+    /// budget-honoring scans use [`lazy_views`](Self::lazy_views).
     pub fn chunk_views(&self) -> Vec<ChunkView<'_>> {
         self.store.chunk_views()
+    }
+
+    /// The store's chunk views without loading anything: rows are paged in
+    /// per view by [`LazyChunkView::pin`] and released with the pin — the
+    /// memory-budget-honoring morsel source (see
+    /// [`crate::store::TupleStore::lazy_views`]).
+    pub fn lazy_views(&self) -> Vec<LazyChunkView<'_>> {
+        self.store.lazy_views()
+    }
+
+    /// Demotes resident sealed chunks to cold pager references (see
+    /// [`crate::store::TupleStore::demote_where`]): `f` names each base
+    /// allocation's durable chunk id, or `None` to keep it resident.
+    /// Logically a no-op; returns the number of chunks demoted.
+    pub fn demote_where(
+        &mut self,
+        pager: &std::sync::Arc<dyn ChunkPager>,
+        f: impl FnMut(&std::sync::Arc<[Tuple]>) -> Option<u64>,
+    ) -> usize {
+        self.dense = OnceLock::new();
+        self.store.demote_where(pager, f)
     }
 
     /// Applies row-level edits: `f` visits every live tuple in storage
@@ -297,6 +320,18 @@ impl OngoingRelation {
         OngoingRelation {
             schema,
             store: TupleStore::from_parts(parts, indexed),
+            dense: OnceLock::new(),
+        }
+    }
+
+    /// [`from_parts`](Self::from_parts) generalized to cold chunks: cold
+    /// parts carry only durable identity and page in on demand through
+    /// their [`ChunkPager`], so recovering an out-of-core table reads no
+    /// rows (see [`crate::store::TupleStore::from_paged_parts`]).
+    pub fn from_paged_parts(schema: Schema, parts: Vec<PagedChunkPart>, indexed: &[usize]) -> Self {
+        OngoingRelation {
+            schema,
+            store: TupleStore::from_paged_parts(parts, indexed),
             dense: OnceLock::new(),
         }
     }

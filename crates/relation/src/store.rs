@@ -105,21 +105,307 @@ pub enum JournalOp {
     CreateKeyIndex(usize),
 }
 
-/// Serialization view of one sealed chunk: the immutable base allocation
-/// plus its overlay delta — what the persistence layer writes as a chunk
-/// file (base) and a manifest entry (overlay). The `Arc` is exposed so
-/// callers can track chunk identity (pointer equality) across versions.
+/// A chunk-load failure surfaced by a [`ChunkPager`] — typically an I/O
+/// error or a checksum mismatch in the backing store. Carried as a
+/// rendered message so this crate stays storage-agnostic; the engine maps
+/// it back onto its own error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagerError(pub String);
+
+impl std::fmt::Display for PagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunk pager: {}", self.0)
+    }
+}
+
+impl std::error::Error for PagerError {}
+
+/// Loads sealed chunk bases on demand — the hook a memory-budgeted chunk
+/// cache implements so a store can hold *cold* chunks (identity + length
+/// only) and page their rows in per access. Implementations must be
+/// deterministic: the same `(id, len)` always yields the same rows the
+/// chunk was sealed with.
+pub trait ChunkPager: Send + Sync + std::fmt::Debug {
+    /// Loads chunk `id`, which holds exactly `len` base rows.
+    fn load(&self, id: u64, len: usize) -> Result<Arc<[Tuple]>, PagerError>;
+}
+
+/// The base rows of one sealed chunk: *resident* (the classic fully
+/// in-memory allocation) or *cold* — a pager handle plus durable identity,
+/// with the rows paged in on demand.
+///
+/// Cold chunks support two access disciplines:
+///
+/// * **Transient pins** ([`LazyChunkView::pin`]): rows are loaded, used,
+///   and released with the pin — the budget-honoring path the engine's
+///   executors use, keeping at most one morsel's chunks resident per
+///   worker.
+/// * **Park-on-touch** (every legacy borrow API: [`TupleStore::iter`],
+///   [`TupleStore::tuple_at`], [`TupleStore::chunk_views`], the edit
+///   planners): the first borrow parks the loaded `Arc` in a per-version
+///   [`OnceLock`], keeping the borrow sound for this version's lifetime.
+///   Cloning a store resets the locks, so parks accumulated by a
+///   query-scoped clone die with that clone instead of bloating the
+///   published version. Park-on-touch is the transparent correctness
+///   fallback — it trades memory for compatibility, and it *panics* on a
+///   pager failure (the fallible path is the pinned view).
+#[derive(Debug)]
+enum ChunkBase {
+    /// Rows held in memory, shared between versions.
+    Resident(Arc<[Tuple]>),
+    /// Rows on durable storage, paged in per access.
+    Cold {
+        pager: Arc<dyn ChunkPager>,
+        id: u64,
+        len: usize,
+        parked: OnceLock<Arc<[Tuple]>>,
+    },
+}
+
+impl Clone for ChunkBase {
+    fn clone(&self) -> ChunkBase {
+        match self {
+            ChunkBase::Resident(a) => ChunkBase::Resident(Arc::clone(a)),
+            // A fork starts un-parked: rows a clone touches stay resident
+            // only as long as the clone lives.
+            ChunkBase::Cold { pager, id, len, .. } => ChunkBase::Cold {
+                pager: Arc::clone(pager),
+                id: *id,
+                len: *len,
+                parked: OnceLock::new(),
+            },
+        }
+    }
+}
+
+impl ChunkBase {
+    /// Base row count — free for both variants.
+    fn len(&self) -> usize {
+        match self {
+            ChunkBase::Resident(a) => a.len(),
+            ChunkBase::Cold { len, .. } => *len,
+        }
+    }
+
+    /// Pins the rows for the duration of a borrow *without* parking them:
+    /// resident (or already-parked) rows are borrowed, cold rows are paged
+    /// in as an owned transient `Arc` released with the pin.
+    fn pinned(&self) -> Result<PinBase<'_>, PagerError> {
+        match self {
+            ChunkBase::Resident(a) => Ok(PinBase::Borrowed(a)),
+            ChunkBase::Cold {
+                pager,
+                id,
+                len,
+                parked,
+            } => match parked.get() {
+                Some(a) => Ok(PinBase::Borrowed(a)),
+                None => Ok(PinBase::Owned(pager.load(*id, *len)?)),
+            },
+        }
+    }
+
+    /// The rows as a borrow of this version — parking a cold chunk on
+    /// first touch. Panics on a pager failure (see the park-on-touch
+    /// contract in the type docs); fallible callers pin instead.
+    fn slice(&self) -> &[Tuple] {
+        match self {
+            ChunkBase::Resident(a) => a,
+            ChunkBase::Cold {
+                pager,
+                id,
+                len,
+                parked,
+            } => {
+                if let Some(a) = parked.get() {
+                    return a;
+                }
+                let loaded = pager
+                    .load(*id, *len)
+                    .unwrap_or_else(|e| panic!("cold chunk {id} failed to page in: {e}"));
+                parked.get_or_init(|| loaded)
+            }
+        }
+    }
+
+    /// Same-allocation probe: pointer identity for resident chunks,
+    /// durable id identity for cold ones (a chunk id names one immutable
+    /// file, so equal ids are the same data).
+    fn same_alloc(&self, other: &ChunkBase) -> bool {
+        match (self, other) {
+            (ChunkBase::Resident(a), ChunkBase::Resident(b)) => Arc::ptr_eq(a, b),
+            (ChunkBase::Cold { id: a, .. }, ChunkBase::Cold { id: b, .. }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// One chunk's rows held for the duration of a borrow — either borrowed
+/// from a resident allocation or owned as a transient page-in.
+#[derive(Debug)]
+enum PinBase<'a> {
+    Borrowed(&'a [Tuple]),
+    Owned(Arc<[Tuple]>),
+}
+
+impl PinBase<'_> {
+    fn rows(&self) -> &[Tuple] {
+        match self {
+            PinBase::Borrowed(s) => s,
+            PinBase::Owned(a) => a,
+        }
+    }
+}
+
+/// A pinned chunk: live rows accessible while the pin is held. Dropping
+/// the pin releases a cold chunk's transient page-in (its cache slot
+/// becomes evictable again).
+#[derive(Debug)]
+pub struct PinnedChunk<'a> {
+    base: PinBase<'a>,
+    edits: Option<&'a BTreeMap<usize, Vec<Tuple>>>,
+    live: usize,
+}
+
+impl PinnedChunk<'_> {
+    /// Number of live rows in the pinned chunk.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the pinned chunk empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The live rows in storage order (base rows with the overlay spliced
+    /// in), borrowed from the pin.
+    pub fn iter(&self) -> ChunkRows<'_> {
+        ChunkRows {
+            base: self.base.rows(),
+            edits: self.edits,
+            offset: 0,
+            replacement: None,
+        }
+    }
+}
+
+/// A chunk view that defers loading: length and partitioning metadata are
+/// free; the rows are paged in only by [`pin`](Self::pin). The
+/// budget-honoring counterpart of [`ChunkView`] for stores that may hold
+/// cold chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyChunkView<'a> {
+    inner: LazyInner<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LazyInner<'a> {
+    Sealed(&'a Chunk),
+    Pending(&'a [Tuple]),
+}
+
+impl<'a> LazyChunkView<'a> {
+    /// Number of live rows the view will yield — free, no page-in.
+    pub fn len(&self) -> usize {
+        match self.inner {
+            LazyInner::Sealed(c) => c.live,
+            LazyInner::Pending(p) => p.len(),
+        }
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pins the chunk's rows: resident rows are borrowed, cold rows are
+    /// paged in transiently (released when the [`PinnedChunk`] drops, so a
+    /// scan holding one pin per worker keeps at most one morsel resident).
+    pub fn pin(&self) -> Result<PinnedChunk<'a>, PagerError> {
+        match self.inner {
+            LazyInner::Sealed(c) => Ok(PinnedChunk {
+                base: c.base.pinned()?,
+                edits: c.edits.as_deref(),
+                live: c.live,
+            }),
+            LazyInner::Pending(p) => Ok(PinnedChunk {
+                base: PinBase::Borrowed(p),
+                edits: None,
+                live: p.len(),
+            }),
+        }
+    }
+}
+
+/// Serialization view of one sealed chunk: its base identity plus its
+/// overlay delta — what the persistence layer writes as a chunk file
+/// (base) and a manifest entry (overlay). Resident bases expose the `Arc`
+/// so callers can track chunk identity (pointer equality) across
+/// versions; cold bases expose the durable id they already persist under,
+/// so serializing a cold table never pages anything in.
 #[derive(Debug, Clone, Copy)]
 pub struct ChunkPart<'a> {
-    /// The sealed base rows.
-    pub base: &'a Arc<[Tuple]>,
+    /// The sealed base rows (resident) or their durable identity (cold).
+    pub source: ChunkSource<'a>,
     /// The overlay delta (`None` when the chunk is clean).
     pub edits: Option<&'a BTreeMap<usize, Vec<Tuple>>>,
 }
 
-/// Owned counterpart of [`ChunkPart`]: one chunk's base allocation plus
-/// its overlay delta, as handed to [`TupleStore::from_parts`] by recovery.
+/// The base of one serialized chunk (see [`ChunkPart`]).
+#[derive(Debug, Clone, Copy)]
+pub enum ChunkSource<'a> {
+    /// An in-memory base allocation.
+    Resident(&'a Arc<[Tuple]>),
+    /// An already-persisted cold base: durable chunk id + row count.
+    Cold {
+        /// The durable chunk id.
+        id: u64,
+        /// Base row count.
+        len: usize,
+    },
+}
+
+impl ChunkSource<'_> {
+    /// Base row count.
+    pub fn len(&self) -> usize {
+        match self {
+            ChunkSource::Resident(a) => a.len(),
+            ChunkSource::Cold { len, .. } => *len,
+        }
+    }
+
+    /// Is the base empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Owned counterpart of [`ChunkPart`] for fully resident chunks: one
+/// chunk's base allocation plus its overlay delta, as handed to
+/// [`TupleStore::from_parts`] by recovery.
 pub type OwnedChunkPart = (Arc<[Tuple]>, BTreeMap<usize, Vec<Tuple>>);
+
+/// Owned chunk base handed to [`TupleStore::from_paged_parts`]: resident
+/// rows, or a cold reference paged in on demand through a [`ChunkPager`].
+#[derive(Debug)]
+pub enum OwnedChunkSource {
+    /// An in-memory base allocation.
+    Resident(Arc<[Tuple]>),
+    /// A cold base: the pager to load through plus durable identity.
+    Cold {
+        /// The pager that resolves `id` to rows.
+        pager: Arc<dyn ChunkPager>,
+        /// The durable chunk id.
+        id: u64,
+        /// Base row count.
+        len: usize,
+    },
+}
+
+/// One chunk (base source + overlay delta) for
+/// [`TupleStore::from_paged_parts`].
+pub type PagedChunkPart = (OwnedChunkSource, BTreeMap<usize, Vec<Tuple>>);
 
 /// The outcome of visiting one live row during [`TupleStore::apply_edits`]
 /// planning (see [`TupleStore::plan_edits`]).
@@ -137,7 +423,7 @@ pub enum RowEdit {
 /// One immutable chunk plus its shared edit overlay.
 #[derive(Debug, Clone)]
 struct Chunk {
-    base: Arc<[Tuple]>,
+    base: ChunkBase,
     /// `base` offset → replacement rows (empty = tombstone). `None` means
     /// the chunk is clean. Shared between versions; copied on first write.
     edits: Option<Arc<BTreeMap<usize, Vec<Tuple>>>>,
@@ -156,9 +442,27 @@ impl Chunk {
     fn dense(base: Arc<[Tuple]>) -> Chunk {
         let live = base.len();
         Chunk {
-            base,
+            base: ChunkBase::Resident(base),
             edits: None,
             live,
+            keys: BTreeMap::new(),
+        }
+    }
+
+    /// A cold chunk: durable identity only, rows paged in on demand. No
+    /// key maps are built (that would force a page-in); keyed
+    /// qualification falls back to a scan until the chunk is folded
+    /// resident again or an index is built explicitly.
+    fn cold(pager: Arc<dyn ChunkPager>, id: u64, len: usize) -> Chunk {
+        Chunk {
+            base: ChunkBase::Cold {
+                pager,
+                id,
+                len,
+                parked: OnceLock::new(),
+            },
+            edits: None,
+            live: len,
             keys: BTreeMap::new(),
         }
     }
@@ -167,7 +471,8 @@ impl Chunk {
     fn dense_indexed(base: Arc<[Tuple]>, cols: &[usize]) -> Chunk {
         let mut c = Chunk::dense(base);
         for &col in cols {
-            c.keys.insert(col, Arc::new(build_key_map(&c.base, col)));
+            c.keys
+                .insert(col, Arc::new(build_key_map(c.base.slice(), col)));
         }
         c
     }
@@ -426,15 +731,34 @@ impl TupleStore {
     /// exactly what the parts describe, so journaled mutations recorded
     /// against the original layout replay correctly against it.
     pub fn from_parts(parts: Vec<OwnedChunkPart>, indexed: &[usize]) -> TupleStore {
+        TupleStore::from_paged_parts(
+            parts
+                .into_iter()
+                .map(|(base, edits)| (OwnedChunkSource::Resident(base), edits))
+                .collect(),
+            indexed,
+        )
+    }
+
+    /// [`from_parts`](Self::from_parts) generalized to cold chunks: a cold
+    /// part contributes only its durable identity and is paged in on
+    /// demand through its [`ChunkPager`], so recovering an out-of-core
+    /// table is O(#chunks) with zero row reads. Cold chunks skip key-map
+    /// construction (it would force a page-in); keyed qualification falls
+    /// back to a scan for them.
+    pub fn from_paged_parts(parts: Vec<PagedChunkPart>, indexed: &[usize]) -> TupleStore {
         let mut sorted: Vec<usize> = indexed.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         let mut chunks = Vec::with_capacity(parts.len());
         let mut live_total = 0usize;
-        for (base, edits) in parts {
+        for (source, edits) in parts {
+            let mut c = match source {
+                OwnedChunkSource::Resident(base) => Chunk::dense_indexed(base, &sorted),
+                OwnedChunkSource::Cold { pager, id, len } => Chunk::cold(pager, id, len),
+            };
             let overlay: usize = edits.values().map(Vec::len).sum();
-            let live = base.len() - edits.len() + overlay;
-            let mut c = Chunk::dense_indexed(base, &sorted);
+            let live = c.base.len() - edits.len() + overlay;
             if !edits.is_empty() {
                 c.edits = Some(Arc::new(edits));
                 c.live = live;
@@ -457,12 +781,17 @@ impl TupleStore {
 
     /// Serialization views of the sealed chunks, in order. The pending
     /// tail is *not* included — persistence always operates on published
-    /// (sealed) versions; callers seal first.
+    /// (sealed) versions; callers seal first. Cold chunks surface their
+    /// durable identity instead of rows, so serializing an out-of-core
+    /// table never pages anything in.
     pub fn chunk_parts(&self) -> Vec<ChunkPart<'_>> {
         self.chunks
             .iter()
             .map(|c| ChunkPart {
-                base: &c.base,
+                source: match &c.base {
+                    ChunkBase::Resident(a) => ChunkSource::Resident(a),
+                    ChunkBase::Cold { id, len, .. } => ChunkSource::Cold { id: *id, len: *len },
+                },
                 edits: c.edits.as_deref(),
             })
             .collect()
@@ -574,8 +903,14 @@ impl TupleStore {
         let mut built = 0u64;
         for c in &mut self.chunks {
             if !c.keys.contains_key(&col) {
-                c.keys.insert(col, Arc::new(build_key_map(&c.base, col)));
-                built += c.base.len() as u64;
+                // Cold chunks are paged in transiently for the build; the
+                // rows are released again, only the key map stays.
+                let pin = c
+                    .base
+                    .pinned()
+                    .unwrap_or_else(|e| panic!("key index build failed to page in chunk: {e}"));
+                c.keys.insert(col, Arc::new(build_key_map(pin.rows(), col)));
+                built += pin.rows().len() as u64;
             }
         }
         self.write_work += built;
@@ -619,13 +954,16 @@ impl TupleStore {
 
     /// The whole store as one contiguous slice, when its layout allows it
     /// without copying: either everything still sits in the pending tail,
-    /// or in exactly one clean sealed chunk.
+    /// or in exactly one clean *resident* sealed chunk (a cold chunk is
+    /// never paged in for this — callers that get `None` stream instead).
     pub fn as_single_slice(&self) -> Option<&[Tuple]> {
         if self.chunks.is_empty() {
             return Some(&self.pending);
         }
         if self.pending.is_empty() && self.chunks.len() == 1 && self.chunks[0].edits.is_none() {
-            return Some(&self.chunks[0].base);
+            if let ChunkBase::Resident(base) = &self.chunks[0].base {
+                return Some(base);
+            }
         }
         None
     }
@@ -662,7 +1000,9 @@ impl TupleStore {
         if i < self.chunks.len() {
             let c = &self.chunks[i];
             ChunkView {
-                base: &c.base,
+                // Park-on-touch: a cold chunk pages in here and stays
+                // resident for this version's lifetime (see [`ChunkBase`]).
+                base: c.base.slice(),
                 edits: c.edits.as_deref(),
                 live: c.live,
             }
@@ -676,9 +1016,62 @@ impl TupleStore {
     }
 
     /// The store's chunk views (sealed chunks, then the pending tail) —
-    /// the natural morsel boundaries for partition-parallel scans.
+    /// the natural morsel boundaries for partition-parallel scans. Pages
+    /// in (and parks) every cold chunk; budget-honoring scans use
+    /// [`lazy_views`](Self::lazy_views) instead.
     pub fn chunk_views(&self) -> Vec<ChunkView<'_>> {
         (0..self.total_views()).map(|i| self.view_at(i)).collect()
+    }
+
+    /// The store's chunk views without loading anything: lengths and
+    /// partitioning metadata are free, rows are paged in per-view by
+    /// [`LazyChunkView::pin`] and released with the pin. The
+    /// budget-honoring morsel source for scans over stores that may hold
+    /// cold chunks.
+    pub fn lazy_views(&self) -> Vec<LazyChunkView<'_>> {
+        let mut out: Vec<LazyChunkView<'_>> = self
+            .chunks
+            .iter()
+            .map(|c| LazyChunkView {
+                inner: LazyInner::Sealed(c),
+            })
+            .collect();
+        if !self.pending.is_empty() {
+            out.push(LazyChunkView {
+                inner: LazyInner::Pending(&self.pending),
+            });
+        }
+        out
+    }
+
+    /// Demotes resident sealed chunks to cold: every chunk whose base
+    /// allocation `f` can name (returning its durable chunk id) drops its
+    /// rows in favor of a pager handle. Key maps, overlays and live counts
+    /// are untouched, so the demotion is logically a no-op — the pager
+    /// contract is that the id yields exactly the dropped rows. Returns
+    /// the number of chunks demoted.
+    pub fn demote_where(
+        &mut self,
+        pager: &Arc<dyn ChunkPager>,
+        mut f: impl FnMut(&Arc<[Tuple]>) -> Option<u64>,
+    ) -> usize {
+        let mut demoted = 0;
+        for c in &mut self.chunks {
+            let ChunkBase::Resident(base) = &c.base else {
+                continue;
+            };
+            if let Some(id) = f(base) {
+                let len = base.len();
+                c.base = ChunkBase::Cold {
+                    pager: Arc::clone(pager),
+                    id,
+                    len,
+                    parked: OnceLock::new(),
+                };
+                demoted += 1;
+            }
+        }
+        demoted
     }
 
     fn offsets(&self) -> &[usize] {
@@ -853,21 +1246,27 @@ impl TupleStore {
             let Some(map) = chunk.keys.get(&probe.col()) else {
                 return Ok(None); // unindexed chunk: caller falls back
             };
-            let view = self.view_at(ci);
             // Offsets to visit: index candidates not superseded by the
             // overlay, plus every overlay entry — sorted so the plan
-            // matches the full scan's base-offset order exactly.
+            // matches the full scan's base-offset order exactly. Computed
+            // from the key map and overlay alone, so a cold chunk with no
+            // candidates is skipped without paging it in.
+            let edits = chunk.edits.as_deref();
             offs.clear();
             offs.extend(
                 probe
                     .candidates(map)
                     .map(|o| o as usize)
-                    .filter(|o| view.edits.is_none_or(|e| !e.contains_key(o))),
+                    .filter(|o| edits.is_none_or(|e| !e.contains_key(o))),
             );
-            if let Some(edits) = view.edits {
+            if let Some(edits) = edits {
                 offs.extend(edits.keys().copied());
             }
             offs.sort_unstable();
+            if offs.is_empty() {
+                continue;
+            }
+            let view = self.view_at(ci);
             for &off in offs.iter() {
                 visited += Self::plan_offset(&view, ci, off, &mut f, &mut plan)?;
             }
@@ -1147,7 +1546,7 @@ impl TupleStore {
     /// compaction, which already paid O(table) itself — does not. O(1).
     pub fn derives_from(&self, base: &TupleStore) -> bool {
         match (self.chunks.first(), base.chunks.first()) {
-            (Some(a), Some(b)) => Arc::ptr_eq(&a.base, &b.base),
+            (Some(a), Some(b)) => a.base.same_alloc(&b.base),
             _ => false,
         }
     }
@@ -1159,7 +1558,7 @@ impl TupleStore {
     pub fn shared_chunks(&self, other: &TupleStore) -> usize {
         self.chunks
             .iter()
-            .filter(|a| other.chunks.iter().any(|b| Arc::ptr_eq(&a.base, &b.base)))
+            .filter(|a| other.chunks.iter().any(|b| a.base.same_alloc(&b.base)))
             .count()
     }
 }
@@ -1526,13 +1925,20 @@ mod tests {
 
     /// Physical layouts are equal: same chunk boundaries, same overlays,
     /// same live counts — not just the same logical sequence.
+    fn resident_rows<'a>(p: &ChunkPart<'a>) -> &'a Arc<[Tuple]> {
+        match p.source {
+            ChunkSource::Resident(a) => a,
+            ChunkSource::Cold { .. } => panic!("expected a resident chunk"),
+        }
+    }
+
     fn assert_same_layout(a: &TupleStore, b: &TupleStore) {
         assert_eq!(ints(a), ints(b));
         assert_eq!(a.summary(), b.summary());
         let (pa, pb) = (a.chunk_parts(), b.chunk_parts());
         assert_eq!(pa.len(), pb.len());
         for (x, y) in pa.iter().zip(pb.iter()) {
-            assert_eq!(&x.base[..], &y.base[..]);
+            assert_eq!(&resident_rows(x)[..], &resident_rows(y)[..]);
             assert_eq!(x.edits, y.edits);
         }
     }
@@ -1555,7 +1961,12 @@ mod tests {
         let parts = s
             .chunk_parts()
             .into_iter()
-            .map(|p| (Arc::clone(p.base), p.edits.cloned().unwrap_or_default()))
+            .map(|p| {
+                (
+                    Arc::clone(resident_rows(&p)),
+                    p.edits.cloned().unwrap_or_default(),
+                )
+            })
             .collect();
         let rebuilt = TupleStore::from_parts(parts, s.indexed_columns());
         assert_same_layout(&s, &rebuilt);
@@ -1602,7 +2013,12 @@ mod tests {
         let parts = base
             .chunk_parts()
             .into_iter()
-            .map(|p| (Arc::clone(p.base), p.edits.cloned().unwrap_or_default()))
+            .map(|p| {
+                (
+                    Arc::clone(resident_rows(&p)),
+                    p.edits.cloned().unwrap_or_default(),
+                )
+            })
             .collect();
         let mut recovered = TupleStore::from_parts(parts, base.indexed_columns());
         recovered.apply_journal(ops);
@@ -1668,5 +2084,170 @@ mod tests {
         assert!(s.should_compact());
         s.compact();
         assert!(!s.should_compact());
+    }
+
+    /// In-memory pager for cold-chunk tests: serves chunks from a map and
+    /// counts loads.
+    #[derive(Debug)]
+    struct TestPager {
+        chunks: std::sync::Mutex<std::collections::HashMap<u64, Vec<Tuple>>>,
+        loads: std::sync::atomic::AtomicU64,
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl TestPager {
+        fn of(chunks: Vec<(u64, Vec<Tuple>)>) -> Arc<TestPager> {
+            Arc::new(TestPager {
+                chunks: std::sync::Mutex::new(chunks.into_iter().collect()),
+                loads: std::sync::atomic::AtomicU64::new(0),
+                fail: std::sync::atomic::AtomicBool::new(false),
+            })
+        }
+
+        fn loads(&self) -> u64 {
+            self.loads.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl ChunkPager for TestPager {
+        fn load(&self, id: u64, len: usize) -> Result<Arc<[Tuple]>, PagerError> {
+            if self.fail.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(PagerError("injected".into()));
+            }
+            self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let chunks = self.chunks.lock().unwrap();
+            let rows = chunks
+                .get(&id)
+                .ok_or_else(|| PagerError(format!("unknown chunk {id}")))?;
+            assert_eq!(rows.len(), len);
+            Ok(rows.clone().into())
+        }
+    }
+
+    /// Builds a two-chunk store (one cold, one resident) over 0..600.
+    fn cold_store(pager: &Arc<TestPager>) -> TupleStore {
+        let cold: Vec<Tuple> = (0..512).map(t).collect();
+        pager.chunks.lock().unwrap().insert(7, cold);
+        TupleStore::from_paged_parts(
+            vec![
+                (
+                    OwnedChunkSource::Cold {
+                        pager: Arc::clone(pager) as Arc<dyn ChunkPager>,
+                        id: 7,
+                        len: 512,
+                    },
+                    BTreeMap::new(),
+                ),
+                (
+                    OwnedChunkSource::Resident((512..600).map(t).collect::<Vec<_>>().into()),
+                    BTreeMap::new(),
+                ),
+            ],
+            &[],
+        )
+    }
+
+    #[test]
+    fn cold_chunks_build_without_loading() {
+        let pager = TestPager::of(vec![]);
+        let s = cold_store(&pager);
+        assert_eq!(s.len(), 600);
+        assert_eq!(pager.loads(), 0, "construction must not page anything in");
+        assert!(s.as_single_slice().is_none());
+        // Serialization surfaces identity, not rows.
+        let parts = s.chunk_parts();
+        assert!(matches!(
+            parts[0].source,
+            ChunkSource::Cold { id: 7, len: 512 }
+        ));
+        assert_eq!(pager.loads(), 0);
+    }
+
+    #[test]
+    fn lazy_pins_do_not_park() {
+        let pager = TestPager::of(vec![]);
+        let s = cold_store(&pager);
+        let views = s.lazy_views();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].len(), 512);
+        for _ in 0..3 {
+            let pin = views[0].pin().unwrap();
+            assert_eq!(pin.iter().count(), 512);
+        }
+        // Transient pins release the rows: every pin loads afresh.
+        assert_eq!(pager.loads(), 3);
+        // The resident chunk never involves the pager.
+        assert_eq!(views[1].pin().unwrap().iter().count(), 88);
+        assert_eq!(pager.loads(), 3);
+    }
+
+    #[test]
+    fn park_on_touch_loads_once_per_version() {
+        let pager = TestPager::of(vec![]);
+        let s = cold_store(&pager);
+        assert_eq!(ints(&s), (0..600).collect::<Vec<_>>());
+        assert_eq!(ints(&s), (0..600).collect::<Vec<_>>());
+        assert_eq!(s.tuple_at(100).unwrap().value(0).as_int().unwrap(), 100);
+        assert_eq!(pager.loads(), 1, "park caches the rows for this version");
+        // A clone starts un-parked and pages in on its own.
+        let fork = s.clone();
+        assert_eq!(ints(&fork), (0..600).collect::<Vec<_>>());
+        assert_eq!(pager.loads(), 2);
+    }
+
+    #[test]
+    fn pin_surfaces_pager_errors() {
+        let pager = TestPager::of(vec![]);
+        let s = cold_store(&pager);
+        pager.fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        let views = s.lazy_views();
+        assert!(views[0].pin().is_err());
+        // The resident view still pins fine.
+        assert!(views[1].pin().is_ok());
+    }
+
+    #[test]
+    fn demote_where_is_logically_invisible() {
+        let pager = TestPager::of(vec![]);
+        let mut s = TupleStore::from_tuples((0..600).map(t).collect());
+        s.create_key_index(0);
+        let before = ints(&s);
+        // Stash each chunk's rows in the pager under its would-be id, then
+        // demote everything.
+        let mut id = 0u64;
+        {
+            let mut chunks = pager.chunks.lock().unwrap();
+            for p in s.chunk_parts() {
+                chunks.insert(id, resident_rows(&p).to_vec());
+                id += 1;
+            }
+        }
+        let mut next = 0u64;
+        let pager_dyn: Arc<dyn ChunkPager> = Arc::clone(&pager) as Arc<dyn ChunkPager>;
+        let demoted = s.demote_where(&pager_dyn, |_| {
+            let id = next;
+            next += 1;
+            Some(id)
+        });
+        assert_eq!(demoted, 2);
+        assert_eq!(s.len(), 600);
+        assert_eq!(pager.loads(), 0, "demotion itself loads nothing");
+        // Key maps survive demotion: keyed qualification still works
+        // without paging in candidate-free chunks.
+        let est = s.qualification_estimate(&eq_probe(5)).unwrap();
+        assert!(est.keyed < est.scan);
+        let (plan, visited) = s
+            .plan_edits_keyed(&eq_probe(5), |_| Ok::<_, ()>(RowEdit::Remove))
+            .unwrap()
+            .unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(visited, 1);
+        assert_eq!(pager.loads(), 1, "only the candidate's chunk paged in");
+        // Full iteration still yields the original sequence.
+        let fork = s.clone();
+        assert_eq!(ints(&fork), before);
+        // Demoted chunks share identity across clones.
+        assert!(fork.derives_from(&s));
+        assert_eq!(fork.shared_chunks(&s), 2);
     }
 }

@@ -249,6 +249,7 @@ fn eight_durable_writers_recover_to_the_serialized_replay() {
                 ongoingdb::engine::DurableOptions {
                     fsync: false,
                     checkpoint_bytes: 8 << 10,
+                    ..Default::default()
                 },
             )
             .unwrap(),
@@ -453,5 +454,82 @@ fn queued_writers_commit_in_ticket_order() {
         worst.load(Ordering::Relaxed),
         1,
         "queued writers conflicted"
+    );
+}
+
+#[test]
+fn eight_writers_under_a_tight_memory_budget_evict_and_stay_exact() {
+    // PR 7 interaction test: the multi-writer workload against a durable
+    // database whose chunk cache is far smaller than the table, with a
+    // tiny checkpoint threshold so checkpoints keep demoting freshly
+    // sealed chunks to cold mid-flight. Writers then page those chunks
+    // back in through the budgeted cache while qualifying their updates —
+    // eviction under contention must never lose, duplicate or tear a
+    // committed round.
+    let rounds: i64 = 15;
+    let budget: u64 = 64 << 10;
+    let dir = ongoingdb::engine::storage::TempDir::new("writers-evict");
+    let base = base_rows(8 * ongoing_relation::TARGET_CHUNK_ROWS as i64);
+    let db = Arc::new(
+        Database::open_with(
+            dir.path(),
+            ongoingdb::engine::DurableOptions {
+                fsync: false,
+                checkpoint_bytes: 16 << 10,
+                memory_budget: budget,
+            },
+        )
+        .unwrap(),
+    );
+    db.create_table(
+        "T",
+        OngoingRelation::from_tuples(schema(), base.clone()).unwrap(),
+    )
+    .unwrap();
+    db.create_key_index("T", "K").unwrap();
+    std::thread::scope(|s| {
+        for t in 0..WRITERS {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for r in 0..rounds {
+                    db.modify_table("T", |rel| {
+                        writer_round(&mut Modifier::new(rel, "VT")?, t, r)
+                    })
+                    .unwrap_or_else(|e| panic!("budgeted writer {t} round {r}: {e}"));
+                }
+            });
+        }
+    });
+
+    assert!(
+        db.durable_stats().unwrap().checkpoints > 0,
+        "workload must exercise checkpoints"
+    );
+
+    // The final full scan pages the whole (≈8×-budget) table through the
+    // budgeted cache: by the time it finishes, chunks demoted at the
+    // checkpoints must have been read back and the cache must have
+    // shed entries under pressure.
+    let live: Vec<Tuple> = db.table("T").unwrap().data().iter().cloned().collect();
+    let stats = db.durable_stats().unwrap();
+    assert!(
+        stats.cache_misses > 0,
+        "demoted chunks must page back in through the cache"
+    );
+    assert!(
+        stats.cache_evictions > 0,
+        "an 8×-budget table must evict under a {budget}-byte budget"
+    );
+    assert_untorn(&live, "budgeted final");
+    let mut replay = base;
+    for t in 0..WRITERS {
+        for r in 0..rounds {
+            replay_round(&mut replay, t, r);
+        }
+    }
+    assert_eq!(
+        sorted(live),
+        sorted(replay),
+        "budgeted table diverged from the serialized naive replay"
     );
 }

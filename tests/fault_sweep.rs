@@ -1,0 +1,265 @@
+//! Transient-I/O fault sweep: every [`Vfs`] call a durable workload makes
+//! is failed, one site at a time, and the engine's response is checked
+//! against the governance contract:
+//!
+//! 1. **Transient read/write faults are absorbed.** The storage layer's
+//!    bounded-backoff retry ([`with_retry`]) clears them; the workload
+//!    completes with results identical to the fault-free baseline.
+//! 2. **Fsync failures are fail-stop.** A failed `sync`/`sync_dir` is
+//!    *never* retried (fsyncgate: the page cache can no longer be
+//!    trusted). It surfaces as a typed error, the durable handle is
+//!    poisoned, and a fresh open recovers a consistent committed prefix.
+//! 3. **Permanent faults surface, never panic.** The disk going bad for
+//!    good yields a typed [`EngineError`]; reopening on a healthy fs
+//!    still recovers exactly a committed prefix — every acknowledged
+//!    commit present, no partial one.
+//!
+//! The sweep enumerates its sites by first running the workload under a
+//! tracing [`FaultVfs`], so new I/O paths are covered automatically.
+
+use ongoing_core::time::tp;
+use ongoing_core::OngoingInterval;
+use ongoing_relation::{OngoingRelation, Schema, Tuple, Value};
+use ongoingdb::engine::modify::Modifier;
+use ongoingdb::engine::storage::{
+    DurableOptions, FaultKind, FaultMode, FaultPlan, FaultVfs, OpKind, TempDir,
+};
+use ongoingdb::engine::{Database, Vfs};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Inserted-marker rounds the workload commits after creating the table.
+const ROUNDS: i64 = 3;
+/// Base rows seeded at table creation.
+const BASE: i64 = 64;
+/// Acknowledgement points: create, each round, checkpoint, reopen+scan.
+const STEPS: u32 = 1 + ROUNDS as u32 + 1 + 1;
+
+fn schema() -> Schema {
+    Schema::builder().int("K").int("G").interval("VT").build()
+}
+
+fn base_rows() -> Vec<Tuple> {
+    (0..BASE)
+        .map(|k| {
+            Tuple::base(vec![
+                Value::Int(k),
+                Value::Int(k % 7),
+                Value::Interval(OngoingInterval::from_until_now(tp(k % 40))),
+            ])
+        })
+        .collect()
+}
+
+/// Explicit options: real fsyncs (the sweep injects sync faults), no
+/// automatic checkpoints (the workload checkpoints once, explicitly, so
+/// the op trace is deterministic), no budget paging.
+fn opts() -> DurableOptions {
+    DurableOptions {
+        fsync: true,
+        checkpoint_bytes: u64::MAX,
+        memory_budget: u64::MAX,
+    }
+}
+
+/// The swept workload: create a table, commit `ROUNDS` marker inserts,
+/// checkpoint, then crash-reopen on the same vfs and scan. Bumps
+/// `acked` after every acknowledged step; returns the final sorted keys.
+fn workload(dir: &Path, vfs: Arc<dyn Vfs>, acked: &mut u32) -> ongoingdb::engine::Result<Vec<i64>> {
+    {
+        let db = Database::open_with_vfs(dir, opts(), Arc::clone(&vfs))?;
+        db.create_table(
+            "T",
+            OngoingRelation::from_tuples(schema(), base_rows())
+                .expect("seed relation is in-memory"),
+        )?;
+        *acked += 1;
+        for r in 0..ROUNDS {
+            db.modify_table("T", |rel| {
+                Modifier::new(rel, "VT")?.insert_open(
+                    vec![Value::Int(100 + r), Value::Int(-1), Value::Bool(false)],
+                    tp(r % 40),
+                )
+            })?;
+            *acked += 1;
+        }
+        db.persist()?;
+        *acked += 1;
+    }
+    let db = Database::open_with_vfs(dir, opts(), vfs)?;
+    let mut keys: Vec<i64> = db
+        .table("T")?
+        .data()
+        .iter()
+        .map(|t| t.value(0).as_int().expect("int key"))
+        .collect();
+    keys.sort_unstable();
+    *acked += 1;
+    Ok(keys)
+}
+
+/// The committed-prefix oracle: reopening `dir` on the healthy fs must
+/// find either no table (nothing was ever acknowledged) or the base rows
+/// plus the markers of rounds `0..m` for some `m` — with every
+/// *acknowledged* round durable (`m ≥` the acked round count).
+fn assert_committed_prefix(dir: &Path, acked: u32, site: usize) {
+    let db = Database::open_with(dir, opts())
+        .unwrap_or_else(|e| panic!("site {site}: healthy reopen failed: {e}"));
+    if !db.table_names().contains(&"T".to_string()) {
+        assert_eq!(acked, 0, "site {site}: acknowledged create lost");
+        return;
+    }
+    let mut keys: Vec<i64> = db
+        .table("T")
+        .unwrap_or_else(|e| panic!("site {site}: recovered table unreadable: {e}"))
+        .data()
+        .iter()
+        .map(|t| t.value(0).as_int().expect("int key"))
+        .collect();
+    keys.sort_unstable();
+    let rounds = keys.iter().filter(|&&k| k >= 100).count() as i64;
+    let mut expect: Vec<i64> = (0..BASE).collect();
+    expect.extend((0..rounds).map(|r| 100 + r));
+    assert_eq!(
+        keys, expect,
+        "site {site}: recovered state is not a committed prefix"
+    );
+    let acked_rounds = acked.saturating_sub(1).min(ROUNDS as u32) as i64;
+    assert!(
+        rounds >= acked_rounds,
+        "site {site}: acknowledged round lost ({rounds} durable < {acked_rounds} acked)"
+    );
+}
+
+/// Runs the workload with one armed fault and checks the contract for
+/// that (site, kind, mode) cell.
+fn check_site(at: usize, op: OpKind, kind: FaultKind, mode: FaultMode, baseline: &[i64]) {
+    let label = format!("site {at} ({op:?}) {kind:?} {mode:?}");
+    let dir = TempDir::new("sweep-run");
+    let vfs = Arc::new(FaultVfs::with_fault(FaultPlan {
+        at: at as u64,
+        kind,
+        mode,
+    }));
+    let mut acked = 0;
+    let result = workload(dir.path(), Arc::clone(&vfs) as Arc<dyn Vfs>, &mut acked);
+    assert!(vfs.injected() > 0, "{label}: fault never fired");
+    match (kind, op) {
+        (FaultKind::Transient, OpKind::Read | OpKind::Write) => {
+            let keys = result.unwrap_or_else(|e| panic!("{label}: not absorbed: {e}"));
+            assert_eq!(keys, baseline, "{label}: result diverged after retry");
+        }
+        _ => {
+            // Sync faults are fail-stop even when transient; permanent
+            // faults always surface. Either way: a typed error (the `?`
+            // chain — no panic reaches here), never a torn store.
+            let err = result.expect_err(&format!("{label}: fault swallowed"));
+            assert!(
+                !err.to_string().is_empty(),
+                "{label}: error must describe the failure"
+            );
+        }
+    }
+    assert_committed_prefix(dir.path(), acked, at);
+}
+
+/// Baseline run under a tracing vfs: the op-kind trace enumerates the
+/// sweep's injection sites, and the result is the equivalence oracle.
+fn baseline() -> (Vec<OpKind>, Vec<i64>) {
+    let dir = TempDir::new("sweep-base");
+    let vfs = Arc::new(FaultVfs::tracing());
+    let mut acked = 0;
+    let keys = workload(dir.path(), Arc::clone(&vfs) as Arc<dyn Vfs>, &mut acked)
+        .expect("fault-free baseline");
+    assert_eq!(acked, STEPS);
+    let trace = vfs.trace();
+    // The workload must actually exercise all three op classes, or the
+    // sweep proves nothing.
+    for class in [OpKind::Read, OpKind::Write, OpKind::Sync] {
+        assert!(
+            trace.contains(&class),
+            "workload has no {class:?} site to sweep"
+        );
+    }
+    (trace, keys)
+}
+
+#[test]
+fn transient_faults_at_every_site_are_absorbed_or_fail_stop() {
+    let (trace, keys) = baseline();
+    println!("sweeping {} transient sites", trace.len());
+    for (at, &op) in trace.iter().enumerate() {
+        check_site(at, op, FaultKind::Transient, FaultMode::Error, &keys);
+        // Torn variants: short writes for write sites, reported-failed
+        // fsyncs for sync sites.
+        match op {
+            OpKind::Write => check_site(at, op, FaultKind::Transient, FaultMode::ShortWrite, &keys),
+            OpKind::Sync => check_site(at, op, FaultKind::Transient, FaultMode::FailSync, &keys),
+            OpKind::Read => {}
+        }
+    }
+}
+
+#[test]
+fn permanent_faults_at_every_site_surface_typed_and_recover_a_prefix() {
+    let (trace, keys) = baseline();
+    println!("sweeping {} permanent sites", trace.len());
+    for (at, &op) in trace.iter().enumerate() {
+        check_site(at, op, FaultKind::Permanent, FaultMode::Error, &keys);
+    }
+}
+
+#[test]
+fn poisoned_handle_fails_every_later_operation_until_reopen() {
+    // Arm the first sync fault: the create-table commit's WAL fsync.
+    let dir = TempDir::new("sweep-poison");
+    let probe = Arc::new(FaultVfs::tracing());
+    {
+        let mut acked = 0;
+        workload(dir.path(), Arc::clone(&probe) as Arc<dyn Vfs>, &mut acked).unwrap();
+    }
+    let first_sync = probe
+        .trace()
+        .iter()
+        .position(|k| *k == OpKind::Sync)
+        .expect("workload fsyncs") as u64;
+
+    let dir = TempDir::new("sweep-poison-run");
+    let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::with_fault(FaultPlan {
+        at: first_sync,
+        kind: FaultKind::Transient,
+        mode: FaultMode::FailSync,
+    }));
+    let db = Database::open_with_vfs(dir.path(), opts(), vfs).unwrap();
+    let err = db
+        .create_table(
+            "T",
+            OngoingRelation::from_tuples(schema(), base_rows()).unwrap(),
+        )
+        .expect_err("failed fsync must fail the commit");
+    assert!(
+        err.to_string().contains("fsync"),
+        "unexpected error shape: {err}"
+    );
+    // Fail-stop: the handle is poisoned even though the fault was
+    // transient — every later durable operation refuses until reopen.
+    let err = db
+        .create_table(
+            "T",
+            OngoingRelation::from_tuples(schema(), base_rows()).unwrap(),
+        )
+        .expect_err("poisoned handle must refuse further commits");
+    assert!(
+        err.to_string().contains("poisoned"),
+        "expected poisoned-handle error, got: {err}"
+    );
+    drop(db);
+    // A fresh open re-reads the actual on-disk state and works.
+    let db = Database::open_with(dir.path(), opts()).unwrap();
+    db.create_table(
+        "T",
+        OngoingRelation::from_tuples(schema(), base_rows()).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(db.table("T").unwrap().data().len(), BASE as usize);
+}

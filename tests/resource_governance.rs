@@ -1,0 +1,371 @@
+//! Resource-governance suite: memory budget, deadlines, cancellation.
+//!
+//! PR 7 gave the engine three governors; this suite pins their contracts:
+//!
+//! 1. **Out-of-core execution.** A durable table several times the chunk
+//!    cache's byte budget reopens *cold* (`tuples_loaded == 0` until first
+//!    access) and scans/joins with peak resident cache bytes at or below
+//!    the budget — producing results identical to an unbounded reopen of
+//!    the same directory.
+//! 2. **Deadlines & cancellation are cooperative and clean.** An expired
+//!    deadline or a cancelled [`QueryControl`] surfaces within one morsel
+//!    as a typed error ([`EngineError::DeadlineExceeded`] /
+//!    [`EngineError::Cancelled`]) — never a panic — and the store stays
+//!    fully usable afterwards.
+//! 3. **Write deadlines never tear.** `RetryPolicy::timeout` bounds a
+//!    perpetually conflicting `modify_table` (including backoff sleeps and
+//!    writer-queue waits); expiry means *not applied*, and a timed-out
+//!    queued writer's abandoned ticket never stalls the writers behind it.
+
+use ongoing_core::time::tp;
+use ongoing_core::OngoingInterval;
+use ongoing_relation::{Expr, OngoingRelation, Schema, Tuple, Value};
+use ongoingdb::engine::catalog::RetryPolicy;
+use ongoingdb::engine::modify::Modifier;
+use ongoingdb::engine::plan::{compile, JoinStrategy, PlannerConfig};
+use ongoingdb::engine::storage::{DurableOptions, TempDir};
+use ongoingdb::engine::{Database, EngineError, ExecContext, QueryBuilder, QueryControl};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CHUNK: usize = ongoing_relation::TARGET_CHUNK_ROWS;
+
+fn schema() -> Schema {
+    Schema::builder().int("K").int("G").interval("VT").build()
+}
+
+fn big_rows(n: usize) -> Vec<Tuple> {
+    (0..n as i64)
+        .map(|k| {
+            Tuple::base(vec![
+                Value::Int(k),
+                Value::Int(k % 7),
+                Value::Interval(OngoingInterval::from_until_now(tp(k % 40))),
+            ])
+        })
+        .collect()
+}
+
+/// Durable options with an explicit budget (ignoring the env override so
+/// the test controls both sides of the comparison).
+fn opts(memory_budget: u64) -> DurableOptions {
+    DurableOptions {
+        fsync: false,
+        checkpoint_bytes: u64::MAX,
+        memory_budget,
+    }
+}
+
+/// Total and maximum chunk-file bytes under `<dir>/chunks`.
+fn chunk_file_bytes(dir: &Path) -> (u64, u64) {
+    let mut total = 0;
+    let mut max = 0;
+    for entry in std::fs::read_dir(dir.join("chunks")).expect("chunks dir") {
+        let len = entry.unwrap().metadata().unwrap().len();
+        total += len;
+        max = max.max(len);
+    }
+    (total, max)
+}
+
+/// The two governed query shapes: a filtered scan of the big table, and a
+/// hash join probing it with a small build side.
+fn run_queries(db: &Database) -> (Vec<Tuple>, Vec<Tuple>) {
+    // Two workers: parallel paging coverage while keeping worst-case
+    // concurrent pins (one morsel per worker) well inside any budget the
+    // caller derives from the table size — peak ≤ budget must hold on
+    // machines of any core count.
+    let cfg = PlannerConfig {
+        join_strategy: JoinStrategy::Hash,
+        parallelism: 2,
+        ..PlannerConfig::default()
+    };
+    let filter = QueryBuilder::scan(db, "T")
+        .unwrap()
+        .filter(|s| Ok(Expr::col(s, "G")?.eq(Expr::lit(3i64))))
+        .unwrap()
+        .build();
+    let filtered: Vec<Tuple> = compile(db, &filter, &cfg)
+        .unwrap()
+        .execute_ctx(&cfg.exec_context())
+        .unwrap()
+        .iter()
+        .cloned()
+        .collect();
+
+    let t = QueryBuilder::scan_as(db, "T", "T").unwrap();
+    let s = QueryBuilder::scan_as(db, "S", "S").unwrap();
+    let join = t
+        .join(s, |sch| {
+            Ok(Expr::col(sch, "T.K")?.eq(Expr::col(sch, "S.K")?))
+        })
+        .unwrap()
+        .build();
+    let joined: Vec<Tuple> = compile(db, &join, &cfg)
+        .unwrap()
+        .execute_ctx(&cfg.exec_context())
+        .unwrap()
+        .iter()
+        .cloned()
+        .collect();
+    (filtered, joined)
+}
+
+#[test]
+fn out_of_core_scan_and_join_match_unbounded_within_budget() {
+    let dir = TempDir::new("govern-ooc");
+
+    // Seed: a 16-chunk table plus a small join side, checkpointed into
+    // sealed chunk files.
+    {
+        let db = Database::open_with(dir.path(), opts(u64::MAX)).unwrap();
+        db.create_table(
+            "T",
+            OngoingRelation::from_tuples(schema(), big_rows(16 * CHUNK)).unwrap(),
+        )
+        .unwrap();
+        db.create_table(
+            "S",
+            OngoingRelation::from_tuples(schema(), big_rows(64)).unwrap(),
+        )
+        .unwrap();
+        db.persist().unwrap();
+    }
+
+    // Budget: a quarter of the table's on-disk bytes (≥ 4× out-of-core),
+    // comfortably above the largest single chunk so every morsel fits.
+    let (total, max_file) = chunk_file_bytes(dir.path());
+    let budget = (total / 4).max(2 * max_file);
+    assert!(
+        total >= 4 * budget,
+        "seed table must be ≥ 4× the budget (total {total}, budget {budget})"
+    );
+
+    // Budgeted reopen: cold tables load zero tuples until first access,
+    // queries stay within budget, eviction actually happens.
+    let (filtered, joined) = {
+        let db = Database::open_with(dir.path(), opts(budget)).unwrap();
+        db.table("T").unwrap();
+        db.table("S").unwrap();
+        let stats = db.durable_stats().unwrap();
+        assert_eq!(
+            stats.tuples_loaded, 0,
+            "budgeted open must materialize nothing"
+        );
+
+        let out = run_queries(&db);
+        let stats = db.durable_stats().unwrap();
+        assert!(
+            stats.cache_peak_bytes <= budget,
+            "peak resident {} exceeded budget {budget}",
+            stats.cache_peak_bytes
+        );
+        assert!(stats.cache_misses > 0, "scans must page chunks in");
+        assert!(
+            stats.cache_evictions > 0,
+            "a 4×-budget scan must evict under pressure"
+        );
+        out
+    };
+
+    // Unbounded reopen of the same directory: bit-identical results.
+    let db = Database::open_with(dir.path(), opts(u64::MAX)).unwrap();
+    let (filtered_full, joined_full) = run_queries(&db);
+    assert_eq!(filtered, filtered_full, "budgeted filter result diverged");
+    assert_eq!(joined, joined_full, "budgeted join result diverged");
+    assert_eq!(
+        filtered.len(),
+        16 * CHUNK / 7 + usize::from(16 * CHUNK % 7 > 3)
+    );
+    assert_eq!(joined.len(), 64);
+}
+
+#[test]
+fn zero_deadline_fails_within_one_morsel_and_leaves_store_intact() {
+    let dir = TempDir::new("govern-deadline");
+    let db = Database::open_with(dir.path(), opts(u64::MAX)).unwrap();
+    db.create_table(
+        "T",
+        OngoingRelation::from_tuples(schema(), big_rows(2 * CHUNK)).unwrap(),
+    )
+    .unwrap();
+
+    let plan = QueryBuilder::scan(&db, "T")
+        .unwrap()
+        .filter(|s| Ok(Expr::col(s, "G")?.eq(Expr::lit(1i64))))
+        .unwrap()
+        .build();
+    let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+
+    // Already-expired deadline: the very first morsel-boundary check
+    // fails, as a typed error.
+    let expired = ExecContext::serial().with_timeout(Duration::ZERO);
+    match phys.execute_ctx(&expired) {
+        Err(EngineError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // The store is untouched: the same plan without a deadline succeeds,
+    // and the table still accepts writes.
+    let ok = phys.execute_ctx(&ExecContext::serial()).unwrap();
+    assert!(!ok.is_empty());
+    db.modify_table("T", |rel| {
+        Modifier::new(rel, "VT")?.insert_open(
+            vec![Value::Int(-1), Value::Int(0), Value::Bool(false)],
+            tp(1),
+        )
+    })
+    .unwrap();
+}
+
+#[test]
+fn cancelled_control_surfaces_cancelled_from_any_thread() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        OngoingRelation::from_tuples(schema(), big_rows(CHUNK)).unwrap(),
+    )
+    .unwrap();
+    let plan = QueryBuilder::scan(&db, "T")
+        .unwrap()
+        .filter(|s| Ok(Expr::col(s, "G")?.eq(Expr::lit(2i64))))
+        .unwrap()
+        .build();
+    let phys = compile(&db, &plan, &PlannerConfig::default()).unwrap();
+
+    // The caller keeps one handle and cancels from another thread; the
+    // clone inside the context observes it at the next check.
+    let control = QueryControl::unbounded();
+    let handle = control.clone();
+    std::thread::spawn(move || handle.cancel()).join().unwrap();
+    assert!(control.is_cancelled());
+    let ctx = ExecContext::serial().with_control(control);
+    match phys.execute_ctx(&ctx) {
+        Err(EngineError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // Cancellation is per-token, not per-plan: a fresh context runs fine.
+    assert!(phys.execute_ctx(&ExecContext::serial()).is_ok());
+}
+
+#[test]
+fn modify_timeout_bounds_a_perpetually_conflicting_writer() {
+    let db = Database::new();
+    db.create_table(
+        "T",
+        OngoingRelation::from_tuples(schema(), big_rows(32)).unwrap(),
+    )
+    .unwrap();
+
+    // Every attempt's fork is stale by publication time: the closure
+    // itself republishes the table. Without a timeout this retries until
+    // max_attempts; with one it must return DeadlineExceeded promptly —
+    // and the interference pattern guarantees the modification itself was
+    // never applied.
+    let policy = RetryPolicy {
+        max_attempts: u32::MAX,
+        queue_after: u32::MAX,
+        timeout: Some(Duration::from_millis(100)),
+        ..RetryPolicy::default()
+    };
+    let started = Instant::now();
+    let result = db.modify_table_with("T", policy, |rel| {
+        db.put_table(
+            "T",
+            OngoingRelation::from_tuples(schema(), big_rows(32)).unwrap(),
+        )?;
+        Modifier::new(rel, "VT")?.insert_open(
+            vec![Value::Int(-7), Value::Int(0), Value::Bool(false)],
+            tp(1),
+        )
+    });
+    match result {
+        Err(EngineError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "timeout failed to bound the retry loop"
+    );
+    // Not applied: the conflicting writes won, the timed-out insert lost.
+    let rows: Vec<Tuple> = db.table("T").unwrap().data().iter().cloned().collect();
+    assert!(
+        !rows.iter().any(|t| t.value(0).as_int() == Some(-7)),
+        "timed-out modification must not be applied"
+    );
+}
+
+#[test]
+fn abandoned_queue_ticket_never_stalls_later_writers() {
+    let db = Arc::new(Database::new());
+    db.create_table(
+        "T",
+        OngoingRelation::from_tuples(schema(), big_rows(8)).unwrap(),
+    )
+    .unwrap();
+    // Strict FIFO writers: everyone queues from the first attempt.
+    let fifo = RetryPolicy {
+        queue_after: 0,
+        ..RetryPolicy::default()
+    };
+
+    let a_entered = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        // Writer A takes the gate and holds it in its closure.
+        let db_a = Arc::clone(&db);
+        let entered = Arc::clone(&a_entered);
+        let a = s.spawn(move || {
+            db_a.modify_table_with("T", fifo, |rel| {
+                entered.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(250));
+                Modifier::new(rel, "VT")?.insert_open(
+                    vec![Value::Int(-10), Value::Int(0), Value::Bool(false)],
+                    tp(1),
+                )
+            })
+        });
+        while !a_entered.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+
+        // Writer B queues behind A and times out waiting — its abandoned
+        // ticket must be skipped, not served into the void.
+        let timed_out = RetryPolicy {
+            timeout: Some(Duration::from_millis(20)),
+            ..fifo
+        };
+        let b = db.modify_table_with("T", timed_out, |rel| {
+            Modifier::new(rel, "VT")?.insert_open(
+                vec![Value::Int(-20), Value::Int(0), Value::Bool(false)],
+                tp(1),
+            )
+        });
+        match b {
+            Err(EngineError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded for queued writer, got {other:?}"),
+        }
+
+        // Writer C queues after B's abandonment, behind A — it must be
+        // served once A releases, within a bounded wait.
+        let started = Instant::now();
+        db.modify_table_with("T", fifo, |rel| {
+            Modifier::new(rel, "VT")?.insert_open(
+                vec![Value::Int(-30), Value::Int(0), Value::Bool(false)],
+                tp(1),
+            )
+        })
+        .expect("writer C must not stall behind the abandoned ticket");
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "writer C stalled behind an abandoned ticket"
+        );
+        a.join().unwrap().expect("writer A");
+    });
+
+    let rows: Vec<Tuple> = db.table("T").unwrap().data().iter().cloned().collect();
+    let has = |k: i64| rows.iter().any(|t| t.value(0).as_int() == Some(k));
+    assert!(has(-10) && has(-30), "writers A and C must have committed");
+    assert!(!has(-20), "timed-out writer B must not have committed");
+}
