@@ -23,6 +23,7 @@ const BINS: &[&str] = &[
     "repro_writers",
     "repro_recovery",
     "repro_outofcore",
+    "repro_observe",
 ];
 
 fn main() {

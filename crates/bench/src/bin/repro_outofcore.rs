@@ -23,7 +23,8 @@ use ongoing_core::OngoingInterval;
 use ongoing_engine::plan::optimizer::compile;
 use ongoing_engine::storage::TempDir;
 use ongoing_engine::{
-    Database, DurableOptions, DurableStats, ExecContext, JoinStrategy, PlannerConfig, QueryBuilder,
+    Database, DurableOptions, DurableStats, ExecContext, JoinStrategy, MetricsSnapshot,
+    PlannerConfig, QueryBuilder,
 };
 use ongoing_relation::{Expr, OngoingRelation, Schema, Tuple, Value, TARGET_CHUNK_ROWS};
 use std::path::Path;
@@ -109,8 +110,13 @@ fn run_queries(db: &Database) -> (Vec<Tuple>, Vec<Tuple>, Duration, Duration) {
     (filtered, joined, t_filter, t_join)
 }
 
-/// One budgeted pass over a fresh open: queries + the stats they leave.
-fn budgeted_pass(dir: &Path, budget: u64) -> (Vec<Tuple>, Vec<Tuple>, DurableStats) {
+/// One budgeted pass over a fresh open: queries + the stats they leave,
+/// both as the typed [`DurableStats`] (asserted on) and as the metrics
+/// registry's view of the same counters (reported).
+fn budgeted_pass(
+    dir: &Path,
+    budget: u64,
+) -> (Vec<Tuple>, Vec<Tuple>, DurableStats, MetricsSnapshot) {
     let db = Database::open_with(dir, opts(budget)).unwrap();
     db.table("T").unwrap();
     db.table("S").unwrap();
@@ -121,12 +127,13 @@ fn budgeted_pass(dir: &Path, budget: u64) -> (Vec<Tuple>, Vec<Tuple>, DurableSta
     );
     let (filtered, joined, t_filter, t_join) = run_queries(&db);
     let stats = db.durable_stats().unwrap();
+    let snap = db.metrics_snapshot();
     println!(
         "  budget {budget:>9} B: filter {} ms, join {} ms",
         ms(t_filter),
         ms(t_join)
     );
-    (filtered, joined, stats)
+    (filtered, joined, stats, snap)
 }
 
 fn main() {
@@ -163,8 +170,8 @@ fn main() {
         total as f64 / budget as f64
     );
 
-    let (f1, j1, s1) = budgeted_pass(dir.path(), budget);
-    let (f2, j2, s2) = budgeted_pass(dir.path(), budget);
+    let (f1, j1, s1, m1) = budgeted_pass(dir.path(), budget);
+    let (f2, j2, s2, m2) = budgeted_pass(dir.path(), budget);
 
     // Unbounded baseline over the same directory.
     let db = Database::open_with(dir.path(), opts(u64::MAX)).unwrap();
@@ -199,20 +206,38 @@ fn main() {
         "cache counters must be deterministic across identical runs"
     );
 
-    let widths = [10, 12, 12, 12, 14];
-    header(&["run", "hits", "misses", "evictions", "peak [B]"], &widths);
-    for (name, s) in [("first", &s1), ("second", &s2)] {
+    // The same counters through the metrics registry's stable names —
+    // the typed DurableStats above stays the asserted source of truth.
+    let widths = [10, 12, 12, 12, 14, 10];
+    header(
+        &["run", "hits", "misses", "evictions", "peak [B]", "hit rate"],
+        &widths,
+    );
+    for (name, m) in [("first", &m1), ("second", &m2)] {
+        let (hits, misses) = (
+            m.value("ongoingdb_cache_hits"),
+            m.value("ongoingdb_cache_misses"),
+        );
         row(
             &[
                 name.to_string(),
-                s.cache_hits.to_string(),
-                s.cache_misses.to_string(),
-                s.cache_evictions.to_string(),
-                s.cache_peak_bytes.to_string(),
+                hits.to_string(),
+                misses.to_string(),
+                m.value("ongoingdb_cache_evictions").to_string(),
+                m.value("ongoingdb_cache_peak_bytes").to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * hits as f64 / (hits + misses).max(1) as f64
+                ),
             ],
             &widths,
         );
     }
+    assert_eq!(
+        m1.value("ongoingdb_cache_peak_bytes"),
+        s1.cache_peak_bytes,
+        "registry view must agree with DurableStats"
+    );
     println!(
         "\nrepro_outofcore: {} filter rows + {} join rows identical at {:.1}x \
          out-of-core; peak {} B ≤ budget {} B; counters deterministic.",

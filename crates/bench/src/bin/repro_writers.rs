@@ -181,6 +181,32 @@ fn contended_writers() {
         data.write_work() - work0
     );
 
+    // The publication path reports through the metrics registry: the
+    // per-commit CAS-attempt distribution and the conflict/queue counters.
+    let snap = db.metrics_snapshot();
+    let attempts_hist = snap
+        .histogram("ongoingdb_cas_attempts")
+        .expect("cas-attempt histogram");
+    println!(
+        "cas attempts histogram: count={} sum={} conflicts={} queue waits={}",
+        attempts_hist.count,
+        attempts_hist.sum,
+        snap.value("ongoingdb_cas_conflicts"),
+        snap.value("ongoingdb_cas_queue_waits"),
+    );
+    // One observation per publication (the writers' commits plus setup
+    // publications such as create_key_index); every attempt beyond a
+    // publication's first was a retried CAS conflict.
+    assert!(
+        attempts_hist.count >= u64::from(commits),
+        "at least one histogram observation per successful commit"
+    );
+    assert_eq!(
+        attempts_hist.sum - attempts_hist.count,
+        snap.value("ongoingdb_cas_conflicts"),
+        "retried attempts must equal the recorded conflicts"
+    );
+
     // Differential replay: disjoint key spaces commute, so per-writer
     // program order is a valid serialization of the committed history.
     let mut replay = base;

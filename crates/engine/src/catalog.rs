@@ -16,6 +16,11 @@
 
 use crate::error::{EngineError, Result};
 use crate::exec::index::IntervalIndex;
+use crate::exec::ExecStats;
+use crate::obs::{
+    EngineEvent, EventRecord, MetricValue, MetricsSnapshot, Obs, DURABLE_METRIC_NAMES,
+    STORE_METRIC_NAMES,
+};
 use crate::stats::{analyze_relation, TableStatistics};
 use crate::storage::durable::{
     DurableGuard, DurableOptions, DurableState, DurableStats, RecoveredTable,
@@ -350,6 +355,9 @@ pub struct Database {
     /// precondition valid across the WAL append and serializes
     /// publications against checkpoint garbage collection.
     durable: Option<DurableState>,
+    /// The observability bundle: metrics registry, event ring, slow-query
+    /// threshold. Shared (`Arc`) with the storage layer's hooks.
+    obs: Arc<Obs>,
 }
 
 impl Database {
@@ -388,10 +396,13 @@ impl Database {
             .into_iter()
             .map(|plan| (plan.state.name.clone(), TableSlot::Cold(Arc::new(plan))))
             .collect();
+        let obs: Arc<Obs> = Arc::default();
+        durable.attach_obs(Arc::clone(&obs));
         Ok(Database {
             tables: RwLock::new(tables),
             gates: Mutex::new(HashMap::new()),
             durable: Some(durable),
+            obs,
         })
     }
 
@@ -408,6 +419,87 @@ impl Database {
     /// A snapshot of the durable layer's work counters, if durable.
     pub fn durable_stats(&self) -> Option<DurableStats> {
         self.durable.as_ref().map(|d| d.stats())
+    }
+
+    /// The observability bundle: the metrics registry, the event ring and
+    /// the slow-query threshold. Shared with the storage layer's hooks.
+    pub fn observability(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric the database exposes: the
+    /// registry's own counters/histograms (exec work units, CAS attempts,
+    /// publications, queries) plus derived views — every
+    /// [`DurableStats`] field under its stable `ongoingdb_*` name and the
+    /// store's write-path counters summed over the materialized tables.
+    /// The typed structs stay authoritative; this is a read-only join of
+    /// them under one namespace.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.metrics.snapshot();
+        if let Some(d) = self.durable_stats() {
+            let fields = [
+                d.wal_records,
+                d.wal_bytes,
+                d.wal_tuples,
+                d.chunk_files,
+                d.chunk_tuples,
+                d.tuples_loaded,
+                d.checkpoints,
+                d.cache_hits,
+                d.cache_misses,
+                d.cache_evictions,
+                d.cache_resident_bytes,
+                d.cache_peak_bytes,
+            ];
+            snap.merge(MetricsSnapshot::from_values(
+                DURABLE_METRIC_NAMES.iter().zip(fields).map(|(name, v)| {
+                    // Resident bytes can fall (evictions), so those two are
+                    // gauges; everything else is monotone per open.
+                    let value = if name.ends_with("_bytes") && name.contains("cache") {
+                        MetricValue::Gauge(v)
+                    } else {
+                        MetricValue::Counter(v)
+                    };
+                    (name.to_string(), value)
+                }),
+            ));
+        }
+        let mut work = ongoing_relation::StoreWork::default();
+        for slot in self.tables.read().values() {
+            // Cold tables have performed no write work since open; metrics
+            // must never force a materialization.
+            if let TableSlot::Ready(t) = slot {
+                work.add(&t.data().work_counters());
+            }
+        }
+        let store = [work.write_work, work.logical_writes, work.qual_work];
+        snap.merge(MetricsSnapshot::from_values(
+            STORE_METRIC_NAMES
+                .iter()
+                .zip(store)
+                .map(|(name, v)| (name.to_string(), MetricValue::Gauge(v))),
+        ));
+        snap
+    }
+
+    /// The Prometheus-style text exposition of
+    /// [`metrics_snapshot`](Self::metrics_snapshot).
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render_text()
+    }
+
+    /// The retained engine events, oldest first (see
+    /// [`EventLog`](crate::obs::EventLog)).
+    pub fn recent_events(&self) -> Vec<EventRecord> {
+        self.obs.events.recent()
+    }
+
+    /// Folds one finished query into the metrics registry and — past the
+    /// slow-query threshold — the event ring. The `sql`/API entry points
+    /// call this automatically; callers driving compiled plans by hand can
+    /// report through it too.
+    pub fn record_query(&self, label: &str, stats: &ExecStats, wall: Duration) {
+        self.obs.observe_query(label, stats, wall.as_nanos() as u64);
     }
 
     /// Forces a checkpoint: folds the WAL into chunk files and a fresh
@@ -566,6 +658,9 @@ impl Database {
             // the WAL append and the publication, so an expired deadline
             // can only mean "not applied", never a torn store.
             if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.obs.events.record(EngineEvent::DeadlineExceeded {
+                    context: name.to_string(),
+                });
                 return Err(EngineError::DeadlineExceeded);
             }
             attempt += 1;
@@ -578,6 +673,9 @@ impl Database {
             // queue never stalls behind a sleeping writer.
             let outcome = {
                 let gate = (attempt > policy.queue_after).then(|| self.writer_gate(name));
+                if gate.is_some() {
+                    self.obs.metrics.counter("ongoingdb_cas_queue_waits").inc();
+                }
                 let _pass = match &gate {
                     Some(g) => g.enter(deadline)?,
                     None => None,
@@ -585,8 +683,24 @@ impl Database {
                 self.attempt_modify(name, &mut f)?
             };
             match outcome {
-                Some(out) => return Ok((out, attempt)),
+                Some(out) => {
+                    self.obs.metrics.counter("ongoingdb_publications").inc();
+                    self.obs
+                        .metrics
+                        .histogram("ongoingdb_cas_attempts")
+                        .observe(u64::from(attempt));
+                    self.obs.events.record(EngineEvent::Publication {
+                        table: name.to_string(),
+                        attempts: attempt,
+                    });
+                    return Ok((out, attempt));
+                }
                 None if attempt < max_attempts => {
+                    self.obs.metrics.counter("ongoingdb_cas_conflicts").inc();
+                    self.obs.events.record(EngineEvent::CasConflict {
+                        table: name.to_string(),
+                        attempt,
+                    });
                     let mut pause = policy.backoff_for(attempt);
                     if let Some(d) = deadline {
                         let remaining = d.saturating_duration_since(Instant::now());
@@ -735,7 +849,12 @@ impl Database {
             .iter()
             .map(|(name, table)| (name.as_str(), table.data()))
             .collect();
+        let wal_bytes = guard.wal_len();
         guard.checkpoint(&list)?;
+        self.obs.events.record(EngineEvent::Checkpoint {
+            wal_bytes,
+            tables: list.len() as u64,
+        });
         // Under a finite memory budget, resident sealed chunks that the
         // checkpoint just persisted are demoted to cold references through
         // the budgeted chunk cache: the table's memory is governed by the

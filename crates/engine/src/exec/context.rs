@@ -103,6 +103,11 @@ pub struct ExecContext {
     pub parallelism: usize,
     /// Cancellation + deadline token, polled at morsel boundaries.
     pub control: QueryControl,
+    /// Optional span collector: when set, every operator records a
+    /// [`SpanNode`](crate::obs::SpanNode) (actual rows, per-operator work
+    /// units, wall ns) — the machinery behind `EXPLAIN ANALYZE`. `None`
+    /// costs nothing on the hot path.
+    pub trace: Option<Arc<crate::obs::TraceCollector>>,
 }
 
 /// Environment variable overriding the default executor parallelism.
@@ -115,12 +120,19 @@ impl ExecContext {
         ExecContext {
             parallelism: parallelism.max(1),
             control: QueryControl::unbounded(),
+            trace: None,
         }
     }
 
     /// This context with `control` as its governance token (builder style).
     pub fn with_control(mut self, control: QueryControl) -> Self {
         self.control = control;
+        self
+    }
+
+    /// This context with `trace` collecting per-operator spans.
+    pub fn with_trace(mut self, trace: Arc<crate::obs::TraceCollector>) -> Self {
+        self.trace = Some(trace);
         self
     }
 

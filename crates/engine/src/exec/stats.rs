@@ -62,6 +62,24 @@ impl ExecStats {
         self.intervals_merged += other.intervals_merged;
     }
 
+    /// The counter-wise change since `earlier` (saturating, so callers
+    /// comparing snapshots of the same accumulator can never underflow).
+    /// This is how the tracer attributes work to a single operator: the
+    /// accumulator delta across the operator minus its children's deltas.
+    pub fn diff(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            tuples_scanned: self.tuples_scanned.saturating_sub(earlier.tuples_scanned),
+            tuples_filtered: self.tuples_filtered.saturating_sub(earlier.tuples_filtered),
+            pairs_compared: self.pairs_compared.saturating_sub(earlier.pairs_compared),
+            index_candidates: self
+                .index_candidates
+                .saturating_sub(earlier.index_candidates),
+            intervals_merged: self
+                .intervals_merged
+                .saturating_sub(earlier.intervals_merged),
+        }
+    }
+
     /// Total work units: the unweighted sum of all counters. The scalar
     /// that replaces wall-clock time in break-even and amortization
     /// arithmetic.

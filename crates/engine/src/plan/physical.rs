@@ -193,9 +193,7 @@ impl PhysicalPlan {
 
     /// EXPLAIN-style rendering (one operator per line).
     pub fn explain(&self) -> String {
-        let mut out = String::new();
-        self.explain_into(0, None, &mut out);
-        out
+        crate::obs::trace::render_tree(self, None, None)
     }
 
     /// EXPLAIN rendering with the cost model's per-operator estimates
@@ -204,47 +202,41 @@ impl PhysicalPlan {
     /// scanned tables (defaults when un-analyzed).
     pub fn explain_with_estimates(&self) -> String {
         let est = crate::stats::cost::estimate(self);
-        let mut out = String::new();
-        self.explain_into(0, Some(&est), &mut out);
-        out
+        crate::obs::trace::render_tree(self, Some(&est), None)
     }
 
-    /// EXPLAIN rendering followed by work-unit accounting — the
-    /// `EXPLAIN ANALYZE` analogue for a finished execution. Each operator
+    /// EXPLAIN rendering followed by work-unit accounting — each operator
     /// line carries its *estimated* rows and work; the trailing lines put
     /// the measured [`ExecStats`] next to the estimated totals so estimate
-    /// quality is visible at a glance.
+    /// quality is visible at a glance. Shares its renderer with
+    /// [`explain_with_estimates`](Self::explain_with_estimates) and
+    /// [`explain_analyzed`](Self::explain_analyzed), so the layouts cannot
+    /// drift.
     pub fn explain_with_stats(&self, stats: &ExecStats) -> String {
         let est = crate::stats::cost::estimate(self);
-        let mut out = String::new();
-        self.explain_into(0, Some(&est), &mut out);
-        format!("{out}stats: {stats}\nest:   {}\n", est.work)
+        let tree = crate::obs::trace::render_tree(self, Some(&est), None);
+        format!(
+            "{tree}{}",
+            crate::obs::trace::render_summary(stats, &est.work)
+        )
     }
 
-    fn explain_into(
-        &self,
-        depth: usize,
-        est: Option<&crate::stats::cost::NodeEstimate>,
-        out: &mut String,
-    ) {
-        let pad = "  ".repeat(depth);
-        let annot = est
-            .map(|e| {
-                format!(
-                    "  (est rows≈{:.0} self work≈{:.0})",
-                    e.rows,
-                    e.self_work.total()
-                )
-            })
-            .unwrap_or_default();
-        out.push_str(&format!("{pad}{}{annot}\n", self.node_line()));
-        for (i, child) in self.inputs().into_iter().enumerate() {
-            child.explain_into(depth + 1, est.and_then(|e| e.children.get(i)), out);
-        }
+    /// The full `EXPLAIN ANALYZE` rendering: per-operator estimated rows
+    /// and work next to the *measured* span (actual rows, deterministic
+    /// work units, wall ns), plus the measured-vs-estimated trailer.
+    /// `span` must come from executing this plan with a
+    /// [`TraceCollector`](crate::obs::TraceCollector) attached.
+    pub fn explain_analyzed(&self, span: &crate::obs::SpanNode) -> String {
+        let est = crate::stats::cost::estimate(self);
+        let tree = crate::obs::trace::render_tree(self, Some(&est), Some(span));
+        format!(
+            "{tree}{}",
+            crate::obs::trace::render_summary(&span.total_work, &est.work)
+        )
     }
 
     /// The operator's children in `explain` order.
-    fn inputs(&self) -> Vec<&PhysicalPlan> {
+    pub(crate) fn inputs(&self) -> Vec<&PhysicalPlan> {
         match self {
             PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => Vec::new(),
             PhysicalPlan::Filter { input, .. }
@@ -259,7 +251,7 @@ impl PhysicalPlan {
     }
 
     /// One-line rendering of this operator (no indentation, no children).
-    fn node_line(&self) -> String {
+    pub(crate) fn node_line(&self) -> String {
         let preds = |fixed: &Option<Expr>, ongoing: &Option<Expr>| {
             let mut s = String::new();
             if let Some(f) = fixed {
@@ -343,6 +335,42 @@ impl PhysicalPlan {
     }
 
     fn execute_stats(&self, ctx: &ExecContext, stats: &mut ExecStats) -> Result<OngoingRelation> {
+        let Some(tracer) = ctx.trace.clone() else {
+            return self.execute_stats_impl(ctx, stats);
+        };
+        // Traced execution: bracket the operator with an accumulator
+        // snapshot and a child frame. The subtree's work is the
+        // accumulator delta; the operator's own work is that delta minus
+        // the children's deltas — all deterministic counters, so span work
+        // units are bit-identical at every thread count. Wall time is
+        // informational only.
+        let before = *stats;
+        let start = std::time::Instant::now();
+        tracer.open_frame();
+        let result = self.execute_stats_impl(ctx, stats);
+        let children = tracer.close_frame();
+        let rel = result?;
+        let total_work = stats.diff(&before);
+        let mut child_work = ExecStats::default();
+        for c in &children {
+            child_work += &c.total_work;
+        }
+        tracer.record(crate::obs::SpanNode {
+            label: self.node_line(),
+            rows: rel.len() as u64,
+            self_work: total_work.diff(&child_work),
+            total_work,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            children,
+        });
+        Ok(rel)
+    }
+
+    fn execute_stats_impl(
+        &self,
+        ctx: &ExecContext,
+        stats: &mut ExecStats,
+    ) -> Result<OngoingRelation> {
         // Cooperative governance: polled at every operator entry, per
         // partition in the parallel drivers, and per chunk in the lazy
         // (budget-honoring) scan driver — so cancellation or an expired
@@ -591,6 +619,39 @@ impl PhysicalPlan {
     }
 
     fn rows_at_stats(
+        &self,
+        rt: TimePoint,
+        ctx: &ExecContext,
+        stats: &mut ExecStats,
+    ) -> Result<Vec<Vec<Value>>> {
+        let Some(tracer) = ctx.trace.clone() else {
+            return self.rows_at_stats_impl(rt, ctx, stats);
+        };
+        // Same span bracketing as `execute_stats` — spans work for the
+        // instantiated (Clifford) mode too.
+        let before = *stats;
+        let start = std::time::Instant::now();
+        tracer.open_frame();
+        let result = self.rows_at_stats_impl(rt, ctx, stats);
+        let children = tracer.close_frame();
+        let rows = result?;
+        let total_work = stats.diff(&before);
+        let mut child_work = ExecStats::default();
+        for c in &children {
+            child_work += &c.total_work;
+        }
+        tracer.record(crate::obs::SpanNode {
+            label: self.node_line(),
+            rows: rows.len() as u64,
+            self_work: total_work.diff(&child_work),
+            total_work,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            children,
+        });
+        Ok(rows)
+    }
+
+    fn rows_at_stats_impl(
         &self,
         rt: TimePoint,
         ctx: &ExecContext,

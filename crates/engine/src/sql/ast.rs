@@ -85,4 +85,13 @@ pub enum Statement {
     /// `ANALYZE [table]`: collect optimizer statistics for one table, or
     /// for every table when the name is omitted.
     Analyze(Option<String>),
+    /// `EXPLAIN [ANALYZE] <query>`: render the physical plan, with actual
+    /// per-operator rows/work/time when `analyze` is set.
+    Explain {
+        /// `EXPLAIN ANALYZE` executes the query and reports actuals;
+        /// plain `EXPLAIN` only plans it.
+        analyze: bool,
+        /// The query being explained.
+        query: Query,
+    },
 }

@@ -28,12 +28,15 @@ pub mod token;
 
 use crate::catalog::Database;
 use crate::error::{EngineError, Result};
-use crate::plan::{LogicalPlan, QueryBuilder};
+use crate::exec::ExecStats;
+use crate::obs::{EngineEvent, SpanNode, TraceCollector};
+use crate::plan::{LogicalPlan, PlannerConfig, QueryBuilder};
 use crate::stats::TableStatistics;
 use ast::{AstExpr, Query, SelectStmt, Statement};
 use ongoing_relation::algebra::ProjItem;
 use ongoing_relation::{Expr, Schema};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Parses and plans an OngoingQL query against a database.
 ///
@@ -58,22 +61,156 @@ pub enum StatementResult {
     /// The tables analyzed by an `ANALYZE` statement, with their collected
     /// statistics, in name order.
     Analyzed(Vec<(String, Arc<TableStatistics>)>),
+    /// The rendered plan of an `EXPLAIN [ANALYZE]` statement.
+    Explained(String),
 }
 
-/// Parses and executes a top-level statement: queries run in ongoing mode,
-/// `ANALYZE [table]` collects optimizer statistics through the catalog.
+/// Parses and executes a top-level statement: queries run in ongoing mode
+/// (recording per-query metrics through the database's observability
+/// layer), `ANALYZE [table]` collects optimizer statistics through the
+/// catalog, and `EXPLAIN [ANALYZE] <query>` renders the physical plan —
+/// with per-operator actuals when `ANALYZE` is given.
 pub fn run_statement(db: &Database, sql: &str) -> Result<StatementResult> {
     let stmt = parser::parse_statement(sql).map_err(|e| EngineError::Plan(e.to_string()))?;
+    let cfg = PlannerConfig::default();
     match stmt {
         Statement::Query(q) => {
-            let plan = plan(db, &q)?;
-            Ok(StatementResult::Rows(crate::execute(db, &plan)?))
+            let report = run_query(db, &q, &cfg, sql)?;
+            Ok(StatementResult::Rows(report.0))
         }
         Statement::Analyze(Some(table)) => {
             let stats = db.analyze(&table)?;
             Ok(StatementResult::Analyzed(vec![(table, stats)]))
         }
         Statement::Analyze(None) => Ok(StatementResult::Analyzed(db.analyze_all())),
+        Statement::Explain {
+            analyze: false,
+            query,
+        } => {
+            let lp = plan(db, &query)?;
+            let phys = crate::plan::optimizer::compile(db, &lp, &cfg)?;
+            Ok(StatementResult::Explained(phys.explain_with_estimates()))
+        }
+        Statement::Explain {
+            analyze: true,
+            query,
+        } => {
+            let report = analyze_query(db, &query, &cfg, sql)?;
+            Ok(StatementResult::Explained(report.text))
+        }
+    }
+}
+
+/// Everything `EXPLAIN ANALYZE` measured about one query execution.
+///
+/// `text` is the rendered plan — per operator, the planner's estimates next
+/// to the actual rows, deterministic work units, and wall-clock time — and
+/// `root` is the span tree behind it for programmatic inspection. Work
+/// units are identical at every thread count; wall times are not.
+#[derive(Debug)]
+pub struct ExplainReport {
+    /// The rendered plan with per-operator estimates and actuals.
+    pub text: String,
+    /// Root span of the execution trace.
+    pub root: SpanNode,
+    /// Total deterministic work counters for the execution.
+    pub stats: ExecStats,
+    /// Tuples in the (ongoing) result.
+    pub rows: u64,
+    /// Wall-clock time of the execute phase, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Parses, plans and executes `sql`, returning an [`ExplainReport`] — the
+/// API equivalent of the `EXPLAIN ANALYZE` statement.
+pub fn explain_analyze(db: &Database, sql: &str) -> Result<ExplainReport> {
+    explain_analyze_with(db, sql, &PlannerConfig::default())
+}
+
+/// [`explain_analyze`] under an explicit planner configuration (thread
+/// count, join strategy, ...).
+pub fn explain_analyze_with(
+    db: &Database,
+    sql: &str,
+    cfg: &PlannerConfig,
+) -> Result<ExplainReport> {
+    let query = parser::parse(sql).map_err(|e| EngineError::Plan(e.to_string()))?;
+    analyze_query(db, &query, cfg, sql)
+}
+
+/// Executes a parsed query without tracing, recording query metrics.
+fn run_query(
+    db: &Database,
+    q: &Query,
+    cfg: &PlannerConfig,
+    label: &str,
+) -> Result<(ongoing_relation::OngoingRelation, ExecStats)> {
+    let lp = plan(db, q)?;
+    let phys = crate::plan::optimizer::compile(db, &lp, cfg)?;
+    let start = Instant::now();
+    match phys.execute_with_stats(&cfg.exec_context()) {
+        Ok((rel, stats)) => {
+            db.record_query(label, &stats, start.elapsed());
+            Ok((rel, stats))
+        }
+        Err(e) => {
+            record_failure(db, label, &e);
+            Err(e)
+        }
+    }
+}
+
+/// Executes a parsed query under a trace collector and renders the span
+/// tree against the planner estimates.
+fn analyze_query(
+    db: &Database,
+    q: &Query,
+    cfg: &PlannerConfig,
+    label: &str,
+) -> Result<ExplainReport> {
+    let lp = plan(db, q)?;
+    let phys = crate::plan::optimizer::compile(db, &lp, cfg)?;
+    let tracer = Arc::new(TraceCollector::new());
+    let ctx = cfg.exec_context().with_trace(Arc::clone(&tracer));
+    let start = Instant::now();
+    let (rel, stats) = match phys.execute_with_stats(&ctx) {
+        Ok(v) => v,
+        Err(e) => {
+            record_failure(db, label, &e);
+            return Err(e);
+        }
+    };
+    let wall = start.elapsed();
+    db.record_query(label, &stats, wall);
+    let root = tracer
+        .finish()
+        .pop()
+        .ok_or_else(|| EngineError::Plan("trace produced no root span".into()))?;
+    let text = phys.explain_analyzed(&root);
+    Ok(ExplainReport {
+        text,
+        root,
+        stats,
+        rows: rel.len() as u64,
+        wall_ns: wall.as_nanos() as u64,
+    })
+}
+
+/// Surfaces deadline/cancellation failures in the structured event log.
+fn record_failure(db: &Database, label: &str, e: &EngineError) {
+    let obs = db.observability();
+    match e {
+        EngineError::DeadlineExceeded => {
+            obs.events.record(EngineEvent::DeadlineExceeded {
+                context: label.to_string(),
+            });
+        }
+        EngineError::Cancelled => {
+            obs.events.record(EngineEvent::Cancelled {
+                context: label.to_string(),
+            });
+        }
+        _ => {}
     }
 }
 
@@ -369,6 +506,56 @@ mod tests {
             StatementResult::Rows(r) => assert_eq!(r.len(), 2),
             other => panic!("expected Rows, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_statement_plans_without_executing() {
+        let db = fig1_db();
+        let text = match run_statement(&db, "EXPLAIN SELECT BID FROM B WHERE BID = 500").unwrap() {
+            StatementResult::Explained(text) => text,
+            other => panic!("expected Explained, got {other:?}"),
+        };
+        assert!(text.contains("est rows≈"), "{text}");
+        assert!(
+            !text.contains("wall="),
+            "plain EXPLAIN must not execute: {text}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_three_way_join_reports_actuals() {
+        let db = fig1_db();
+        run_statement(&db, "ANALYZE").unwrap();
+        let sql = "SELECT B.BID, P.PID, L.Name \
+                   FROM B JOIN P ON B.C = P.C AND B.VT BEFORE P.VT \
+                   JOIN L ON B.C = L.C AND B.VT OVERLAPS L.VT \
+                   WHERE B.C = 'Spam filter'";
+        let text = match run_statement(&db, &format!("EXPLAIN ANALYZE {sql}")).unwrap() {
+            StatementResult::Explained(text) => text,
+            other => panic!("expected Explained, got {other:?}"),
+        };
+        // Every operator line carries estimates and actuals side by side.
+        for line in text.lines().filter(|l| l.contains("est rows≈")) {
+            assert!(line.contains("rows="), "{line}");
+            assert!(line.contains("work="), "{line}");
+            assert!(line.contains("wall="), "{line}");
+        }
+        assert!(text.lines().filter(|l| l.contains("wall=")).count() >= 3);
+
+        // The API twin reports totals that match a plain traced execution.
+        let report = explain_analyze(&db, sql).unwrap();
+        assert_eq!(report.rows, 5);
+        assert_eq!(report.root.total_work, report.stats);
+        let child_total: u64 = report
+            .root
+            .children
+            .iter()
+            .map(|c| c.total_work.total_work())
+            .sum();
+        assert_eq!(
+            report.root.self_work.total_work() + child_total,
+            report.stats.total_work()
+        );
     }
 
     #[test]

@@ -72,6 +72,12 @@ pub fn parse_statement(input: &str) -> PResult<Statement> {
         at: e.at,
     })?;
     let mut p = Parser { tokens, pos: 0 };
+    if p.eat_kw("EXPLAIN") {
+        let analyze = p.eat_kw("ANALYZE");
+        let query = p.query()?;
+        p.expect_eof()?;
+        return Ok(Statement::Explain { analyze, query });
+    }
     if p.eat_kw("ANALYZE") {
         let table = if matches!(p.peek().kind, TokenKind::Eof) {
             None

@@ -22,6 +22,7 @@
 //! never on timing.
 
 use crate::error::{EngineError, Result};
+use crate::obs::{EngineEvent, EventLog};
 use crate::storage::chunkfile::decode_chunk;
 use crate::storage::vfs::{with_retry, Vfs};
 use ongoing_relation::{ChunkPager, PagerError, Tuple};
@@ -63,6 +64,10 @@ struct CacheInner {
     /// Logical access clock (one tick per load).
     tick: u64,
     stats: CacheStats,
+    /// Optional event sink: evictions are recorded as
+    /// [`EngineEvent::Eviction`] when the owning database attached its
+    /// observability bundle.
+    events: Option<Arc<EventLog>>,
 }
 
 /// Byte-budgeted, pin-aware cache over sealed chunk files. Shared by every
@@ -95,6 +100,12 @@ impl ChunkCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.inner.lock().expect("cache lock").stats
+    }
+
+    /// Attaches an event log: future evictions are recorded as
+    /// [`EngineEvent::Eviction`].
+    pub fn set_events(&self, events: Arc<EventLog>) {
+        self.inner.lock().expect("cache lock").events = Some(events);
     }
 
     fn path_of(&self, id: u64) -> PathBuf {
@@ -217,6 +228,12 @@ impl ChunkCache {
             let e = inner.entries.remove(&id).expect("victim exists");
             inner.stats.resident_bytes -= e.bytes;
             inner.stats.evictions += 1;
+            if let Some(events) = &inner.events {
+                events.record(EngineEvent::Eviction {
+                    chunk: id,
+                    bytes: e.bytes,
+                });
+            }
         }
     }
 }

@@ -27,6 +27,7 @@
 //! [`Database`]: crate::catalog::Database
 
 use crate::error::{EngineError, Result};
+use crate::obs::{EngineEvent, Obs};
 use crate::storage::cache::ChunkCache;
 use crate::storage::chunkfile::{decode_chunk, write_chunk};
 use crate::storage::manifest::{read_manifest, write_manifest, Manifest};
@@ -41,7 +42,7 @@ use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// WAL file name.
 pub const WAL_FILE: &str = "wal.log";
@@ -166,6 +167,9 @@ pub struct DurableState {
     /// page cache can no longer be trusted, so the only safe recovery is
     /// a fresh open that re-reads the actual on-disk state.
     poisoned: AtomicBool,
+    /// The owning database's observability bundle, attached after open —
+    /// absorbed WAL faults surface as events and registry counters.
+    obs: OnceLock<Arc<Obs>>,
     inner: Mutex<DurableInner>,
 }
 
@@ -312,6 +316,7 @@ impl DurableState {
             vfs,
             cache,
             poisoned: AtomicBool::new(false),
+            obs: OnceLock::new(),
             inner: Mutex::new(DurableInner {
                 wal,
                 chunk_cache: HashMap::new(),
@@ -340,6 +345,15 @@ impl DurableState {
     /// Has a failed fsync poisoned this handle (fail-stop)?
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Attaches the owning database's observability bundle (first call
+    /// wins): absorbed WAL faults surface as `wal_fault_retry` events and
+    /// the `ongoingdb_wal_fault_retries` counter, and chunk-cache
+    /// evictions as `eviction` events.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        self.cache.set_events(Arc::clone(&obs.events));
+        let _ = self.obs.set(obs);
     }
 
     /// Acquires the commit lock.
@@ -411,12 +425,24 @@ impl DurableGuard<'_> {
         self.check_poisoned()?;
         let tuples = record_tuples(rec);
         let fsync = self.state.opts.fsync;
+        let retries_before = self.inner.wal.absorbed_retries();
         let appended = self.inner.wal.append(rec, fsync);
         let (_seq, bytes) = appended.map_err(|e| self.disk(e))?;
+        let absorbed = self.inner.wal.absorbed_retries() - retries_before;
         let stats = &mut self.inner.stats;
         stats.wal_records += 1;
         stats.wal_bytes += bytes;
         stats.wal_tuples += tuples;
+        if absorbed > 0 {
+            if let Some(obs) = self.state.obs.get() {
+                obs.metrics
+                    .counter("ongoingdb_wal_fault_retries")
+                    .add(absorbed);
+                obs.events.record(EngineEvent::WalFaultRetry {
+                    retries: absorbed as u32,
+                });
+            }
+        }
         Ok(())
     }
 

@@ -159,14 +159,24 @@ pub const IO_RETRY_BACKOFF: Duration = Duration::from_micros(100);
 /// non-transient error, an error from `undo` itself, or exhaustion of the
 /// retry budget surfaces the last error.
 pub fn with_retry<T>(
+    op: impl FnMut() -> io::Result<T>,
+    undo: impl FnMut() -> io::Result<()>,
+) -> io::Result<T> {
+    with_retry_counted(op, undo).map(|(v, _)| v)
+}
+
+/// [`with_retry`], but also reporting how many attempts the operation
+/// took (`1` = no fault absorbed) — the hook the observability layer uses
+/// to surface absorbed transient faults as events.
+pub fn with_retry_counted<T>(
     mut op: impl FnMut() -> io::Result<T>,
     mut undo: impl FnMut() -> io::Result<()>,
-) -> io::Result<T> {
+) -> io::Result<(T, u32)> {
     let mut backoff = IO_RETRY_BACKOFF;
     let mut attempt = 1;
     loop {
         match op() {
-            Ok(v) => return Ok(v),
+            Ok(v) => return Ok((v, attempt)),
             Err(e) if is_transient(&e) && attempt < IO_RETRY_ATTEMPTS => {
                 undo()?;
                 std::thread::sleep(backoff);

@@ -38,7 +38,7 @@
 use crate::error::{EngineError, Result};
 use crate::storage::checksum::crc32;
 use crate::storage::codec::{decode_tuple, encode_tuple};
-use crate::storage::vfs::{with_retry, DiskError, Vfs};
+use crate::storage::vfs::{with_retry, with_retry_counted, DiskError, Vfs};
 use bytes::{Buf, BufMut};
 use ongoing_relation::{Attribute, JournalOp, Schema, Tuple, ValueType};
 use std::collections::BTreeMap;
@@ -445,6 +445,10 @@ pub struct WalWriter {
     path: PathBuf,
     len: u64,
     next_seq: u64,
+    /// Transient append faults absorbed by retrying since open —
+    /// monotone, read by the observability layer to emit
+    /// `wal_fault_retry` events.
+    absorbed_retries: u64,
 }
 
 impl WalWriter {
@@ -461,7 +465,13 @@ impl WalWriter {
             path: path.to_path_buf(),
             len,
             next_seq,
+            absorbed_retries: 0,
         })
+    }
+
+    /// Transient append faults absorbed by retrying since open.
+    pub fn absorbed_retries(&self) -> u64 {
+        self.absorbed_retries
     }
 
     /// Bytes in the log (the intact prefix plus everything appended since).
@@ -500,13 +510,14 @@ impl WalWriter {
         frame.put_u32_le(crc32(&body));
         frame.put_slice(&body);
         let (vfs, path, len) = (&self.vfs, &self.path, self.len);
-        with_retry(
+        let (_, attempts) = with_retry_counted(
             || vfs.append(path, &frame),
             // A failed attempt may have appended a partial frame; cut the
             // log back to the last durable record before trying again.
             || vfs.truncate(path, len),
         )
         .map_err(DiskError::Io)?;
+        self.absorbed_retries += u64::from(attempts - 1);
         if fsync {
             self.vfs.sync(&self.path).map_err(DiskError::SyncFailed)?;
         }

@@ -61,8 +61,8 @@ pub use relation::{FixedRelation, OngoingRelation};
 pub use schema::{Attribute, Schema, SchemaError};
 pub use store::{
     ChunkPager, ChunkPart, ChunkSource, ChunkView, JournalOp, LazyChunkView, OwnedChunkPart,
-    OwnedChunkSource, PagedChunkPart, PagerError, PinnedChunk, RowEdit, StoreSummary, TupleStore,
-    TARGET_CHUNK_ROWS,
+    OwnedChunkSource, PagedChunkPart, PagerError, PinnedChunk, RowEdit, StoreSummary, StoreWork,
+    TupleStore, TARGET_CHUNK_ROWS,
 };
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};

@@ -357,6 +357,12 @@ impl OngoingRelation {
         self.store.logical_writes()
     }
 
+    /// All three write-path counters of the underlying store as one
+    /// snapshot — see [`crate::store::TupleStore::work_counters`].
+    pub fn work_counters(&self) -> crate::store::StoreWork {
+        self.store.work_counters()
+    }
+
     /// O(1) lineage probe: is this relation's store a direct descendant
     /// of `base`'s (sharing its first sealed chunk)? See
     /// [`crate::store::TupleStore::derives_from`].

@@ -36,6 +36,29 @@ use crate::tuple::Tuple;
 use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
+/// The store's three deterministic write-path counters as one snapshot —
+/// see [`TupleStore::work_counters`]. Summable across tables with
+/// [`StoreWork::add`], which is how a catalog-wide metrics view rolls the
+/// per-table counters up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreWork {
+    /// Physical write work units ([`TupleStore::write_work`]).
+    pub write_work: u64,
+    /// Logical row writes ([`TupleStore::logical_writes`]).
+    pub logical_writes: u64,
+    /// Qualification work units ([`TupleStore::qual_work`]).
+    pub qual_work: u64,
+}
+
+impl StoreWork {
+    /// Folds `other` into this snapshot (field-wise sum).
+    pub fn add(&mut self, other: &StoreWork) {
+        self.write_work += other.write_work;
+        self.logical_writes += other.logical_writes;
+        self.qual_work += other.qual_work;
+    }
+}
+
 /// Rows a sealed chunk aims to hold; also the pending-tail seal threshold.
 ///
 /// Chunk boundaries double as the executors' natural morsel boundaries, so
@@ -881,6 +904,18 @@ impl TupleStore {
     /// them — the counter the keyed-index benchmarks assert on.
     pub fn qual_work(&self) -> u64 {
         self.qual_work
+    }
+
+    /// All three write-path counters as one value — what the engine's
+    /// metrics registry reads per table. See [`write_work`](Self::write_work),
+    /// [`logical_writes`](Self::logical_writes) and
+    /// [`qual_work`](Self::qual_work) for the individual semantics.
+    pub fn work_counters(&self) -> StoreWork {
+        StoreWork {
+            write_work: self.write_work,
+            logical_writes: self.logical_writes,
+            qual_work: self.qual_work,
+        }
     }
 
     /// Columns carrying a keyed qualification index, sorted.
