@@ -24,6 +24,7 @@ const BINS: &[&str] = &[
     "repro_recovery",
     "repro_outofcore",
     "repro_observe",
+    "repro_service",
 ];
 
 fn main() {

@@ -1,0 +1,296 @@
+//! `repro_service`: the engine as a *service* — many clients firing mixed
+//! read/write traffic at one database on the shared morsel-driven worker
+//! pool (the setting the paper's prototype faces inside PostgreSQL, where
+//! one backend pool serves every connection).
+//!
+//! Three claims are asserted:
+//!
+//! 1. **Concurrency changes nothing but wall clock.** Every query a client
+//!    runs concurrently returns the same deterministic work-unit stats as
+//!    its serial replay, so the aggregate work across all clients equals
+//!    the serial sum exactly — scheduling, morsel interleaving and pool
+//!    size leave no trace in the results.
+//! 2. **No query starves.** Clients hammering the pool with identical
+//!    multi-morsel queries for a fixed window complete within a bounded
+//!    ratio of each other (round-robin dispatch serves every query's queue
+//!    one morsel per turn).
+//! 3. **The thread count stays flat at the pool size.** Executing N
+//!    concurrent queries adds exactly the N client threads — all operator
+//!    fan-out runs on the pool's fixed workers, never on per-operator
+//!    scoped threads.
+
+use ongoing_core::date::md;
+use ongoing_core::OngoingInterval;
+use ongoing_engine::modify::Modifier;
+use ongoing_engine::sql::prepare;
+use ongoing_engine::{Database, ExecStats, PlannerConfig, Prepared, WorkerPool};
+use ongoing_relation::{Expr, OngoingRelation, Schema, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const POOL_THREADS: usize = 4;
+const CLIENTS: usize = 6;
+const ROUNDS: usize = 8;
+const FAIR_WINDOW_MS: u64 = 250;
+const FAIR_MAX_RATIO: f64 = 10.0;
+
+/// A deterministic (K: Int, C: Str, VT: OngoingInterval) relation.
+fn seeded(rows: usize) -> OngoingRelation {
+    let schema = Schema::builder().int("K").str("C").interval("VT").build();
+    let mut r = OngoingRelation::new(schema);
+    for i in 0..rows {
+        let m = 1 + (i % 6) as u8;
+        let d = 1 + (i % 27) as u8;
+        let vt = if i % 3 == 0 {
+            OngoingInterval::from_until_now(md(m, d))
+        } else {
+            OngoingInterval::fixed(md(m, d), md(m + 4, d))
+        };
+        r.insert(vec![
+            Value::Int((i % 16) as i64),
+            Value::str(["x", "y", "z"][i % 3]),
+            Value::Interval(vt),
+        ])
+        .unwrap();
+    }
+    r
+}
+
+fn service_db() -> Database {
+    let db = Database::new();
+    db.create_table("Big", seeded(2_000)).unwrap();
+    db.create_table("Mid", seeded(700)).unwrap();
+    db.create_table("Small", seeded(60)).unwrap();
+    // The writers' table: reads never touch it, so the read workload stays
+    // deterministic while write traffic runs alongside.
+    db.create_table("W", seeded(500)).unwrap();
+    db
+}
+
+/// The read workload: one round runs each query once. All are multi-morsel
+/// at parallelism 4, so they genuinely contend for pool slots.
+const QUERIES: &[&str] = &[
+    "SELECT K FROM Big WHERE K = 7",
+    "SELECT K FROM Big WHERE VT OVERLAPS PERIOD(DATE '2019-03-01', DATE '2019-06-01')",
+    "SELECT Mid.K FROM Mid JOIN Small ON Mid.K = Small.K AND Mid.VT OVERLAPS Small.VT",
+    "SELECT K FROM Big WHERE START(VT) < DATE '2019-04-01'",
+];
+
+fn parallel_cfg() -> PlannerConfig {
+    PlannerConfig {
+        parallelism: POOL_THREADS,
+        ..PlannerConfig::default()
+    }
+}
+
+/// [`os_thread_count`] once just-exited threads have been reaped: the
+/// minimum over a short sampling window (a joined thread can linger in
+/// `/proc` for a moment).
+fn settled_thread_count() -> usize {
+    (0..10)
+        .map(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            os_thread_count()
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// `Threads:` from `/proc/self/status` (0 when unavailable).
+fn os_thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One write round against the writers-only table.
+fn write_round(db: &Database, t: i64, r: i64) {
+    db.modify_table("W", |rel| {
+        let mut m = Modifier::new(rel, "VT")?;
+        m.insert_open(
+            vec![
+                Value::Int(10_000 + t * 1_000 + r),
+                Value::str("w"),
+                Value::Bool(false),
+            ],
+            md(2, 1 + (r % 27) as u8),
+        )?;
+        if r % 3 == 2 {
+            m.terminate(
+                &Expr::Col(0).eq(Expr::lit(10_000 + t * 1_000 + r - 2)),
+                md(9, 1),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap_or_else(|e| panic!("writer {t} round {r}: {e}"));
+}
+
+/// Claim 1: concurrent per-query stats — and therefore the aggregate — are
+/// identical to the serial replay; write traffic runs alongside.
+fn determinism_phase(db: &Arc<Database>, stmts: &[Arc<Prepared>]) {
+    let serial_cfg = PlannerConfig {
+        parallelism: 1,
+        ..PlannerConfig::default()
+    };
+    // Serial replay first: parallelism 1 executes inline and never touches
+    // (or creates) the worker pool.
+    let serial: Vec<ExecStats> = stmts
+        .iter()
+        .map(|s| s.execute_with(db, &serial_cfg).unwrap().1)
+        .collect();
+    let serial_round: u64 = serial.iter().map(|s| s.total_work()).sum();
+    let serial_total = serial_round * (CLIENTS * ROUNDS) as u64;
+
+    let concurrent_total = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let db = Arc::clone(db);
+            let total = Arc::clone(&concurrent_total);
+            let stmts = stmts.to_vec();
+            let serial = serial.clone();
+            scope.spawn(move || {
+                let cfg = parallel_cfg();
+                for r in 0..ROUNDS {
+                    for (qi, stmt) in stmts.iter().enumerate() {
+                        let (_, stats) = stmt.execute_with(&db, &cfg).unwrap();
+                        assert_eq!(
+                            stats, serial[qi],
+                            "client {c} round {r} query {qi}: work units diverged from serial"
+                        );
+                        total.fetch_add(stats.total_work(), Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // Two writers mutate W while the readers run: mixed traffic.
+        for t in 0..2i64 {
+            let db = Arc::clone(db);
+            scope.spawn(move || {
+                for r in 0..24 {
+                    write_round(&db, t, r);
+                }
+            });
+        }
+    });
+    let concurrent_total = concurrent_total.load(Ordering::Relaxed);
+    println!(
+        "aggregate query work: serial replay {serial_total} wu, \
+         {CLIENTS} concurrent clients x {ROUNDS} rounds {concurrent_total} wu"
+    );
+    assert_eq!(
+        concurrent_total, serial_total,
+        "concurrent aggregate work must equal the serial sum"
+    );
+}
+
+/// Claim 2: identical clients complete within a bounded ratio.
+fn fairness_phase(db: &Arc<Database>, stmt: &Arc<Prepared>) -> usize {
+    let stop = Arc::new(AtomicBool::new(false));
+    let counts: Vec<Arc<AtomicU64>> = (0..CLIENTS).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let peak_threads = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for count in counts.iter() {
+            let db = Arc::clone(db);
+            let stmt = Arc::clone(stmt);
+            let stop = Arc::clone(&stop);
+            let count = Arc::clone(count);
+            scope.spawn(move || {
+                let cfg = parallel_cfg();
+                while !stop.load(Ordering::Relaxed) {
+                    stmt.execute_with(&db, &cfg).unwrap();
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Sample the OS thread count while all clients are in flight
+        // (claim 3 reads the peak).
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_millis(FAIR_WINDOW_MS / 10));
+            peak_threads.fetch_max(os_thread_count() as u64, Ordering::Relaxed);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let done: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let min = *done.iter().min().unwrap();
+    let max = *done.iter().max().unwrap();
+    println!("completions per client over {FAIR_WINDOW_MS} ms: {done:?}");
+    assert!(min >= 1, "a client starved: zero completed queries");
+    let ratio = max as f64 / min as f64;
+    println!("fairness ratio max/min: {ratio:.2} (bound {FAIR_MAX_RATIO})");
+    assert!(
+        ratio <= FAIR_MAX_RATIO,
+        "completed-query ratio {ratio:.2} exceeds the starvation bound"
+    );
+    peak_threads.load(Ordering::Relaxed) as usize
+}
+
+fn main() {
+    println!(
+        "repro_service: {CLIENTS} clients of mixed traffic on a shared \
+         {POOL_THREADS}-thread pool.\n"
+    );
+    let base_threads = os_thread_count();
+    let db = Arc::new(service_db());
+    let stmts: Vec<Arc<Prepared>> = QUERIES
+        .iter()
+        .map(|sql| Arc::new(prepare(&db, sql).unwrap()))
+        .collect();
+
+    determinism_phase(&db, &stmts);
+
+    // The global pool now exists (created by the first parallel fan-out)
+    // and is sized by the queries' parallelism knob.
+    let pool = WorkerPool::global_peek().expect("parallel queries must have created the pool");
+    assert_eq!(pool.threads(), POOL_THREADS);
+    let idle_threads = settled_thread_count();
+
+    let peak = fairness_phase(&db, &stmts[1]);
+
+    // Claim 3: the N concurrent clients added exactly N threads — every
+    // morsel ran on the pool's fixed workers.
+    if base_threads > 0 {
+        assert_eq!(
+            idle_threads,
+            base_threads + POOL_THREADS,
+            "pool must own exactly {POOL_THREADS} worker threads"
+        );
+        assert_eq!(
+            peak,
+            idle_threads + CLIENTS,
+            "concurrent execution must not spawn threads beyond the clients themselves"
+        );
+        println!(
+            "threads: {base_threads} at start, {idle_threads} with pool up, \
+             {peak} peak under load (= pool + {CLIENTS} clients)"
+        );
+    }
+
+    // The pool's metric series, merged into the database exposition.
+    let text = db.metrics_text();
+    for name in [
+        "ongoingdb_pool_threads",
+        "ongoingdb_pool_queue_depth",
+        "ongoingdb_pool_tasks_executed",
+        "ongoingdb_pool_tasks_stolen",
+        "ongoingdb_pool_tasks_dropped",
+        "ongoingdb_pool_queries",
+        "ongoingdb_pool_admission_waits",
+        "ongoingdb_pool_admission_wait_us",
+        "ongoingdb_prepared_hits",
+        "ongoingdb_prepared_misses",
+    ] {
+        assert!(text.contains(name), "metrics exposition lost `{name}`");
+    }
+    println!("\n{text}");
+    println!(
+        "ok: deterministic under concurrency, fair across clients, threads flat at pool size."
+    );
+}

@@ -479,6 +479,13 @@ impl Database {
                 .zip(store)
                 .map(|(name, v)| (name.to_string(), MetricValue::Gauge(v))),
         ));
+        // The worker pool is process-wide, not per-database, but its
+        // `ongoingdb_pool_*` series belong in the same exposition. Peek
+        // only — a metrics scrape must never be the thing that spins up
+        // the pool.
+        if let Some(pool) = crate::exec::WorkerPool::global_peek() {
+            snap.merge(pool.metrics_snapshot());
+        }
         snap
     }
 

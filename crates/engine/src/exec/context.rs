@@ -8,8 +8,9 @@
 //! partitioning is purely a wall-clock optimization.
 
 use crate::error::{EngineError, Result};
+use crate::exec::pool::{PoolSession, WorkerPool};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
@@ -108,19 +109,40 @@ pub struct ExecContext {
     /// units, wall ns) — the machinery behind `EXPLAIN ANALYZE`. `None`
     /// costs nothing on the hot path.
     pub trace: Option<Arc<crate::obs::TraceCollector>>,
+    /// This query's attachment to the shared worker pool: lazily registers
+    /// a task queue on first fan-out, unregisters when the context drops.
+    /// Cloning the context shares the session (and therefore the queue) —
+    /// one context is one query as far as scheduling fairness goes.
+    pub(crate) session: Arc<PoolSession>,
 }
 
 /// Environment variable overriding the default executor parallelism.
 pub const THREADS_ENV: &str = "ONGOINGDB_THREADS";
 
+/// `ONGOINGDB_THREADS`, read from the environment exactly once per
+/// process. Resolving per construction meant a mid-run env change could
+/// make two halves of one query disagree on parallelism; caching makes the
+/// setting a process property, matching the shared pool it now sizes.
+fn cached_env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&p| p > 0)
+    })
+}
+
 impl ExecContext {
     /// A context with exactly `parallelism` workers (clamped to at least 1)
     /// and an unbounded [`QueryControl`].
     pub fn new(parallelism: usize) -> Self {
+        let parallelism = parallelism.max(1);
         ExecContext {
-            parallelism: parallelism.max(1),
+            parallelism,
             control: QueryControl::unbounded(),
             trace: None,
+            session: PoolSession::auto(parallelism),
         }
     }
 
@@ -141,23 +163,34 @@ impl ExecContext {
         self.with_control(QueryControl::with_timeout(timeout))
     }
 
+    /// This context pinned to a specific [`WorkerPool`] instead of the
+    /// lazily-created process-wide one. Tests use this to run the same
+    /// query against exactly-sized pools.
+    pub fn with_pool(self, pool: Arc<WorkerPool>) -> Self {
+        self.session.set_pool(pool);
+        self
+    }
+
+    /// This context with an event log attached, so pool registration
+    /// records `QueryQueued`/`AdmissionWait` events.
+    pub(crate) fn with_events(self, events: Arc<crate::obs::EventLog>) -> Self {
+        self.session.set_events(events);
+        self
+    }
+
     /// Single-threaded execution.
     pub fn serial() -> Self {
         ExecContext::new(1)
     }
 
-    /// Resolves a knob value: `0` means "auto" (`ONGOINGDB_THREADS` if set
-    /// and positive, else the machine's available parallelism), anything
-    /// else is taken literally.
+    /// Resolves a knob value: `0` means "auto" (`ONGOINGDB_THREADS` — read
+    /// once per process — if set and positive, else the machine's
+    /// available parallelism), anything else is taken literally.
     pub fn resolve(knob: usize) -> Self {
         if knob > 0 {
             return ExecContext::new(knob);
         }
-        let from_env = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&p| p > 0);
-        let parallelism = from_env.unwrap_or_else(|| {
+        let parallelism = cached_env_threads().unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)

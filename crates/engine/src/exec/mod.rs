@@ -1,9 +1,13 @@
-//! Execution helpers: interval index, execution context, work-unit stats.
+//! Execution support: context/governance tokens, the shared worker pool
+//! and its fair morsel scheduler, interval indexes, and work-unit stats.
 
 pub mod context;
 pub mod index;
+pub mod pool;
+pub(crate) mod sched;
 pub mod stats;
 
 pub use context::{ExecContext, QueryControl, THREADS_ENV};
 pub use index::IntervalIndex;
+pub use pool::{PoolSession, WorkerPool, POOL_MAX_QUERIES_ENV};
 pub use stats::ExecStats;

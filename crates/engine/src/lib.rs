@@ -71,13 +71,17 @@ pub mod storage;
 
 pub use catalog::{Database, RetryPolicy, Table};
 pub use error::{EngineError, Result};
-pub use exec::{ExecContext, ExecStats, QueryControl, THREADS_ENV};
+pub use exec::{
+    ExecContext, ExecStats, QueryControl, WorkerPool, POOL_MAX_QUERIES_ENV, THREADS_ENV,
+};
 pub use obs::{
     EngineEvent, EventLog, EventRecord, MetricsRegistry, MetricsSnapshot, SpanNode, TraceCollector,
     EVENT_LOG_ENV, SLOW_QUERY_ENV,
 };
 pub use plan::{JoinStrategy, LogicalPlan, PhysicalPlan, PlannerConfig, QueryBuilder};
-pub use sql::{explain_analyze, explain_analyze_with, ExplainReport, StatementResult};
+pub use sql::{
+    explain_analyze, explain_analyze_with, prepare, ExplainReport, Prepared, StatementResult,
+};
 pub use stats::cost::QualPath;
 pub use stats::TableStatistics;
 pub use storage::durable::{DurableOptions, DurableStats};

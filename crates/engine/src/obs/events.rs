@@ -79,6 +79,17 @@ pub enum EngineEvent {
         /// What was cancelled.
         context: String,
     },
+    /// A query registered a task queue with the shared worker pool.
+    QueryQueued {
+        /// Queries registered with the pool after this one joined.
+        active: u64,
+    },
+    /// A query waited for a pool admission slot
+    /// (`ONGOINGDB_POOL_MAX_QUERIES` reached).
+    AdmissionWait {
+        /// How long admission blocked, in microseconds.
+        wait_us: u64,
+    },
 }
 
 impl EngineEvent {
@@ -93,6 +104,8 @@ impl EngineEvent {
             EngineEvent::SlowQuery { .. } => "slow_query",
             EngineEvent::DeadlineExceeded { .. } => "deadline_exceeded",
             EngineEvent::Cancelled { .. } => "cancelled",
+            EngineEvent::QueryQueued { .. } => "query_queued",
+            EngineEvent::AdmissionWait { .. } => "admission_wait",
         }
     }
 }
@@ -144,6 +157,12 @@ impl EventRecord {
                 "{{\"seq\":{seq},\"kind\":\"cancelled\",\"context\":{}}}",
                 json_str(context)
             ),
+            EngineEvent::QueryQueued { active } => {
+                format!("{{\"seq\":{seq},\"kind\":\"query_queued\",\"active\":{active}}}")
+            }
+            EngineEvent::AdmissionWait { wait_us } => {
+                format!("{{\"seq\":{seq},\"kind\":\"admission_wait\",\"wait_us\":{wait_us}}}")
+            }
         }
     }
 }

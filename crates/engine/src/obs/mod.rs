@@ -132,6 +132,8 @@ impl Obs {
         obs.metrics.counter("ongoingdb_cas_queue_waits");
         obs.metrics.counter("ongoingdb_wal_fault_retries");
         obs.metrics.counter("ongoingdb_slow_queries");
+        obs.metrics.counter("ongoingdb_prepared_hits");
+        obs.metrics.counter("ongoingdb_prepared_misses");
         obs.metrics.histogram("ongoingdb_cas_attempts");
         obs.metrics.histogram("ongoingdb_query_wall_us");
         obs

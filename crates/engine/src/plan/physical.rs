@@ -17,25 +17,29 @@
 //! same scans, joins and projections; the ongoing mode additionally pays for
 //! interval-set arithmetic, the baseline instead pays once per re-evaluation.
 //!
-//! # Partition-parallel execution
+//! # Morsel-driven parallel execution
 //!
-//! Both modes run morsel-style: an [`ExecContext`] carries the worker
-//! budget, and relation-valued inputs are partitioned along the
-//! copy-on-write store's natural chunk boundaries
-//! ([`OngoingRelation::lazy_views`]) — `Scan`/`Filter` pipelines and the
-//! probe/outer sides of the joins each take a contiguous run of chunks,
-//! the hash join builds its table once and probes runs concurrently, and
-//! the sweep join splits its (sorted) envelope list across
-//! [`std::thread::scope`] workers. Partial results are merged in partition
-//! order, so the output — tuple order included — is identical for every
-//! parallelism setting. Each worker accumulates a local [`ExecStats`] that
-//! is folded at the merge point; since every work unit is counted exactly
-//! once no matter who performs it, the totals are deterministic across
-//! thread counts and can replace wall-clock durations in benchmark
-//! assertions.
+//! Both modes run morsel-style on the process-wide
+//! [`WorkerPool`](crate::exec::WorkerPool): an [`ExecContext`] carries the
+//! parallelism budget and the query's pool session, and relation-valued
+//! inputs are partitioned into morsels — along the copy-on-write store's
+//! natural chunk boundaries ([`OngoingRelation::lazy_views`]) for scans
+//! and probe/outer join sides, by contiguous index ranges for positional
+//! inputs. Each morsel becomes one `'static` task over `Arc`-shared
+//! operator state, submitted to the query's task queue; the shared
+//! scheduler dispatches morsels round-robin across concurrent queries and
+//! the submitting thread helps drain its own queue, so no operator ever
+//! spawns threads of its own. Partial results are merged in morsel
+//! (partition) order, so the output — tuple order included — is identical
+//! for every pool size. Each morsel accumulates a local [`ExecStats`]
+//! that is folded at the merge point; since every work unit is counted
+//! exactly once no matter which thread performs it, the totals are
+//! deterministic across pool sizes and can replace wall-clock durations
+//! in benchmark assertions.
 
 use crate::catalog::Table;
 use crate::error::{EngineError, Result};
+use crate::exec::pool::Morsel;
 use crate::exec::{ExecContext, ExecStats};
 use ongoing_core::allen::TemporalPredicate;
 use ongoing_core::{IntervalSet, TimePoint};
@@ -397,11 +401,17 @@ impl PhysicalPlan {
                 ongoing,
             } => {
                 let idx = table.interval_index(*col)?;
-                let data = table.data();
+                // A cheap version fork of the table's relation, so the
+                // pool tasks own their input.
+                let data = table.data().clone();
                 let ids = idx.query(range.0, range.1);
                 stats.index_candidates += ids.len() as u64;
                 stats.tuples_scanned += ids.len() as u64;
-                let parts = run_partitioned(ctx, ids.len(), MIN_MORSEL, |r| {
+                let n = ids.len();
+                let ids = Arc::new(ids);
+                let fixed = fixed.clone();
+                let ongoing = ongoing.clone();
+                let parts = run_partitioned(ctx, n, MIN_MORSEL, move |r| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
                     for &id in &ids[r] {
@@ -422,15 +432,17 @@ impl PhysicalPlan {
                 // Morsels follow the store's chunk boundaries; surviving
                 // tuples are shallow-cloned (payloads are `Arc`-shared).
                 // Chunks are pinned one at a time, so a filter over a
-                // beyond-RAM table keeps at most one cold chunk per worker
-                // resident.
-                let views = rel.lazy_views();
-                let parts = run_partitioned_lazy(ctx, &views, MIN_MORSEL, |pinned, out, local| {
-                    for t in pinned.iter() {
-                        filter_into(out, t, fixed.as_ref(), ongoing.as_ref(), local)?;
-                    }
-                    Ok(())
-                })?;
+                // beyond-RAM table keeps at most one cold chunk per
+                // in-flight morsel resident.
+                let fixed = fixed.clone();
+                let ongoing = ongoing.clone();
+                let parts =
+                    run_partitioned_lazy(ctx, rel, MIN_MORSEL, move |pinned, out, local| {
+                        for t in pinned.iter() {
+                            filter_into(out, t, fixed.as_ref(), ongoing.as_ref(), local)?;
+                        }
+                        Ok(())
+                    })?;
                 Ok(assemble_tuples(schema, parts, stats))
             }
             PhysicalPlan::Project {
@@ -453,15 +465,17 @@ impl PhysicalPlan {
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
-                // The inner side is materialized (parking any cold chunks
-                // for the duration); the outer side streams through lazy
-                // per-chunk pins, so only the smaller side should be inner.
-                let inner: Vec<&Tuple> = r.iter().collect();
+                // The inner side is materialized as owned shallow clones
+                // (payloads are `Arc`-shared) so the pool tasks can share
+                // it; the outer side streams through lazy per-chunk pins,
+                // so only the smaller side should be inner.
+                let inner: Arc<Vec<Tuple>> = Arc::new(r.iter().cloned().collect());
                 let min_chunk = outer_min_chunk(inner.len());
-                let views = l.lazy_views();
-                let parts = run_partitioned_lazy(ctx, &views, min_chunk, |pinned, out, local| {
+                let fixed = fixed.clone();
+                let ongoing = ongoing.clone();
+                let parts = run_partitioned_lazy(ctx, l, min_chunk, move |pinned, out, local| {
                     for lt in pinned.iter() {
-                        for rt_ in &inner {
+                        for rt_ in inner.iter() {
                             join_pair_into(out, lt, rt_, fixed.as_ref(), ongoing.as_ref(), local)?;
                         }
                     }
@@ -479,25 +493,32 @@ impl PhysicalPlan {
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
-                // Build once on the right side (parking any cold chunks —
-                // the build must hold all its rows anyway); the probe side
-                // streams through lazy per-chunk pins and shares the table.
-                let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(r.len());
-                for rt_ in r.iter() {
+                // Build once on the right side into owned rows (shallow
+                // clones; payloads are `Arc`-shared) keyed by position, so
+                // the probe morsels can share build rows and table without
+                // borrows; the probe side streams through lazy per-chunk
+                // pins.
+                let rows: Vec<Tuple> = r.iter().cloned().collect();
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rows.len());
+                for (i, rt_) in rows.iter().enumerate() {
                     let key: Vec<Value> = keys.iter().map(|&(_, j)| rt_.value(j).clone()).collect();
-                    table.entry(key).or_default().push(rt_);
+                    table.entry(key).or_default().push(i);
                 }
-                let views = l.lazy_views();
-                let parts = run_partitioned_lazy(ctx, &views, MIN_MORSEL, |pinned, out, local| {
+                let rows = Arc::new(rows);
+                let table = Arc::new(table);
+                let keys = keys.clone();
+                let fixed = fixed.clone();
+                let ongoing = ongoing.clone();
+                let parts = run_partitioned_lazy(ctx, l, MIN_MORSEL, move |pinned, out, local| {
                     for lt in pinned.iter() {
                         let key: Vec<Value> =
                             keys.iter().map(|&(i, _)| lt.value(i).clone()).collect();
                         if let Some(matches) = table.get(&key) {
-                            for rt_ in matches {
+                            for &ri in matches {
                                 join_pair_into(
                                     out,
                                     lt,
-                                    rt_,
+                                    &rows[ri],
                                     fixed.as_ref(),
                                     ongoing.as_ref(),
                                     local,
@@ -520,12 +541,17 @@ impl PhysicalPlan {
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
-                let l_rows: Vec<&Tuple> = l.iter().collect();
-                let r_rows: Vec<&Tuple> = r.iter().collect();
-                let le = envelopes(&l_rows, *l_col)?;
-                let re = envelopes(&r_rows, *r_col)?;
+                // Both sides materialize as owned shallow clones so the
+                // sweep morsels can share rows and envelope lists.
+                let l_rows: Arc<Vec<Tuple>> = Arc::new(l.iter().cloned().collect());
+                let r_rows: Arc<Vec<Tuple>> = Arc::new(r.iter().cloned().collect());
+                let le = Arc::new(envelopes(&l_rows, *l_col)?);
+                let re = Arc::new(envelopes(&r_rows, *r_col)?);
+                let n = le.len();
                 let min_chunk = sweep_min_chunk(re.len(), ctx.parallelism);
-                let parts = run_partitioned(ctx, le.len(), min_chunk, |range| {
+                let fixed = fixed.clone();
+                let ongoing = ongoing.clone();
+                let parts = run_partitioned(ctx, n, min_chunk, move |range| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
                     let mut pairs = Vec::new();
@@ -534,8 +560,8 @@ impl PhysicalPlan {
                     for &(lp, rp) in &pairs {
                         join_pair_into(
                             &mut out,
-                            l_rows[le[lp].2],
-                            r_rows[re[rp].2],
+                            &l_rows[le[lp].2],
+                            &r_rows[re[rp].2],
                             fixed.as_ref(),
                             ongoing.as_ref(),
                             &mut local,
@@ -661,14 +687,14 @@ impl PhysicalPlan {
         ctx.control.check()?;
         match self {
             PhysicalPlan::SeqScan { table, .. } => {
-                let data = table.data();
+                // A cheap version fork, so the pool tasks own the input.
+                let data = table.data().clone();
                 stats.tuples_scanned += data.len() as u64;
                 // Bind during the scan through lazy per-chunk pins: an
                 // instantiated scan of a beyond-RAM table keeps at most one
-                // cold chunk per worker resident.
-                let views = data.lazy_views();
+                // cold chunk per in-flight morsel resident.
                 let parts =
-                    run_partitioned_lazy(ctx, &views, MIN_MORSEL, |pinned, out, _local| {
+                    run_partitioned_lazy(ctx, data, MIN_MORSEL, move |pinned, out, _local| {
                         out.extend(pinned.iter().filter_map(|t| t.bind(rt)));
                         Ok(())
                     })?;
@@ -683,13 +709,15 @@ impl PhysicalPlan {
                 ..
             } => {
                 let idx = table.interval_index(*col)?;
-                let data = table.data();
+                let data = table.data().clone();
                 let ids = idx.query(range.0, range.1);
                 stats.index_candidates += ids.len() as u64;
                 stats.tuples_scanned += ids.len() as u64;
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let parts = run_partitioned(ctx, ids.len(), MIN_MORSEL, |r| {
+                let n = ids.len();
+                let ids = Arc::new(ids);
+                let parts = run_partitioned(ctx, n, MIN_MORSEL, move |r| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
                     for &id in &ids[r] {
@@ -718,7 +746,7 @@ impl PhysicalPlan {
                 // operator applies to the query, not only the data).
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let parts = run_partitioned_owned(ctx, rows, MIN_MORSEL, |chunk| {
+                let parts = run_partitioned_owned(ctx, rows, MIN_MORSEL, move |chunk| {
                     let mut out = Vec::with_capacity(chunk.len() / 2);
                     for row in chunk {
                         if pass_fixed(&row, fixed.as_ref())? && pass_fixed(&row, ongoing.as_ref())?
@@ -760,11 +788,14 @@ impl PhysicalPlan {
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
                 let min_chunk = outer_min_chunk(r.len());
-                let parts = run_partitioned(ctx, l.len(), min_chunk, |range| {
+                let n = l.len();
+                let l = Arc::new(l);
+                let r = Arc::new(r);
+                let parts = run_partitioned(ctx, n, min_chunk, move |range| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
                     for lr in &l[range] {
-                        for rr in &r {
+                        for rr in r.iter() {
                             join_rows_into(
                                 &mut out,
                                 lr,
@@ -788,25 +819,31 @@ impl PhysicalPlan {
             } => {
                 let l = left.rows_at_stats(rt, ctx, stats)?;
                 let r = right.rows_at_stats(rt, ctx, stats)?;
-                let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> =
-                    HashMap::with_capacity(r.len());
-                for rr in &r {
+                // Position-keyed build table so the probe morsels can
+                // share build rows and table without borrows.
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(r.len());
+                for (i, rr) in r.iter().enumerate() {
                     let key: Vec<Value> = keys.iter().map(|&(_, j)| rr[j].clone()).collect();
-                    table.entry(key).or_default().push(rr);
+                    table.entry(key).or_default().push(i);
                 }
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
-                let parts = run_partitioned(ctx, l.len(), MIN_MORSEL, |range| {
+                let keys = keys.clone();
+                let n = l.len();
+                let l = Arc::new(l);
+                let r = Arc::new(r);
+                let table = Arc::new(table);
+                let parts = run_partitioned(ctx, n, MIN_MORSEL, move |range| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
                     for lr in &l[range] {
                         let key: Vec<Value> = keys.iter().map(|&(i, _)| lr[i].clone()).collect();
                         if let Some(matches) = table.get(&key) {
-                            for rr in matches {
+                            for &ri in matches {
                                 join_rows_into(
                                     &mut out,
                                     lr,
-                                    rr,
+                                    &r[ri],
                                     fixed.as_ref(),
                                     ongoing.as_ref(),
                                     &mut local,
@@ -828,12 +865,15 @@ impl PhysicalPlan {
             } => {
                 let l = left.rows_at_stats(rt, ctx, stats)?;
                 let r = right.rows_at_stats(rt, ctx, stats)?;
-                let le = row_envelopes(&l, *l_col)?;
-                let re = row_envelopes(&r, *r_col)?;
+                let le = Arc::new(row_envelopes(&l, *l_col)?);
+                let re = Arc::new(row_envelopes(&r, *r_col)?);
                 let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
                 let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
+                let n = le.len();
                 let min_chunk = sweep_min_chunk(re.len(), ctx.parallelism);
-                let parts = run_partitioned(ctx, le.len(), min_chunk, |range| {
+                let l = Arc::new(l);
+                let r = Arc::new(r);
+                let parts = run_partitioned(ctx, n, min_chunk, move |range| {
                     let mut local = ExecStats::default();
                     let mut out = Vec::new();
                     let mut pairs = Vec::new();
@@ -907,27 +947,36 @@ impl PhysicalPlan {
 }
 
 // ----------------------------------------------------------------------
-// Partition-parallel infrastructure.
+// Morsel-parallel infrastructure (all fan-out flows through the shared
+// worker pool; no operator spawns threads).
 // ----------------------------------------------------------------------
 
-/// Effective worker count for `len` items with at least `min_chunk` items
-/// per worker. Never exceeds the context's parallelism; never 0.
-fn worker_count(parallelism: usize, len: usize, min_chunk: usize) -> usize {
-    if len == 0 {
+/// Morsels per unit of parallelism. Splitting finer than the worker count
+/// lets the shared scheduler interleave concurrent queries below operator
+/// granularity (a short query's single morsel slots in between a long
+/// query's morsels) and evens out skew; the morsel count only shapes who
+/// executes what, never the merged result.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// Number of morsels for `len` items with at least `min_chunk` items per
+/// morsel. `parallelism <= 1` stays at one morsel (inline execution);
+/// never 0.
+fn morsel_count(parallelism: usize, len: usize, min_chunk: usize) -> usize {
+    if len == 0 || parallelism <= 1 {
         return 1;
     }
-    parallelism.clamp(1, len.div_ceil(min_chunk.max(1)))
+    (parallelism * MORSELS_PER_WORKER).clamp(1, len.div_ceil(min_chunk.max(1)))
 }
 
-/// Contiguous, deterministic chunk bounds covering `0..len` (sizes differ
-/// by at most one; earlier chunks take the remainder).
-fn chunk_bounds(len: usize, workers: usize) -> Vec<Range<usize>> {
-    let base = len / workers;
-    let rem = len % workers;
-    let mut bounds = Vec::with_capacity(workers);
+/// Contiguous, deterministic morsel bounds covering `0..len` (sizes differ
+/// by at most one; earlier morsels take the remainder).
+fn chunk_bounds(len: usize, morsels: usize) -> Vec<Range<usize>> {
+    let base = len / morsels;
+    let rem = len % morsels;
+    let mut bounds = Vec::with_capacity(morsels);
     let mut start = 0usize;
-    for w in 0..workers {
-        let size = base + usize::from(w < rem);
+    for m in 0..morsels {
+        let size = base + usize::from(m < rem);
         bounds.push(start..start + size);
         start += size;
     }
@@ -950,47 +999,14 @@ fn sweep_min_chunk(right_len: usize, parallelism: usize) -> usize {
     (right_len / parallelism.max(1)).max(MIN_MORSEL)
 }
 
-/// Runs `run` once per partition — inline when there is a single
-/// partition, else on [`std::thread::scope`] workers (the calling thread
-/// takes partition 0 instead of idling in the scope) — and returns the
-/// per-partition results *in partition order*. Concatenating them
-/// reproduces the serial output exactly; folding the per-partition
-/// [`ExecStats`] reproduces the serial counts exactly.
-fn scope_run<P, T, F>(parts: Vec<P>, run: F) -> Result<Vec<(T, ExecStats)>>
-where
-    P: Send,
-    T: Send,
-    F: Fn(P) -> Result<(T, ExecStats)> + Sync,
-{
-    let mut parts = parts.into_iter();
-    let Some(first) = parts.next() else {
-        return Ok(Vec::new());
-    };
-    if parts.len() == 0 {
-        return Ok(vec![run(first)?]);
-    }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .map(|part| {
-                let run = &run;
-                scope.spawn(move || run(part))
-            })
-            .collect();
-        let mut out = Vec::with_capacity(handles.len() + 1);
-        out.push(run(first));
-        out.extend(
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("executor worker panicked")),
-        );
-        out.into_iter().collect()
-    })
-}
-
 /// Partitions `0..len` into contiguous index ranges with at least
-/// `min_chunk` items per worker and runs them via [`scope_run`] — for
-/// inputs that are positional lists (index-candidate ids, sorted envelope
-/// lists, instantiated row vectors).
+/// `min_chunk` items per morsel and runs them on the shared worker pool —
+/// for inputs that are positional lists (index-candidate ids, sorted
+/// envelope lists, instantiated row vectors). Results come back *in morsel
+/// order*: concatenating them reproduces the serial output exactly, and
+/// folding the per-morsel [`ExecStats`] reproduces the serial counts
+/// exactly. The control token is polled per morsel (a cancelled query's
+/// queued morsels are additionally dropped at dequeue by the pool).
 fn run_partitioned<T, F>(
     ctx: &ExecContext,
     len: usize,
@@ -998,22 +1014,32 @@ fn run_partitioned<T, F>(
     run: F,
 ) -> Result<Vec<(T, ExecStats)>>
 where
-    T: Send,
-    F: Fn(Range<usize>) -> Result<(T, ExecStats)> + Sync,
+    T: Send + 'static,
+    F: Fn(Range<usize>) -> Result<(T, ExecStats)> + Send + Sync + 'static,
 {
-    let run = |range: Range<usize>| {
+    let morsels = morsel_count(ctx.parallelism, len, min_chunk);
+    if morsels <= 1 {
         ctx.control.check()?;
-        run(range)
-    };
-    let workers = worker_count(ctx.parallelism, len, min_chunk);
-    if workers <= 1 {
         return Ok(vec![run(0..len)?]);
     }
-    scope_run(chunk_bounds(len, workers), run)
+    let run = Arc::new(run);
+    let jobs: Vec<Morsel<(T, ExecStats)>> = chunk_bounds(len, morsels)
+        .into_iter()
+        .map(|range| {
+            let run = Arc::clone(&run);
+            let control = ctx.control.clone();
+            let job: Morsel<(T, ExecStats)> = Box::new(move || {
+                control.check()?;
+                run(range)
+            });
+            job
+        })
+        .collect();
+    ctx.session.run_morsels(&ctx.control, jobs)
 }
 
 /// Like [`run_partitioned`], but moves ownership of the items into the
-/// workers (chunk vectors are split off in order), so surviving items need
+/// morsels (chunk vectors are split off in order), so surviving items need
 /// not be cloned.
 fn run_partitioned_owned<I, T, F>(
     ctx: &ExecContext,
@@ -1022,80 +1048,119 @@ fn run_partitioned_owned<I, T, F>(
     run: F,
 ) -> Result<Vec<(T, ExecStats)>>
 where
-    I: Send,
-    T: Send,
-    F: Fn(Vec<I>) -> Result<(T, ExecStats)> + Sync,
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(Vec<I>) -> Result<(T, ExecStats)> + Send + Sync + 'static,
 {
-    let run = |chunk: Vec<I>| {
+    let morsels = morsel_count(ctx.parallelism, items.len(), min_chunk);
+    if morsels <= 1 {
         ctx.control.check()?;
-        run(chunk)
-    };
-    let workers = worker_count(ctx.parallelism, items.len(), min_chunk);
-    if workers <= 1 {
         return Ok(vec![run(items)?]);
     }
-    let bounds = chunk_bounds(items.len(), workers);
+    let bounds = chunk_bounds(items.len(), morsels);
     // Split from the back so every element moves at most once
     // (front-first splitting would re-move the shrinking tail per chunk).
     let mut rest = items;
-    let mut chunks = Vec::with_capacity(workers);
+    let mut chunks = Vec::with_capacity(morsels);
     for range in bounds.iter().rev() {
         chunks.push(rest.split_off(range.start));
     }
     chunks.reverse();
-    scope_run(chunks, run)
+    let run = Arc::new(run);
+    let jobs: Vec<Morsel<(T, ExecStats)>> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let run = Arc::clone(&run);
+            let control = ctx.control.clone();
+            let job: Morsel<(T, ExecStats)> = Box::new(move || {
+                control.check()?;
+                run(chunk)
+            });
+            job
+        })
+        .collect();
+    ctx.session.run_morsels(&ctx.control, jobs)
 }
 
-/// The chunk-morsel scan driver: partitions a relation's *lazy* chunk
-/// views into contiguous runs (live-row balanced,
-/// partitioning metadata is free — no page-in), then each worker walks its
-/// run **one pinned chunk at a time**. A cold chunk is paged in only while
-/// its morsel is being processed and released immediately after, so a scan
-/// of a table N× the memory budget keeps at most one chunk per worker
-/// resident beyond the cache. The control token is polled before every
-/// chunk pin, so cancellation and deadlines surface within one morsel.
-/// Output assembly is identical to the other drivers: concatenating the
-/// per-run vectors reproduces the serial output exactly.
+/// The chunk-morsel scan driver: partitions the relation's *lazy* chunk
+/// views into contiguous runs (live-row balanced; partitioning metadata is
+/// free — no page-in), then each morsel walks its run **one pinned chunk
+/// at a time**. A cold chunk is paged in only while its morsel is being
+/// processed and released immediately after, so a scan of a table N× the
+/// memory budget keeps at most one chunk per in-flight morsel resident
+/// beyond the cache. The control token is polled before every chunk pin,
+/// so cancellation and deadlines surface within one morsel. The relation
+/// is `Arc`-shared with the pool tasks, which re-derive the (cheap,
+/// metadata-only) chunk views from the same immutable version — so the
+/// per-run view slices are identical to the submitter's. Output assembly
+/// is identical to the other drivers: concatenating the per-run vectors
+/// reproduces the serial output exactly.
 fn run_partitioned_lazy<T, F>(
     ctx: &ExecContext,
-    views: &[LazyChunkView<'_>],
+    rel: OngoingRelation,
     min_chunk: usize,
     run: F,
 ) -> Result<Vec<(Vec<T>, ExecStats)>>
 where
-    T: Send,
-    F: Fn(&PinnedChunk<'_>, &mut Vec<T>, &mut ExecStats) -> Result<()> + Sync,
+    T: Send + 'static,
+    F: Fn(&PinnedChunk<'_>, &mut Vec<T>, &mut ExecStats) -> Result<()> + Send + Sync + 'static,
 {
-    let drive = |run_views: &[LazyChunkView<'_>]| {
+    fn drive<T, F>(
+        control: &crate::exec::QueryControl,
+        run_views: &[LazyChunkView<'_>],
+        run: &F,
+    ) -> Result<(Vec<T>, ExecStats)>
+    where
+        F: Fn(&PinnedChunk<'_>, &mut Vec<T>, &mut ExecStats) -> Result<()>,
+    {
         let mut out = Vec::new();
         let mut local = ExecStats::default();
         for v in run_views {
-            ctx.control.check()?;
+            control.check()?;
             let pinned = v.pin()?;
             run(&pinned, &mut out, &mut local)?;
         }
         Ok((out, local))
-    };
-    let total: usize = views.iter().map(|v| v.len()).sum();
-    let workers = worker_count(ctx.parallelism, total, min_chunk);
-    if workers <= 1 || views.len() <= 1 {
-        return Ok(vec![drive(views)?]);
     }
-    let target = total.div_ceil(workers);
-    let mut runs: Vec<&[LazyChunkView<'_>]> = Vec::with_capacity(workers);
+
+    let views = rel.lazy_views();
+    let total: usize = views.iter().map(|v| v.len()).sum();
+    let morsels = morsel_count(ctx.parallelism, total, min_chunk);
+    if morsels <= 1 || views.len() <= 1 {
+        return Ok(vec![drive(&ctx.control, &views, &run)?]);
+    }
+    // Greedy live-row-balanced split into contiguous chunk-index ranges.
+    let target = total.div_ceil(morsels);
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(morsels);
     let (mut start, mut acc) = (0usize, 0usize);
     for (i, v) in views.iter().enumerate() {
         acc += v.len();
-        if acc >= target && runs.len() + 1 < workers {
-            runs.push(&views[start..=i]);
+        if acc >= target && ranges.len() + 1 < morsels {
+            ranges.push(start..i + 1);
             start = i + 1;
             acc = 0;
         }
     }
     if start < views.len() {
-        runs.push(&views[start..]);
+        ranges.push(start..views.len());
     }
-    scope_run(runs, drive)
+    drop(views);
+    let rel = Arc::new(rel);
+    let run = Arc::new(run);
+    let jobs: Vec<Morsel<(Vec<T>, ExecStats)>> = ranges
+        .into_iter()
+        .map(|range| {
+            let rel = Arc::clone(&rel);
+            let run = Arc::clone(&run);
+            let control = ctx.control.clone();
+            let job: Morsel<(Vec<T>, ExecStats)> = Box::new(move || {
+                let views = rel.lazy_views();
+                drive(&control, &views[range], run.as_ref())
+            });
+            job
+        })
+        .collect();
+    ctx.session.run_morsels(&ctx.control, jobs)
 }
 
 /// Concatenates ordered tuple partitions into a relation and folds their
@@ -1234,9 +1299,9 @@ fn join_rows_into(
 /// `(envelope start, envelope end, position)` for a tuple list, skipping
 /// always-empty intervals (no predicate with a non-empty check can match
 /// them).
-fn envelopes(tuples: &[&Tuple], col: usize) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
+fn envelopes(tuples: &[Tuple], col: usize) -> Result<Vec<(TimePoint, TimePoint, usize)>> {
     let mut out = Vec::with_capacity(tuples.len());
-    for (i, &t) in tuples.iter().enumerate() {
+    for (i, t) in tuples.iter().enumerate() {
         let iv = t.value(col).as_interval().ok_or_else(|| {
             EngineError::Plan(format!("sweep join column #{col} is not an interval"))
         })?;

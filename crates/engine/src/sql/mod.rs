@@ -24,7 +24,10 @@
 
 pub mod ast;
 pub mod parser;
+pub mod prepare;
 pub mod token;
+
+pub use prepare::{prepare, Prepared};
 
 use crate::catalog::Database;
 use crate::error::{EngineError, Result};
@@ -147,8 +150,23 @@ fn run_query(
 ) -> Result<(ongoing_relation::OngoingRelation, ExecStats)> {
     let lp = plan(db, q)?;
     let phys = crate::plan::optimizer::compile(db, &lp, cfg)?;
+    execute_compiled(db, &phys, cfg, label)
+}
+
+/// Executes an already-compiled physical plan under `cfg`, recording query
+/// metrics and pool scheduling events through the database's observability
+/// layer. Shared by one-shot queries and prepared statements.
+pub(crate) fn execute_compiled(
+    db: &Database,
+    phys: &crate::plan::PhysicalPlan,
+    cfg: &PlannerConfig,
+    label: &str,
+) -> Result<(ongoing_relation::OngoingRelation, ExecStats)> {
+    let ctx = cfg
+        .exec_context()
+        .with_events(Arc::clone(&db.observability().events));
     let start = Instant::now();
-    match phys.execute_with_stats(&cfg.exec_context()) {
+    match phys.execute_with_stats(&ctx) {
         Ok((rel, stats)) => {
             db.record_query(label, &stats, start.elapsed());
             Ok((rel, stats))
@@ -171,7 +189,10 @@ fn analyze_query(
     let lp = plan(db, q)?;
     let phys = crate::plan::optimizer::compile(db, &lp, cfg)?;
     let tracer = Arc::new(TraceCollector::new());
-    let ctx = cfg.exec_context().with_trace(Arc::clone(&tracer));
+    let ctx = cfg
+        .exec_context()
+        .with_events(Arc::clone(&db.observability().events))
+        .with_trace(Arc::clone(&tracer));
     let start = Instant::now();
     let (rel, stats) = match phys.execute_with_stats(&ctx) {
         Ok(v) => v,
@@ -197,7 +218,7 @@ fn analyze_query(
 }
 
 /// Surfaces deadline/cancellation failures in the structured event log.
-fn record_failure(db: &Database, label: &str, e: &EngineError) {
+pub(crate) fn record_failure(db: &Database, label: &str, e: &EngineError) {
     let obs = db.observability();
     match e {
         EngineError::DeadlineExceeded => {
@@ -214,7 +235,7 @@ fn record_failure(db: &Database, label: &str, e: &EngineError) {
     }
 }
 
-fn plan(db: &Database, q: &Query) -> Result<LogicalPlan> {
+pub(crate) fn plan(db: &Database, q: &Query) -> Result<LogicalPlan> {
     match q {
         Query::Select(s) => plan_select(db, s),
         Query::Union(l, r) => {

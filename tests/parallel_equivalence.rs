@@ -13,9 +13,13 @@ use ongoing_core::time::tp;
 use ongoing_core::{IntervalSet, OngoingInterval, OngoingPoint, TimePoint};
 use ongoing_relation::{Expr, OngoingRelation, Schema, Value};
 use ongoingdb::engine::plan::{compile, JoinStrategy, PlannerConfig};
-use ongoingdb::engine::{Database, ExecContext, LogicalPlan, QueryBuilder};
+use ongoingdb::engine::{
+    Database, ExecContext, LogicalPlan, QueryBuilder, TraceCollector, WorkerPool,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 const LO: i64 = -40;
 const HI: i64 = 40;
@@ -242,6 +246,110 @@ fn parallel_equivalence_holds_for_every_join_strategy() {
             );
         }
     }
+}
+
+/// The shared-pool contract: any number of queries running *concurrently*
+/// on one pool — of any size — each produce exactly the serial result,
+/// work-unit stats, and span work units. The pool only changes wall clock.
+#[test]
+fn concurrent_queries_on_shared_pools_match_serial() {
+    let mut rng = SmallRng::seed_from_u64(20260808);
+    let db = fuzz_db(&mut rng);
+    let cfg = PlannerConfig::default();
+    let plans: Vec<LogicalPlan> = (0..8).map(|_| random_plan(&mut rng, &db)).collect();
+    let compiled: Vec<_> = plans
+        .iter()
+        .map(|p| compile(&db, p, &cfg).unwrap())
+        .collect();
+    let expected: Vec<_> = compiled
+        .iter()
+        .map(|phys| phys.execute_with_stats(&ExecContext::serial()).unwrap())
+        .collect();
+    for (pool_size, n_queries) in [(1usize, 3usize), (2, 4), (4, 8), (8, 6)] {
+        let pool = WorkerPool::new(pool_size);
+        std::thread::scope(|s| {
+            for q in 0..n_queries {
+                let idx = (q * 3 + pool_size) % compiled.len();
+                let phys = &compiled[idx];
+                let (exp_rel, exp_stats) = &expected[idx];
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let tracer = Arc::new(TraceCollector::new());
+                    let ctx = ExecContext::new(4)
+                        .with_pool(pool)
+                        .with_trace(Arc::clone(&tracer));
+                    let (rel, stats) = phys.execute_with_stats(&ctx).unwrap();
+                    assert_eq!(
+                        &rel, exp_rel,
+                        "pool size {pool_size}, query {q}: result diverged from serial"
+                    );
+                    assert_eq!(
+                        &stats, exp_stats,
+                        "pool size {pool_size}, query {q}: work units diverged from serial"
+                    );
+                    let root = tracer.finish().pop().expect("root span");
+                    assert_eq!(
+                        &root.total_work, exp_stats,
+                        "pool size {pool_size}, query {q}: span work units diverged"
+                    );
+                });
+            }
+        });
+        assert_eq!(pool.active_queries(), 0, "all queries must unregister");
+        assert_eq!(pool.queue_depth(), 0, "no morsels may be left behind");
+    }
+}
+
+/// Fair scheduling: on a single-worker pool, a one-morsel query submitted
+/// behind a many-morsel nested-loop join still completes while the big
+/// query is in flight — round-robin serves each query one morsel per turn.
+#[test]
+fn pool_is_fair_across_concurrent_queries() {
+    let mut rng = SmallRng::seed_from_u64(31415);
+    let db = fuzz_db(&mut rng);
+    let pool = WorkerPool::new(1);
+    let nl_cfg = PlannerConfig {
+        join_strategy: JoinStrategy::NestedLoop,
+        ..PlannerConfig::default()
+    };
+    // Heavy: Big ⋈ Big nested loops — millions of pairs, many morsels.
+    let heavy_plan = QueryBuilder::scan_as(&db, "Big", "L")
+        .unwrap()
+        .join(QueryBuilder::scan_as(&db, "Big", "R").unwrap(), |s| {
+            Ok(Expr::col(s, "L.K")?.eq(Expr::col(s, "R.K")?))
+        })
+        .unwrap()
+        .build();
+    let heavy = compile(&db, &heavy_plan, &nl_cfg).unwrap();
+    // Light: one cheap filter over the small table — a single morsel.
+    let light_plan = QueryBuilder::scan_as(&db, "Small", "A")
+        .unwrap()
+        .filter(|s| Ok(Expr::col(s, "A.K")?.eq(Expr::lit(3i64))))
+        .unwrap()
+        .build();
+    let light = compile(&db, &light_plan, &PlannerConfig::default()).unwrap();
+    let (light_serial, _) = light.execute_with_stats(&ExecContext::serial()).unwrap();
+
+    let heavy_done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let heavy_pool = Arc::clone(&pool);
+        let heavy_flag = Arc::clone(&heavy_done);
+        let heavy = &heavy;
+        s.spawn(move || {
+            let ctx = ExecContext::new(4).with_pool(heavy_pool);
+            heavy.execute_with_stats(&ctx).unwrap();
+            heavy_flag.store(true, Ordering::Relaxed);
+        });
+        // Let the heavy query queue its backlog on the lone worker.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let ctx = ExecContext::new(4).with_pool(Arc::clone(&pool));
+        let (light_rel, _) = light.execute_with_stats(&ctx).unwrap();
+        assert_eq!(light_rel, light_serial);
+        assert!(
+            !heavy_done.load(Ordering::Relaxed),
+            "the one-morsel query must complete while the heavy query is still in flight"
+        );
+    });
 }
 
 #[test]
