@@ -25,6 +25,7 @@ const BINS: &[&str] = &[
     "repro_outofcore",
     "repro_observe",
     "repro_service",
+    "repro_readcache",
 ];
 
 fn main() {

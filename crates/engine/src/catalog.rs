@@ -358,6 +358,10 @@ pub struct Database {
     /// The observability bundle: metrics registry, event ring, slow-query
     /// threshold. Shared (`Arc`) with the storage layer's hooks.
     obs: Arc<Obs>,
+    /// The versioned result cache (see [`crate::exec::rescache`]): executed
+    /// plan results keyed by plan fingerprint and table-version set,
+    /// invalidated for free because publications swap the table `Arc`.
+    results: crate::exec::ResultCache,
 }
 
 impl Database {
@@ -403,6 +407,7 @@ impl Database {
             gates: Mutex::new(HashMap::new()),
             durable: Some(durable),
             obs,
+            results: crate::exec::ResultCache::default(),
         })
     }
 
@@ -425,6 +430,21 @@ impl Database {
     /// the slow-query threshold. Shared with the storage layer's hooks.
     pub fn observability(&self) -> &Arc<Obs> {
         &self.obs
+    }
+
+    /// The versioned result cache consulted by the SQL execution path.
+    /// Budgeted by [`RESULT_CACHE_BUDGET_ENV`](crate::exec::RESULT_CACHE_BUDGET_ENV)
+    /// at construction (`0` disables).
+    pub fn result_cache(&self) -> &crate::exec::ResultCache {
+        &self.results
+    }
+
+    /// Replaces the result cache with one budgeted at `bytes` (`0`
+    /// disables caching). The environment variable sets the initial
+    /// budget; this is for embedders and tests that size it
+    /// programmatically. Any cached entries are discarded.
+    pub fn configure_result_cache(&mut self, bytes: u64) {
+        self.results = crate::exec::ResultCache::with_budget(bytes);
     }
 
     /// A point-in-time snapshot of every metric the database exposes: the

@@ -4,10 +4,15 @@
 pub mod context;
 pub mod index;
 pub mod pool;
+pub mod rescache;
 pub(crate) mod sched;
 pub mod stats;
 
 pub use context::{ExecContext, QueryControl, THREADS_ENV};
 pub use index::IntervalIndex;
 pub use pool::{PoolSession, WorkerPool, POOL_MAX_QUERIES_ENV};
+pub use rescache::{
+    ResultCache, DEFAULT_RESULT_CACHE_BUDGET, RESULT_CACHE_BUDGET_ENV, RESULT_CACHE_BYTES_METRIC,
+    RESULT_CACHE_EVICTIONS_METRIC, RESULT_CACHE_HITS_METRIC, RESULT_CACHE_MISSES_METRIC,
+};
 pub use stats::ExecStats;

@@ -72,8 +72,10 @@ pub mod storage;
 pub use catalog::{Database, RetryPolicy, Table};
 pub use error::{EngineError, Result};
 pub use exec::{
-    ExecContext, ExecStats, QueryControl, WorkerPool, POOL_MAX_QUERIES_ENV, THREADS_ENV,
+    ExecContext, ExecStats, QueryControl, ResultCache, WorkerPool, POOL_MAX_QUERIES_ENV,
+    RESULT_CACHE_BUDGET_ENV, THREADS_ENV,
 };
+pub use matview::{MaterializedView, RefreshOutcome};
 pub use obs::{
     EngineEvent, EventLog, EventRecord, MetricsRegistry, MetricsSnapshot, SpanNode, TraceCollector,
     EVENT_LOG_ENV, SLOW_QUERY_ENV,

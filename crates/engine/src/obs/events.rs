@@ -90,6 +90,13 @@ pub enum EngineEvent {
         /// How long admission blocked, in microseconds.
         wait_us: u64,
     },
+    /// The versioned result cache evicted an entry to stay under budget.
+    ResultCacheEviction {
+        /// Estimated bytes released.
+        bytes: u64,
+        /// Deterministic work units the cached result had cost to compute.
+        cost: u64,
+    },
 }
 
 impl EngineEvent {
@@ -106,6 +113,7 @@ impl EngineEvent {
             EngineEvent::Cancelled { .. } => "cancelled",
             EngineEvent::QueryQueued { .. } => "query_queued",
             EngineEvent::AdmissionWait { .. } => "admission_wait",
+            EngineEvent::ResultCacheEviction { .. } => "result_cache_eviction",
         }
     }
 }
@@ -163,6 +171,9 @@ impl EventRecord {
             EngineEvent::AdmissionWait { wait_us } => {
                 format!("{{\"seq\":{seq},\"kind\":\"admission_wait\",\"wait_us\":{wait_us}}}")
             }
+            EngineEvent::ResultCacheEviction { bytes, cost } => format!(
+                "{{\"seq\":{seq},\"kind\":\"result_cache_eviction\",\"bytes\":{bytes},\"cost\":{cost}}}"
+            ),
         }
     }
 }

@@ -134,6 +134,11 @@ impl Obs {
         obs.metrics.counter("ongoingdb_slow_queries");
         obs.metrics.counter("ongoingdb_prepared_hits");
         obs.metrics.counter("ongoingdb_prepared_misses");
+        obs.metrics.counter(crate::exec::RESULT_CACHE_HITS_METRIC);
+        obs.metrics.counter(crate::exec::RESULT_CACHE_MISSES_METRIC);
+        obs.metrics
+            .counter(crate::exec::RESULT_CACHE_EVICTIONS_METRIC);
+        obs.metrics.gauge(crate::exec::RESULT_CACHE_BYTES_METRIC);
         obs.metrics.histogram("ongoingdb_cas_attempts");
         obs.metrics.histogram("ongoingdb_query_wall_us");
         obs

@@ -27,13 +27,14 @@
 //! unconditionally without statistics, but cost-gated against the
 //! sequential scan + filter alternative once the table is analyzed.
 
-use crate::catalog::Database;
+use crate::catalog::{Database, Table};
 use crate::error::Result;
 use crate::exec::ExecContext;
 use crate::plan::logical::LogicalPlan;
 use crate::plan::physical::{indexable_selection, sweepable_columns, PhysicalPlan};
 use crate::stats::cost;
-use ongoing_relation::{Expr, Schema, ValueType};
+use ongoing_relation::{CmpOp, Expr, KeyProbe, Schema, ValueType};
+use std::ops::Bound;
 
 /// Join algorithm selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +100,48 @@ impl PlannerConfig {
 fn and_all(mut preds: Vec<Expr>) -> Option<Expr> {
     let first = preds.drain(..).reduce(Expr::and);
     first
+}
+
+/// The key-equality probe of a conjunct, when it compares a key-indexed
+/// column of `table` against a constant of the column's type
+/// (`#i = const` or `const = #i`).
+fn key_eq_probe(c: &Expr, table: &Table) -> Option<KeyProbe> {
+    let (col, key) = match c {
+        Expr::Cmp(CmpOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::Col(i), Expr::Const(v)) | (Expr::Const(v), Expr::Col(i)) => (*i, v.clone()),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if !table.data().key_indexed_columns().contains(&col) {
+        return None;
+    }
+    // A cross-type comparison never drives the index: the probe must agree
+    // with the predicate on every row, which only type-matched keys do.
+    if table.data().schema().attr(col).ok()?.ty != key.value_type() {
+        return None;
+    }
+    Some(KeyProbe::Eq { col, key })
+}
+
+/// Should this hash join borrow its build from the build table's per-chunk
+/// key maps? Only when the build side is a bare scan, there is a single
+/// equality key, the pinned version covers that column with key maps, and
+/// the unindexed delta (overlay + pending, walked once per distinct probe
+/// key) is small relative to the table.
+fn keyed_build(r: &PhysicalPlan, keys: &[(usize, usize)]) -> bool {
+    let (PhysicalPlan::SeqScan { table, .. }, [(_, rk)]) = (r, keys) else {
+        return false;
+    };
+    let probe = KeyProbe::Range {
+        col: *rk,
+        lo: Bound::Unbounded,
+        hi: Bound::Unbounded,
+    };
+    match table.data().qualification_estimate(&probe) {
+        Some(q) => (q.overlay + q.pending) * 8 <= q.scan,
+        None => false,
+    }
 }
 
 /// Logical rewrites: merge selections into joins, turn selected products
@@ -273,6 +316,40 @@ fn compile_node(db: &Database, plan: LogicalPlan, cfg: &PlannerConfig) -> Result
         }),
         LogicalPlan::Select { input, pred } => {
             let schema = input.schema();
+            // Key-scan opportunity: selection directly over a base scan
+            // with a key-equality conjunct on an indexed column. The
+            // store's qualification estimate is exact for the pinned
+            // version, so the gate needs no histogram: take the keyed path
+            // whenever it visits fewer rows than the scan.
+            if let LogicalPlan::Scan {
+                ref table,
+                schema: ref scan_schema,
+            } = *input
+            {
+                let resolved = db.table(table)?;
+                let probe = pred
+                    .clone()
+                    .conjuncts()
+                    .iter()
+                    .find_map(|c| key_eq_probe(c, &resolved));
+                if let Some(probe) = probe {
+                    let q = resolved
+                        .data()
+                        .qualification_estimate(&probe)
+                        .expect("key_eq_probe only matches indexed columns");
+                    if q.keyed < q.scan {
+                        let (fixed, ongoing) =
+                            split_pred(Some(pred), &schema, cfg.split_predicates);
+                        return Ok(PhysicalPlan::KeyScan {
+                            table: resolved,
+                            schema: scan_schema.clone(),
+                            probe,
+                            fixed,
+                            ongoing,
+                        });
+                    }
+                }
+            }
             // Index-scan opportunity: selection directly over a base scan
             // with an indexable temporal conjunct.
             if cfg.use_interval_index {
@@ -444,10 +521,12 @@ fn compile_join(
     match choice {
         JoinChoice::Hash => {
             let (fixed, ongoing) = split_pred(and_all(hash_residual), schema, cfg.split_predicates);
+            let keyed = keyed_build(&r, &keys);
             Ok(PhysicalPlan::HashJoin {
                 left: Box::new(l),
                 right: Box::new(r),
                 keys,
+                keyed,
                 fixed,
                 ongoing,
             })

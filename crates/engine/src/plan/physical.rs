@@ -45,7 +45,8 @@ use ongoing_core::allen::TemporalPredicate;
 use ongoing_core::{IntervalSet, TimePoint};
 use ongoing_relation::algebra::{self, ProjItem};
 use ongoing_relation::{
-    Expr, FixedRelation, LazyChunkView, OngoingRelation, PinnedChunk, Schema, Tuple, Value,
+    Expr, FixedRelation, KeyProbe, LazyChunkView, OngoingRelation, PinnedChunk, Schema, Tuple,
+    Value,
 };
 use std::collections::HashMap;
 use std::ops::Range;
@@ -81,6 +82,23 @@ pub enum PhysicalPlan {
         col: usize,
         /// Envelope query range.
         range: (TimePoint, TimePoint),
+        /// Exact predicate re-checked per candidate (fixed part).
+        fixed: Option<Expr>,
+        /// Exact predicate re-checked per candidate (ongoing part).
+        ongoing: Option<Expr>,
+    },
+    /// Key-map pre-filtered scan: candidates come from the store's
+    /// per-chunk keyed qualification indexes (PR 5's write-path `KeyMap`s,
+    /// now serving the read path) via [`OngoingRelation::keyed_rows`];
+    /// the exact predicate is re-checked as residual.
+    KeyScan {
+        /// The resolved table.
+        table: Arc<Table>,
+        /// Output schema.
+        schema: Schema,
+        /// The key condition driving the index lookup (a necessary
+        /// condition of the residual predicate).
+        probe: KeyProbe,
         /// Exact predicate re-checked per candidate (fixed part).
         fixed: Option<Expr>,
         /// Exact predicate re-checked per candidate (ongoing part).
@@ -125,6 +143,13 @@ pub enum PhysicalPlan {
         right: Box<PhysicalPlan>,
         /// `(left column, right column)` equality key pairs.
         keys: Vec<(usize, usize)>,
+        /// Borrow the build from the build table's per-chunk `KeyMap`s:
+        /// probe morsels look matches up through
+        /// [`OngoingRelation::keyed_rows`] instead of materializing and
+        /// hashing the build side. Set by the optimizer only when the
+        /// build side is a bare scan of a key-indexed column (ongoing
+        /// mode; the instantiated baseline always hashes).
+        keyed: bool,
         /// Fixed residual conjunct.
         fixed: Option<Expr>,
         /// Ongoing residual conjunct.
@@ -183,6 +208,7 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::SeqScan { schema, .. }
             | PhysicalPlan::IndexScan { schema, .. }
+            | PhysicalPlan::KeyScan { schema, .. }
             | PhysicalPlan::Project { schema, .. }
             | PhysicalPlan::Aggregate { schema, .. } => schema.clone(),
             PhysicalPlan::Filter { input, .. } => input.schema(),
@@ -242,7 +268,9 @@ impl PhysicalPlan {
     /// The operator's children in `explain` order.
     pub(crate) fn inputs(&self) -> Vec<&PhysicalPlan> {
         match self {
-            PhysicalPlan::SeqScan { .. } | PhysicalPlan::IndexScan { .. } => Vec::new(),
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::IndexScan { .. }
+            | PhysicalPlan::KeyScan { .. } => Vec::new(),
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Aggregate { input, .. } => vec![input],
@@ -282,6 +310,18 @@ impl PhysicalPlan {
                 range.1,
                 preds(fixed, ongoing)
             ),
+            PhysicalPlan::KeyScan {
+                table,
+                probe,
+                fixed,
+                ongoing,
+                ..
+            } => format!(
+                "KeyScan {} {}{}",
+                table.name(),
+                probe_line(probe),
+                preds(fixed, ongoing)
+            ),
             PhysicalPlan::Filter { fixed, ongoing, .. } => {
                 format!("Filter{}", preds(fixed, ongoing))
             }
@@ -291,10 +331,15 @@ impl PhysicalPlan {
             }
             PhysicalPlan::HashJoin {
                 keys,
+                keyed,
                 fixed,
                 ongoing,
                 ..
-            } => format!("HashJoin on {keys:?}{}", preds(fixed, ongoing)),
+            } => format!(
+                "HashJoin on {keys:?}{}{}",
+                if *keyed { " (keyed build)" } else { "" },
+                preds(fixed, ongoing)
+            ),
             PhysicalPlan::SweepJoin {
                 l_col,
                 r_col,
@@ -422,6 +467,43 @@ impl PhysicalPlan {
                 })?;
                 Ok(assemble_tuples(schema.clone(), parts, stats))
             }
+            PhysicalPlan::KeyScan {
+                table,
+                schema,
+                probe,
+                fixed,
+                ongoing,
+            } => {
+                // A cheap version fork, so the pool tasks own the input.
+                let data = table.data().clone();
+                let rows = match data.keyed_rows(probe) {
+                    Some((rows, visited)) => {
+                        stats.index_candidates += visited;
+                        stats.tuples_scanned += visited;
+                        rows
+                    }
+                    // The optimizer only lowers KeyScan when the pinned
+                    // version covers the probe column, but fall back to the
+                    // full scan rather than assume.
+                    None => {
+                        stats.tuples_scanned += data.len() as u64;
+                        data.iter().cloned().collect()
+                    }
+                };
+                let n = rows.len();
+                let rows = Arc::new(rows);
+                let fixed = fixed.clone();
+                let ongoing = ongoing.clone();
+                let parts = run_partitioned(ctx, n, MIN_MORSEL, move |r| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for t in &rows[r] {
+                        filter_into(&mut out, t, fixed.as_ref(), ongoing.as_ref(), &mut local)?;
+                    }
+                    Ok((out, local))
+                })?;
+                Ok(assemble_tuples(schema.clone(), parts, stats))
+            }
             PhysicalPlan::Filter {
                 input,
                 fixed,
@@ -487,9 +569,69 @@ impl PhysicalPlan {
                 left,
                 right,
                 keys,
+                keyed,
                 fixed,
                 ongoing,
             } => {
+                // Keyed build: the build side is a bare scan of a
+                // key-indexed column, so probe morsels look matches up in
+                // the table's per-chunk `KeyMap`s (memoized per morsel)
+                // instead of materializing and hashing the build side.
+                // `keyed_rows` returns matches in live order — exactly the
+                // order the hashed build would emit — so results are
+                // bit-identical to the unkeyed path.
+                if *keyed {
+                    if let (PhysicalPlan::SeqScan { table, schema: rs }, [(lk, rk)]) =
+                        (right.as_ref(), keys.as_slice())
+                    {
+                        let (lk, rk) = (*lk, *rk);
+                        let l = left.execute_stats(ctx, stats)?;
+                        let schema = l.schema().product(rs);
+                        let rdata = table.data().clone();
+                        let fixed = fixed.clone();
+                        let ongoing = ongoing.clone();
+                        let parts =
+                            run_partitioned_lazy(ctx, l, MIN_MORSEL, move |pinned, out, local| {
+                                let mut memo: HashMap<Value, Vec<Tuple>> = HashMap::new();
+                                for lt in pinned.iter() {
+                                    let key = lt.value(lk);
+                                    let matches = memo.entry(key.clone()).or_insert_with(|| {
+                                        let probe = KeyProbe::Eq {
+                                            col: rk,
+                                            key: key.clone(),
+                                        };
+                                        let (rows, visited) =
+                                            rdata.keyed_rows(&probe).unwrap_or_else(|| {
+                                                // Defensive: the optimizer only
+                                                // sets `keyed` for covered
+                                                // columns of this pinned version.
+                                                let rows = rdata
+                                                    .iter()
+                                                    .filter(|t| probe.matches(t.value(rk)))
+                                                    .cloned()
+                                                    .collect();
+                                                (rows, rdata.len() as u64)
+                                            });
+                                        local.index_candidates += visited;
+                                        local.tuples_scanned += visited;
+                                        rows
+                                    });
+                                    for rt_ in matches.iter() {
+                                        join_pair_into(
+                                            out,
+                                            lt,
+                                            rt_,
+                                            fixed.as_ref(),
+                                            ongoing.as_ref(),
+                                            local,
+                                        )?;
+                                    }
+                                }
+                                Ok(())
+                            })?;
+                        return Ok(assemble_tuples(schema, parts, stats));
+                    }
+                }
                 let l = left.execute_stats(ctx, stats)?;
                 let r = right.execute_stats(ctx, stats)?;
                 let schema = l.schema().product(r.schema());
@@ -735,6 +877,46 @@ impl PhysicalPlan {
                 })?;
                 Ok(assemble_rows(parts, stats))
             }
+            PhysicalPlan::KeyScan {
+                table,
+                probe,
+                fixed,
+                ongoing,
+                ..
+            } => {
+                let data = table.data().clone();
+                let rows = match data.keyed_rows(probe) {
+                    Some((rows, visited)) => {
+                        stats.index_candidates += visited;
+                        stats.tuples_scanned += visited;
+                        rows
+                    }
+                    None => {
+                        stats.tuples_scanned += data.len() as u64;
+                        data.iter().cloned().collect()
+                    }
+                };
+                let fixed = fixed.as_ref().map(|e| e.bind_consts(rt));
+                let ongoing = ongoing.as_ref().map(|e| e.bind_consts(rt));
+                let n = rows.len();
+                let rows = Arc::new(rows);
+                let parts = run_partitioned(ctx, n, MIN_MORSEL, move |r| {
+                    let mut local = ExecStats::default();
+                    let mut out = Vec::new();
+                    for t in &rows[r] {
+                        local.tuples_filtered += 1;
+                        if let Some(row) = t.bind(rt) {
+                            if pass_fixed(&row, fixed.as_ref())?
+                                && pass_fixed(&row, ongoing.as_ref())?
+                            {
+                                out.push(row);
+                            }
+                        }
+                    }
+                    Ok((out, local))
+                })?;
+                Ok(assemble_rows(parts, stats))
+            }
             PhysicalPlan::Filter {
                 input,
                 fixed,
@@ -816,6 +998,9 @@ impl PhysicalPlan {
                 keys,
                 fixed,
                 ongoing,
+                // The instantiated baseline always hashes — `keyed` only
+                // changes how the ongoing mode finds build matches.
+                keyed: _,
             } => {
                 let l = left.rows_at_stats(rt, ctx, stats)?;
                 let r = right.rows_at_stats(rt, ctx, stats)?;
@@ -1161,6 +1346,14 @@ where
         })
         .collect();
     ctx.session.run_morsels(&ctx.control, jobs)
+}
+
+/// One-line rendering of a key probe for EXPLAIN output.
+fn probe_line(probe: &KeyProbe) -> String {
+    match probe {
+        KeyProbe::Eq { col, key } => format!("col #{col} = {key}"),
+        KeyProbe::Range { col, lo, hi } => format!("col #{col} in ({lo:?}, {hi:?})"),
+    }
 }
 
 /// Concatenates ordered tuple partitions into a relation and folds their

@@ -31,7 +31,7 @@ pub use prepare::{prepare, Prepared};
 
 use crate::catalog::Database;
 use crate::error::{EngineError, Result};
-use crate::exec::ExecStats;
+use crate::exec::{rescache, ExecStats};
 use crate::obs::{EngineEvent, SpanNode, TraceCollector};
 use crate::plan::{LogicalPlan, PlannerConfig, QueryBuilder};
 use crate::stats::TableStatistics;
@@ -51,9 +51,12 @@ pub fn plan_query(db: &Database, sql: &str) -> Result<LogicalPlan> {
 }
 
 /// Parses, plans and executes in ongoing mode — the one-liner entry point.
+/// Runs through the shared execution seam, so per-query metrics are
+/// recorded and the result cache is consulted, exactly like
+/// [`run_statement`] and prepared statements.
 pub fn query(db: &Database, sql: &str) -> Result<ongoing_relation::OngoingRelation> {
-    let plan = plan_query(db, sql)?;
-    crate::execute(db, &plan)
+    let q = parser::parse(sql).map_err(|e| EngineError::Plan(e.to_string()))?;
+    run_query(db, &q, &PlannerConfig::default(), sql).map(|(rel, _)| rel)
 }
 
 /// The outcome of executing a top-level statement.
@@ -155,20 +158,44 @@ fn run_query(
 
 /// Executes an already-compiled physical plan under `cfg`, recording query
 /// metrics and pool scheduling events through the database's observability
-/// layer. Shared by one-shot queries and prepared statements.
+/// layer. Shared by one-shot queries, prepared statements and materialized
+/// view refreshes.
+///
+/// This is the result-cache seam: before executing, the database's
+/// [`ResultCache`](crate::exec::ResultCache) is consulted under the plan's
+/// structural fingerprint and the exact table versions it embeds. A hit
+/// returns the cached relation **and the stored work counters** — the same
+/// per-query metrics are recorded either way, so deterministic work-unit
+/// assertions hold with the cache on or off. `EXPLAIN ANALYZE` runs through
+/// [`analyze_query`] instead and therefore always executes for real.
 pub(crate) fn execute_compiled(
     db: &Database,
     phys: &crate::plan::PhysicalPlan,
     cfg: &PlannerConfig,
     label: &str,
 ) -> Result<(ongoing_relation::OngoingRelation, ExecStats)> {
-    let ctx = cfg
-        .exec_context()
-        .with_events(Arc::clone(&db.observability().events));
+    let cache = db.result_cache();
+    let obs = db.observability();
     let start = Instant::now();
+    let cached_key = if cache.budget() > 0 {
+        let key = rescache::plan_fingerprint(phys, cfg);
+        let deps = rescache::plan_tables(phys);
+        if let Some((rel, stats)) = cache.lookup(&key, &deps, obs) {
+            db.record_query(label, &stats, start.elapsed());
+            return Ok((rel, stats));
+        }
+        Some((key, deps))
+    } else {
+        None
+    };
+    let ctx = cfg.exec_context().with_events(Arc::clone(&obs.events));
     match phys.execute_with_stats(&ctx) {
         Ok((rel, stats)) => {
             db.record_query(label, &stats, start.elapsed());
+            if let Some((key, deps)) = cached_key {
+                let deps = deps.iter().map(Arc::downgrade).collect();
+                cache.insert(key, deps, &rel, stats, obs);
+            }
             Ok((rel, stats))
         }
         Err(e) => {

@@ -123,7 +123,10 @@ impl Prepared {
     /// cache. Counts a hit or miss either way.
     fn plan_for(&self, db: &Database, cfg: &PlannerConfig) -> Result<Arc<PhysicalPlan>> {
         let cfg_key = format!("{cfg:?}");
-        let mut guard = self.cache.lock().expect("prepared cache poisoned");
+        // A panicking sibling (poisoned lock) leaves at worst a valid-but-
+        // stale cached plan, and staleness is re-checked below anyway —
+        // recover the guard instead of poisoning every later execution.
+        let mut guard = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(cached) = guard.as_ref() {
             if cached.cfg_key == cfg_key && cached.deps.iter().all(|d| d.valid(db)) {
                 db.observability()
@@ -256,6 +259,26 @@ mod tests {
         // Same config again: hit.
         stmt.execute_with(&db, &cfg).unwrap();
         assert_eq!(counter(&db, PREPARED_HITS_METRIC), 1);
+    }
+
+    #[test]
+    fn poisoned_plan_cache_recovers() {
+        let db = small_db();
+        let stmt = Arc::new(prepare(&db, "SELECT BID FROM B").unwrap());
+        // Poison the cache lock: a thread panics while holding the guard.
+        let s = Arc::clone(&stmt);
+        let joined = std::thread::spawn(move || {
+            let _guard = s.cache.lock().unwrap();
+            panic!("poison the prepared-plan cache");
+        })
+        .join();
+        assert!(joined.is_err());
+        assert!(stmt.cache.is_poisoned());
+        // The statement keeps working — and keeps serving cache hits,
+        // because the poisoned guard held a perfectly valid plan.
+        let hits = counter(&db, PREPARED_HITS_METRIC);
+        assert_eq!(stmt.execute(&db).unwrap().len(), 2);
+        assert_eq!(counter(&db, PREPARED_HITS_METRIC), hits + 1);
     }
 
     #[test]

@@ -606,6 +606,52 @@ pub fn estimate(plan: &PhysicalPlan) -> NodeEstimate {
             w.tuples_scanned += candidates;
             NodeEstimate::leaf(out_rows, w, stats.is_some(), cols)
         }
+        PhysicalPlan::KeyScan {
+            table,
+            schema,
+            probe,
+            fixed,
+            ongoing,
+        } => {
+            let rows = table.data().len() as f64;
+            let stats = table.statistics();
+            // Exact for this version: the visited count comes straight from
+            // the store's per-chunk key maps (candidates + overlay +
+            // pending + map lookups), no histogram needed.
+            let visited = table
+                .data()
+                .qualification_estimate(probe)
+                .map(|q| q.keyed as f64)
+                .unwrap_or(rows);
+            let cols: Vec<ColEstimate> = match &stats {
+                Some(s) => schema
+                    .attrs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        ColEstimate {
+                            distinct: s
+                                .fixed(i)
+                                .map(|f| f.distinct as f64)
+                                .unwrap_or(rows)
+                                .max(1.0),
+                            fixed: s.fixed(i).cloned(),
+                            interval: s.interval(i).cloned(),
+                        }
+                        .scaled(visited)
+                    })
+                    .collect(),
+                None => schema
+                    .attrs()
+                    .iter()
+                    .map(|_| ColEstimate::unknown(visited))
+                    .collect(),
+            };
+            let (out_rows, mut w) = filter_work(visited, fixed.as_ref(), ongoing.as_ref(), &cols);
+            w.index_candidates += visited;
+            w.tuples_scanned += visited;
+            NodeEstimate::leaf(out_rows, w, stats.is_some(), cols)
+        }
         PhysicalPlan::Filter {
             input,
             fixed,
@@ -650,6 +696,10 @@ pub fn estimate(plan: &PhysicalPlan) -> NodeEstimate {
             keys,
             fixed,
             ongoing,
+            // The keyed build is an execution strategy with the same output;
+            // its saving (no build materialization) is not modelled, so the
+            // estimate stays comparable with the unkeyed plan.
+            keyed: _,
         } => {
             let (l, r) = (estimate(left), estimate(right));
             let cols = product_cols(&l, &r);

@@ -249,6 +249,15 @@ impl OngoingRelation {
         self.store.qualification_estimate(probe)
     }
 
+    /// The live rows that can satisfy `probe`, in live (iteration) order,
+    /// plus the rows visited collecting them — the read-path counterpart
+    /// of [`edit_tuples_where`](Self::edit_tuples_where). Equals the full
+    /// scan filtered by [`KeyProbe::matches`] on the probe column; `None`
+    /// when the column carries no index, so callers fall back to a scan.
+    pub fn keyed_rows(&self, probe: &KeyProbe) -> Option<(Vec<Tuple>, u64)> {
+        self.store.keyed_rows(probe)
+    }
+
     /// Cumulative qualification work units (rows visited while deciding
     /// which rows modifications touch); the difference between a fork and
     /// its base is the exact read-side qualification cost between them.
@@ -598,6 +607,37 @@ mod tests {
         ])
         .unwrap();
         r
+    }
+
+    #[test]
+    fn tuples_after_edit_on_fragmented_store_reflects_the_edit() {
+        use crate::store::RowEdit;
+        let schema = Schema::builder().int("X").build();
+        let mut r = OngoingRelation::new(schema);
+        for i in 0..600i64 {
+            r.insert(vec![Value::Int(i)]).unwrap();
+        }
+        r.create_key_index(0).unwrap();
+        // Fragmented: a sealed chunk plus a pending tail, so `tuples()`
+        // materializes — and caches — a dense copy.
+        assert_eq!(r.tuples().len(), 600);
+        // Edit through the keyed planner *after* the cache is warm.
+        let probe = KeyProbe::Eq {
+            col: 0,
+            key: Value::Int(42),
+        };
+        r.edit_tuples_where::<std::convert::Infallible>(&probe, |t| {
+            Ok(if t.value(0) == &Value::Int(42) {
+                RowEdit::Replace(vec![Tuple::base(vec![Value::Int(4242)])])
+            } else {
+                RowEdit::Keep
+            })
+        })
+        .unwrap();
+        // Every mutator must drop the cached dense copy: the edit shows.
+        assert!(r.tuples().iter().any(|t| t.value(0) == &Value::Int(4242)));
+        assert!(!r.tuples().iter().any(|t| t.value(0) == &Value::Int(42)));
+        assert_eq!(r.tuples().len(), 600);
     }
 
     #[test]

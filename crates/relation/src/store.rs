@@ -1316,6 +1316,70 @@ impl TupleStore {
         Ok(Some((plan, visited)))
     }
 
+    /// The live rows that can satisfy `probe`, in live (iteration) order,
+    /// plus the rows visited while collecting them — the read-path twin of
+    /// [`plan_edits_keyed`](Self::plan_edits_keyed). Visits index
+    /// candidates in chunk bases (skipping those superseded by the
+    /// overlay), every overlay replacement row (the overlay is the
+    /// unindexed delta), and the pending tail; each visited value is
+    /// re-checked against the probe, so the output equals the full scan
+    /// filtered by [`KeyProbe::matches`] — same rows, same order. `None`
+    /// when the probe's column carries no index (or any chunk's map has
+    /// not been paged in), so the caller falls back to a scan.
+    pub fn keyed_rows(&self, probe: &KeyProbe) -> Option<(Vec<Tuple>, u64)> {
+        if !self.indexed.contains(&probe.col()) {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut visited = 0u64;
+        let mut offs: Vec<usize> = Vec::new();
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let map = chunk.keys.get(&probe.col())?;
+            let edits = chunk.edits.as_deref();
+            offs.clear();
+            offs.extend(
+                probe
+                    .candidates(map)
+                    .map(|o| o as usize)
+                    .filter(|o| edits.is_none_or(|e| !e.contains_key(o))),
+            );
+            if let Some(edits) = edits {
+                offs.extend(edits.keys().copied());
+            }
+            offs.sort_unstable();
+            if offs.is_empty() {
+                continue;
+            }
+            let view = self.view_at(ci);
+            for &off in offs.iter() {
+                match view.edits.and_then(|e| e.get(&off)) {
+                    None => {
+                        visited += 1;
+                        let t = &view.base[off];
+                        if probe.matches(t.value(probe.col())) {
+                            out.push(t.clone());
+                        }
+                    }
+                    Some(reps) => {
+                        visited += reps.len() as u64;
+                        for t in reps {
+                            if probe.matches(t.value(probe.col())) {
+                                out.push(t.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for t in &self.pending {
+            visited += 1;
+            if probe.matches(t.value(probe.col())) {
+                out.push(t.clone());
+            }
+        }
+        Some((out, visited))
+    }
+
     /// Full-scan qualification + edit in one step: plans with
     /// [`plan_edits`](Self::plan_edits) (metering every live row in
     /// [`qual_work`](Self::qual_work)) and applies. Returns the storage
@@ -1848,6 +1912,53 @@ mod tests {
                 s.len()
             );
         }
+    }
+
+    #[test]
+    fn keyed_rows_equal_filtered_scan() {
+        let mut s = TupleStore::from_tuples((0..2000).map(|x| t(x % 50)).collect());
+        s.create_key_index(0);
+        // Fragment: tombstone, replace into the probed key, split, pending.
+        let plan = s
+            .plan_edits(|tp| {
+                Ok::<_, ()>(match tp.value(0).as_int().unwrap() {
+                    7 => RowEdit::Remove,
+                    13 => RowEdit::Replace(vec![t(42)]),
+                    29 => RowEdit::Replace(vec![t(29), t(42)]),
+                    _ => RowEdit::Keep,
+                })
+            })
+            .unwrap();
+        s.apply_edits(plan);
+        s.push(t(42));
+        for probe in [
+            eq_probe(42),
+            eq_probe(7),
+            eq_probe(-5),
+            KeyProbe::Range {
+                col: 0,
+                lo: std::ops::Bound::Included(Value::Int(40)),
+                hi: std::ops::Bound::Excluded(Value::Int(44)),
+            },
+        ] {
+            let scan: Vec<Tuple> = s
+                .iter()
+                .filter(|tp| probe.matches(tp.value(0)))
+                .cloned()
+                .collect();
+            let (keyed, visited) = s.keyed_rows(&probe).unwrap();
+            assert_eq!(keyed, scan, "probe {probe:?}");
+            assert!(
+                visited < s.len() as u64,
+                "keyed read visited every row for {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_rows_require_an_index() {
+        let s = TupleStore::from_tuples((0..10).map(t).collect());
+        assert!(s.keyed_rows(&eq_probe(3)).is_none());
     }
 
     #[test]

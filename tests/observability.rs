@@ -301,3 +301,33 @@ fn slow_query_threshold_and_sink_via_database() {
         .count();
     assert_eq!(after, 1, "fast query above threshold must not log");
 }
+
+/// Pins the two documented `ONGOINGDB_SLOW_QUERY_MS` contracts: `0` means
+/// *log every query* (not *disable logging*), and an unset variable means
+/// the 250 ms default.
+#[test]
+fn slow_query_zero_logs_everything_and_default_is_250ms() {
+    assert_eq!(ongoingdb::engine::obs::DEFAULT_SLOW_QUERY_MS, 250);
+    // The default path. Guarded so an externally exported
+    // ONGOINGDB_SLOW_QUERY_MS (which legitimately overrides the default)
+    // doesn't turn this pin into a false failure.
+    if std::env::var(ongoingdb::engine::SLOW_QUERY_ENV).is_err() {
+        let db = Database::new();
+        assert_eq!(db.observability().slow_query_ns(), 250 * 1_000_000);
+    }
+    // The zero path: every query logs, however fast.
+    let db = fixture();
+    assert_eq!(db.observability().slow_query_ns(), 0);
+    for _ in 0..3 {
+        run_statement(&db, "SELECT K FROM T WHERE G = 1").unwrap();
+    }
+    let slow = db
+        .recent_events()
+        .into_iter()
+        .filter(|r| matches!(r.event, EngineEvent::SlowQuery { .. }))
+        .count();
+    assert_eq!(
+        slow, 3,
+        "threshold 0 must log every query, repeats included"
+    );
+}
